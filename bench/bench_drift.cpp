@@ -1,0 +1,128 @@
+// Ablation F — correlation drift and bounded-churn replanning.
+//
+// The paper's premise (Fig. 2B) is that correlations are stable enough
+// for a placement to stay effective "for a significantly long time
+// period". This harness makes the horizon quantitative: it drifts the
+// interest model by epsilon, re-estimates correlations, and compares
+//   * stale    — keep the old placement (the paper's implicit strategy),
+//   * fresh    — full re-optimization (max migration),
+//   * budgeted — IncrementalOptimizer at a 10% migration byte budget.
+// Costs are the modeled objective on the drifted scoped instance,
+// normalized to random hash; migration is in fractions of total bytes.
+//
+//   ./bench_drift [--nodes=10] [--scope=800] [--budget=0.1] [testbed flags]
+#include <iostream>
+#include <unordered_map>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/migration.hpp"
+#include "testbed.hpp"
+
+using namespace cca;
+
+namespace {
+
+/// Scoped CCA instance over a FIXED keyword set, with correlations
+/// re-estimated from `trace` (so instances before/after drift share the
+/// object space and placements are comparable).
+core::CcaInstance scoped_instance(
+    const std::vector<trace::KeywordId>& scope,
+    const std::vector<std::uint64_t>& sizes, const trace::QueryTrace& trace,
+    int nodes, double slack) {
+  std::unordered_map<trace::KeywordId, int> object_of;
+  std::vector<double> object_sizes;
+  object_sizes.reserve(scope.size());
+  double total = 0.0;
+  for (std::size_t pos = 0; pos < scope.size(); ++pos) {
+    object_of[scope[pos]] = static_cast<int>(pos);
+    object_sizes.push_back(static_cast<double>(sizes[scope[pos]]));
+    total += object_sizes.back();
+  }
+  std::vector<core::PairWeight> pairs;
+  for (const core::KeywordPairWeight& p : core::build_pair_weights(
+           trace, sizes, core::OperationModel::kSmallestPair)) {
+    const auto i = object_of.find(p.a);
+    const auto j = object_of.find(p.b);
+    if (i == object_of.end() || j == object_of.end()) continue;
+    pairs.push_back({i->second, j->second, p.r, p.w});
+  }
+  return core::CcaInstance(
+      object_sizes,
+      std::vector<double>(static_cast<std::size_t>(nodes),
+                          slack * total / nodes),
+      pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const bench::TestbedConfig cfg = bench::TestbedConfig::from_cli(args);
+  const int nodes = static_cast<int>(args.get_int("nodes", 10));
+  const auto scope = static_cast<std::size_t>(args.get_int("scope", 800));
+  const double budget = args.get_double("budget", 0.1);
+  args.reject_unused();
+
+  const bench::Testbed tb = bench::Testbed::build(cfg);
+  tb.print_banner("Ablation F — drift horizon and bounded-churn replanning");
+
+  // Baseline placement from the January trace.
+  core::PartialOptimizerConfig opt_cfg;
+  opt_cfg.num_nodes = nodes;
+  opt_cfg.scope = scope;
+  opt_cfg.seed = cfg.seed;
+  opt_cfg.rounding.trials = 16;
+  const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
+  const core::PlacementPlan plan = optimizer.run(core::Strategy::kLprr);
+
+  // The fixed object space: January's scope.
+  const core::CcaInstance january_instance = scoped_instance(
+      plan.scope, tb.sizes, tb.january, nodes, opt_cfg.capacity_slack);
+  core::Placement current(plan.scope.size());
+  for (std::size_t pos = 0; pos < plan.scope.size(); ++pos)
+    current[pos] = plan.keyword_to_node[plan.scope[pos]];
+
+  common::Table table({"drift", "stale norm.", "budgeted norm.",
+                       "budgeted moved", "fresh norm.", "fresh moved"});
+  for (const double drift : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const trace::WorkloadModel drifted_model =
+        tb.model.drifted(drift, cfg.seed + 977);
+    const trace::QueryTrace drifted_trace =
+        drifted_model.generate(cfg.queries, cfg.seed * 271 + 5);
+    const core::CcaInstance drifted = scoped_instance(
+        plan.scope, tb.sizes, drifted_trace, nodes, opt_cfg.capacity_slack);
+
+    // Normalizer: random hash on the same instance.
+    const core::Placement random = core::random_hash_placement(
+        drifted, [&](int i) { return trace::keyword_name(plan.scope[i]); });
+    const double random_cost = drifted.communication_cost(random);
+
+    core::IncrementalConfig inc_cfg;
+    inc_cfg.migration_budget_fraction = budget;
+    inc_cfg.rounding.trials = 16;
+    inc_cfg.seed = cfg.seed;
+    const core::IncrementalResult budgeted =
+        core::IncrementalOptimizer(inc_cfg).reoptimize(drifted, current);
+
+    core::IncrementalConfig full_cfg = inc_cfg;
+    full_cfg.migration_budget_fraction = 1.0;
+    const core::IncrementalResult fresh =
+        core::IncrementalOptimizer(full_cfg).reoptimize(drifted, current);
+
+    const auto norm = [&](double cost) {
+      return common::Table::num(cost / std::max(random_cost, 1e-9), 3);
+    };
+    table.add_row({common::Table::pct(drift, 0), norm(budgeted.stale_cost),
+                   norm(budgeted.cost),
+                   common::Table::pct(budgeted.migration.moved_fraction),
+                   norm(fresh.cost),
+                   common::Table::pct(fresh.migration.moved_fraction)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(modeled objective on the drifted scoped instance,"
+               " normalized to random hash; budgeted = incremental"
+               " re-optimization at a "
+            << common::Table::pct(budget) << " migration byte budget)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Headline-numbers reproduction: the paper's abstract claims 37-86%
+// communication reduction vs random hash placement and 30-78% vs the
+// greedy heuristic "on a range of optimization scopes and system sizes".
+// This harness sweeps the same grid (scopes x node counts) and reports
+// the min/max savings bands.
+//
+//   ./bench_headline_summary [testbed flags]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "testbed.hpp"
+
+using namespace cca;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const bench::TestbedConfig cfg = bench::TestbedConfig::from_cli(args);
+  const bool csv = args.get_bool("csv", false);
+  args.reject_unused();
+
+  const bench::Testbed tb = bench::Testbed::build(cfg);
+  tb.print_banner("Headline summary — savings bands across the grid");
+
+  const std::vector<std::size_t> scopes{250, 500, 1000, 2000};
+  const std::vector<int> node_counts{10, 20, 50, 100};
+
+  common::Table table({"scope", "nodes", "lprr vs random", "lprr vs greedy",
+                       "lprr vs multilevel"});
+  double min_vs_random = 1.0, max_vs_random = 0.0;
+  double min_vs_greedy = 1.0, max_vs_greedy = 0.0;
+
+  for (std::size_t scope : scopes) {
+    for (int nodes : node_counts) {
+      const auto random = tb.measure(core::Strategy::kRandom, nodes, 1);
+      const auto greedy = tb.measure(core::Strategy::kGreedy, nodes, scope);
+      const auto multilevel =
+          tb.measure(core::Strategy::kMultilevel, nodes, scope);
+      const auto lprr = tb.measure(core::Strategy::kLprr, nodes, scope);
+      const double vs_random =
+          1.0 - static_cast<double>(lprr.total_bytes) /
+                    static_cast<double>(random.total_bytes);
+      const double vs_greedy =
+          1.0 - static_cast<double>(lprr.total_bytes) /
+                    static_cast<double>(greedy.total_bytes);
+      min_vs_random = std::min(min_vs_random, vs_random);
+      max_vs_random = std::max(max_vs_random, vs_random);
+      min_vs_greedy = std::min(min_vs_greedy, vs_greedy);
+      max_vs_greedy = std::max(max_vs_greedy, vs_greedy);
+      const double vs_multilevel =
+          1.0 - static_cast<double>(lprr.total_bytes) /
+                    static_cast<double>(multilevel.total_bytes);
+      table.add_row({std::to_string(scope), std::to_string(nodes),
+                     common::Table::pct(vs_random),
+                     common::Table::pct(vs_greedy),
+                     common::Table::pct(vs_multilevel)});
+    }
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nLPRR saving vs random hash: "
+            << common::Table::pct(min_vs_random) << " – "
+            << common::Table::pct(max_vs_random)
+            << "   (paper: 37% – 86%)\n"
+            << "LPRR saving vs greedy:      "
+            << common::Table::pct(min_vs_greedy) << " – "
+            << common::Table::pct(max_vs_greedy)
+            << "   (paper: 30% – 78%)\n";
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: MD5 hashing, Zipf sampling, posting-list intersection,
+// pair counting, LP solves, and randomized rounding.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "core/component_solver.hpp"
+#include "core/lp_formulation.hpp"
+#include "core/rounding.hpp"
+#include "hash/md5.hpp"
+#include "lp/dense_simplex.hpp"
+#include "lp/revised_simplex.hpp"
+#include "search/inverted_index.hpp"
+#include "trace/pair_stats.hpp"
+#include "trace/workload.hpp"
+
+namespace {
+
+using namespace cca;
+
+void BM_Md5Digest64(benchmark::State& state) {
+  const std::string input(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Md5::digest64(input));
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Digest64)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const common::ZipfSampler zipf(
+      static_cast<std::size_t>(state.range(0)), 1.0);
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_PostingIntersection(benchmark::State& state) {
+  common::Rng rng(7);
+  std::vector<std::uint64_t> a, b;
+  for (long i = 0; i < state.range(0); ++i) a.push_back(rng() % 1000000);
+  for (long i = 0; i < state.range(1); ++i) b.push_back(rng() % 1000000);
+  const search::PostingList list_a(std::move(a)), list_b(std::move(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::intersect(list_a, list_b));
+  }
+}
+BENCHMARK(BM_PostingIntersection)
+    ->Args({1000, 1000})     // merge path
+    ->Args({100, 100000});   // galloping path
+
+void BM_PairCounting(benchmark::State& state) {
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = 5000;
+  cfg.num_topics = 200;
+  const trace::WorkloadModel model(cfg);
+  const trace::QueryTrace trace =
+      model.generate(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::PairCounter::count_all_pairs(trace));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PairCounting)->Arg(10000)->Arg(50000);
+
+core::CcaInstance bench_instance(int num_components, int objects_per_comp,
+                                 int nodes) {
+  common::Rng rng(3);
+  std::vector<double> sizes;
+  std::vector<core::PairWeight> pairs;
+  for (int c = 0; c < num_components; ++c) {
+    const int base = c * objects_per_comp;
+    for (int o = 0; o < objects_per_comp; ++o) {
+      sizes.push_back(1.0 + rng.next_double() * 9.0);
+      if (o > 0)
+        pairs.push_back({base + o - 1, base + o, 0.1 + rng.next_double() * 0.4,
+                         1.0 + rng.next_double() * 10.0});
+    }
+  }
+  double total = 0.0;
+  for (double s : sizes) total += s;
+  return core::CcaInstance(
+      sizes, std::vector<double>(static_cast<std::size_t>(nodes),
+                                 2.0 * total / nodes),
+      pairs);
+}
+
+void BM_ComponentLpSolve(benchmark::State& state) {
+  const core::CcaInstance instance =
+      bench_instance(static_cast<int>(state.range(0)), 4, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComponentLpSolver(1).solve(instance));
+  }
+}
+BENCHMARK(BM_ComponentLpSolve)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_FullLpSolve(benchmark::State& state) {
+  const core::CcaInstance instance =
+      bench_instance(static_cast<int>(state.range(0)), 4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_cca_lp(instance));
+  }
+}
+BENCHMARK(BM_FullLpSolve)->Arg(4)->Arg(10);
+
+void BM_RandomizedRounding(benchmark::State& state) {
+  const core::CcaInstance instance =
+      bench_instance(static_cast<int>(state.range(0)), 4, 10);
+  const core::FractionalPlacement x = core::ComponentLpSolver(1).solve(instance);
+  common::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::round_once(x, rng));
+  }
+}
+BENCHMARK(BM_RandomizedRounding)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_DenseVsRevisedSimplex(benchmark::State& state) {
+  // Random dense-ish LP solved by the engine selected via state.range(1).
+  common::Rng rng(11);
+  lp::Model model;
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> xstar(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    xstar[j] = rng.next_double() * 5.0;
+    model.add_variable(0.0, 10.0, rng.next_double() * 4.0 - 2.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<lp::Term> terms;
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.next_double() < 0.3) {
+        const double coef = rng.next_double() * 6.0 - 3.0;
+        terms.push_back({j, coef});
+        lhs += coef * xstar[j];
+      }
+    }
+    if (!terms.empty())
+      model.add_constraint(lp::Relation::kLessEqual,
+                           lhs + rng.next_double(), std::move(terms));
+  }
+  const bool revised = state.range(1) != 0;
+  for (auto _ : state) {
+    if (revised) {
+      benchmark::DoNotOptimize(lp::RevisedSimplex().solve(model));
+    } else {
+      benchmark::DoNotOptimize(lp::DenseSimplex().solve(model));
+    }
+  }
+}
+BENCHMARK(BM_DenseVsRevisedSimplex)
+    ->Args({40, 0})
+    ->Args({40, 1})
+    ->Args({120, 0})
+    ->Args({120, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Shared experiment testbed for the bench harnesses.
+//
+// Every figure-reproduction binary works from the same ingredients the
+// paper's evaluation uses (Sec. 4.1): a web corpus with inverted indices,
+// a "January" training trace, a "February" evaluation trace, and the
+// partial-optimization pipeline. This header centralizes their
+// construction so all benches stay parameter-for-parameter comparable.
+//
+// Scale note (EXPERIMENTS.md): the paper ran 3.7M pages / 6.8M queries /
+// 253k keywords with 48-hour LP solves; the defaults here are chosen so
+// every bench finishes in about a minute on one core while keeping the
+// same scope:vocabulary and capacity regimes. Flags let you scale up.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/partial_optimizer.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/cluster.hpp"
+#include "sim/replay.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::bench {
+
+struct TestbedConfig {
+  std::size_t vocabulary = 4000;
+  std::size_t documents = 6000;
+  double words_per_doc = 80.0;
+  std::size_t queries = 40000;
+  std::size_t topics = 200;
+  std::size_t topic_size = 8;
+  double coherence = 0.9;
+  bool disjoint_topics = false;
+  std::uint64_t seed = 1;
+
+  static TestbedConfig from_cli(const common::CliArgs& args) {
+    TestbedConfig cfg;
+    cfg.vocabulary =
+        static_cast<std::size_t>(args.get_int("vocab", cfg.vocabulary));
+    cfg.documents =
+        static_cast<std::size_t>(args.get_int("docs", cfg.documents));
+    cfg.queries =
+        static_cast<std::size_t>(args.get_int("queries", cfg.queries));
+    cfg.topics = static_cast<std::size_t>(args.get_int("topics", cfg.topics));
+    cfg.coherence = args.get_double("coherence", cfg.coherence);
+    cfg.disjoint_topics = args.get_bool("disjoint", cfg.disjoint_topics);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", cfg.seed));
+    return cfg;
+  }
+};
+
+struct Testbed {
+  TestbedConfig config;
+  trace::WorkloadModel model;
+  trace::QueryTrace january;
+  trace::QueryTrace february;
+  search::InvertedIndex index;
+  std::vector<std::uint64_t> sizes;
+  double total_index_bytes = 0.0;
+
+  static Testbed build(const TestbedConfig& cfg) {
+    trace::CorpusConfig corpus_cfg;
+    corpus_cfg.num_documents = cfg.documents;
+    corpus_cfg.vocabulary_size = cfg.vocabulary;
+    corpus_cfg.mean_distinct_words = cfg.words_per_doc;
+    corpus_cfg.seed = cfg.seed;
+
+    trace::WorkloadConfig query_cfg;
+    query_cfg.vocabulary_size = cfg.vocabulary;
+    query_cfg.num_topics = cfg.topics;
+    query_cfg.topic_size = cfg.topic_size;
+    query_cfg.topic_coherence = cfg.coherence;
+    query_cfg.disjoint_topics = cfg.disjoint_topics;
+    query_cfg.seed = cfg.seed;
+
+    Testbed tb{cfg,
+               trace::WorkloadModel(query_cfg),
+               trace::QueryTrace(),
+               trace::QueryTrace(),
+               search::InvertedIndex(),
+               {},
+               0.0};
+    tb.january = tb.model.generate(cfg.queries, cfg.seed * 7919 + 1);
+    tb.february = tb.model.generate(cfg.queries, cfg.seed * 104729 + 2);
+    tb.index =
+        search::InvertedIndex::build(trace::Corpus::generate(corpus_cfg));
+    tb.sizes = tb.index.index_sizes();
+    for (std::uint64_t s : tb.sizes)
+      tb.total_index_bytes += static_cast<double>(s);
+    return tb;
+  }
+
+  void print_banner(const char* title) const {
+    std::cout << title << "\n"
+              << "testbed: vocab=" << config.vocabulary
+              << " docs=" << config.documents << " queries=" << config.queries
+              << " topics=" << config.topics
+              << (config.disjoint_topics ? " (disjoint)" : " (overlapping)")
+              << " coherence=" << config.coherence << " seed=" << config.seed
+              << " index=" << static_cast<long>(total_index_bytes / 1024)
+              << "KiB\n\n";
+  }
+
+  /// Runs one strategy end-to-end and replays the February trace.
+  sim::ReplayStats measure(core::Strategy strategy, int nodes,
+                           std::size_t scope,
+                           core::PlacementPlan* plan_out = nullptr,
+                           double capacity_slack = 2.0) const {
+    core::PartialOptimizerConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.scope = scope;
+    cfg.seed = config.seed;
+    cfg.capacity_slack = capacity_slack;
+    cfg.rounding.trials = 16;
+    const core::PartialOptimizer optimizer(january, sizes, cfg);
+    const core::PlacementPlan plan = optimizer.run(strategy);
+    if (plan_out) *plan_out = plan;
+
+    sim::Cluster cluster(nodes,
+                         capacity_slack * total_index_bytes / nodes);
+    cluster.install_placement(plan.keyword_to_node, sizes);
+    return sim::replay_trace(cluster, index, february);
+  }
+};
+
+}  // namespace cca::bench

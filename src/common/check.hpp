@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// Library code throws `cca::common::Error` (a std::runtime_error) on
+// violated preconditions so that callers — tests in particular — can assert
+// on failure modes without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cca::common {
+
+/// Exception type thrown on violated preconditions and invalid inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CCA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace cca::common
+
+/// Checks `expr` and throws cca::common::Error when it is false.
+/// Always enabled (not compiled out in release builds): these guard
+/// user-facing API preconditions, not internal hot loops.
+#define CCA_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::cca::common::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// CCA_CHECK with a streamed message: CCA_CHECK_MSG(n > 0, "n=" << n).
+#define CCA_CHECK_MSG(expr, stream_expr)                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream cca_check_os_;                             \
+      cca_check_os_ << stream_expr;                                 \
+      ::cca::common::detail::fail_check(#expr, __FILE__, __LINE__,  \
+                                        cca_check_os_.str());       \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,79 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace cca::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    CCA_CHECK_MSG(arg.rfind("--", 0) == 0,
+                  "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag == boolean true
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  used_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  CCA_CHECK_MSG(end && *end == '\0',
+                "flag --" << key << " is not an integer: " << it->second);
+  return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CCA_CHECK_MSG(end && *end == '\0',
+                "flag --" << key << " is not a number: " << it->second);
+  return v;
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  used_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  CCA_CHECK_MSG(false, "flag --" << key << " is not a boolean: " << v);
+  return fallback;  // unreachable
+}
+
+void CliArgs::reject_unused() const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    CCA_CHECK_MSG(used_.count(key) > 0, "unknown flag --" << key);
+  }
+}
+
+}  // namespace cca::common

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports `--key=value` and `--key value`; unknown flags are rejected so
+// typos fail loudly. Values are fetched typed, with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cca::common {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws common::Error on malformed input (non-flag
+  /// positional arguments, missing value).
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Throws if any parsed flag was never read by one of the getters.
+  /// Call after all flags have been fetched to surface typos.
+  void reject_unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace cca::common

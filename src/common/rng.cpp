@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace cca::common {
+
+std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) {
+  CCA_CHECK(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace cca::common

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// regenerates; this helper keeps those reports aligned and also emits CSV
+// so results can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cca::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded, right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes/newlines
+  /// are quoted; embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Convenience cell formatting: fixed-point with `digits` decimals.
+  static std::string num(double v, int digits = 3);
+  /// Convenience cell formatting: percentage with `digits` decimals.
+  static std::string pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cca::common

@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over ranks {0, 1, ..., n-1}.
+//
+// Rank k is drawn with probability proportional to 1 / (k+1)^s. Web-object
+// popularity and query-keyword popularity are famously Zipf-like (the paper
+// leans on exactly this skew, Sec. 3.1), so this sampler underpins the
+// synthetic corpus and query-trace generators.
+//
+// Implementation: precomputed cumulative distribution + binary search.
+// O(n) memory, O(log n) per sample, exact (no rejection), deterministic
+// given the generator state. For the vocabulary sizes used here (≤ a few
+// hundred thousand) the precomputation is trivially cheap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cca::common {
+
+class ZipfSampler {
+ public:
+  /// Builds a sampler over `n` ranks with skew exponent `s` (s >= 0;
+  /// s == 0 degenerates to the uniform distribution).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  std::size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.
+};
+
+}  // namespace cca::common

@@ -1,0 +1,70 @@
+// From query trace to CCA inputs: correlations r(i,j), pair costs w(i,j),
+// and the importance ranking for partial optimization.
+//
+// Operation model (Sec. 3.2): for intersection-like operations a
+// >2-keyword query is approximated by its two smallest-index keywords, so
+// r(i,j) becomes "the probability that i and j are the two smallest
+// objects requested in an operation" and w(i,j) = min(s(i), s(j)) — the
+// bytes shipped when the smaller index travels to the larger one's node.
+// The kAllPairs model keeps the base definition (every co-requested pair),
+// which is exact for two-object operations.
+//
+// Importance ranking (Sec. 4.2): rank pairs by their communication cost
+// r(i,j) * w(i,j); a keyword's importance is its first appearance in that
+// pair ranking; keywords that never communicate rank last (largest index
+// first, since they still consume placement-relevant space).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "trace/pair_stats.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::core {
+
+enum class OperationModel {
+  kAllPairs,      // base definition: every pair of every query
+  kSmallestPair,  // Sec. 3.2 intersection adjustment (the paper's choice)
+};
+
+/// A correlated keyword pair in vocabulary space.
+struct KeywordPairWeight {
+  trace::KeywordId a = 0;
+  trace::KeywordId b = 0;
+  double r = 0.0;  // correlation (empirical probability)
+  double w = 0.0;  // communication bytes when separated
+
+  double cost() const { return r * w; }
+};
+
+/// Builds r and w for every observed pair. `index_sizes` (bytes, indexed
+/// by keyword) provides both the smallest-pair selection and w.
+std::vector<KeywordPairWeight> build_pair_weights(
+    const trace::QueryTrace& trace,
+    const std::vector<std::uint64_t>& index_sizes, OperationModel model);
+
+/// Sec. 4.2 keyword importance ranking (most important first). Covers the
+/// whole vocabulary.
+std::vector<trace::KeywordId> importance_ranking(
+    const std::vector<KeywordPairWeight>& pairs,
+    const std::vector<std::uint64_t>& index_sizes);
+
+/// One point of the Fig. 5 dominance curve.
+struct DominancePoint {
+  std::size_t rank = 0;                  // number of top keywords included
+  double cumulative_size_fraction = 0.0; // of total index size
+  double cumulative_cost_fraction = 0.0; // of total pair communication cost
+};
+
+/// Cumulative index-size and communication-cost coverage of the top-ranked
+/// keywords, sampled at `sample_points` evenly spaced ranks (plus the final
+/// full-vocabulary point). A pair's cost counts once both endpoints are in
+/// the prefix.
+std::vector<DominancePoint> dominance_curve(
+    const std::vector<trace::KeywordId>& ranking,
+    const std::vector<KeywordPairWeight>& pairs,
+    const std::vector<std::uint64_t>& index_sizes, std::size_t sample_points);
+
+}  // namespace cca::core

@@ -1,0 +1,143 @@
+// The Capacity-Constrained Assignment (CCA) problem instance — Sec. 2.1.
+//
+// Given objects T with sizes s(i), nodes N with capacities c(k), sparse
+// pair correlations r(i, j) and pair communication costs w(i, j), find a
+// placement f : T -> N minimizing
+//
+//     sum_{(i,j): f(i) != f(j)}  r(i,j) * w(i,j)
+//
+// subject to  sum_{i: f(i)=k} s(i) <= c(k)  for every node k.
+//
+// Instances may pin objects to nodes (f(i) fixed), which models the
+// minimum n-way-cut reduction of Theorem 1 and lets tests exercise the
+// non-degenerate regime of the LP relaxation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cca::core {
+
+using ObjectId = int;
+using NodeId = int;
+
+/// One correlated pair with its communication model: `r` is the
+/// co-request probability, `w` the bytes moved when the pair is split.
+struct PairWeight {
+  ObjectId i = 0;
+  ObjectId j = 0;
+  double r = 0.0;
+  double w = 0.0;
+
+  /// Contribution to the objective when the pair is separated.
+  double cost() const { return r * w; }
+};
+
+/// A complete (integral) placement: object index -> node index.
+using Placement = std::vector<NodeId>;
+
+/// An additional per-node capacity dimension (Sec. 3.3): e.g. network
+/// bandwidth or CPU. Each object demands `demands[i]` of the resource;
+/// each node offers `capacities[k]`. Handled exactly like storage: one
+/// more row family in the LP, one more check everywhere else.
+struct Resource {
+  std::string name;
+  std::vector<double> demands;     // indexed by object
+  std::vector<double> capacities;  // indexed by node
+};
+
+class CcaInstance {
+ public:
+  CcaInstance(std::vector<double> object_sizes,
+              std::vector<double> node_capacities,
+              std::vector<PairWeight> pairs);
+
+  int num_objects() const { return static_cast<int>(sizes_.size()); }
+  int num_nodes() const { return static_cast<int>(capacities_.size()); }
+  double object_size(ObjectId i) const { return sizes_[i]; }
+  double node_capacity(NodeId k) const { return capacities_[k]; }
+  const std::vector<double>& object_sizes() const { return sizes_; }
+  const std::vector<double>& node_capacities() const { return capacities_; }
+  const std::vector<PairWeight>& pairs() const { return pairs_; }
+
+  double total_object_size() const { return total_size_; }
+
+  /// Pins object `i` to node `k`: every feasible placement must honour it.
+  void pin(ObjectId i, NodeId k);
+  std::optional<NodeId> pinned_node(ObjectId i) const { return pins_[i]; }
+  bool has_pins() const { return num_pins_ > 0; }
+
+  /// Adds an extra capacity dimension (Sec. 3.3). Vector lengths must
+  /// match the object / node counts; all values must be non-negative.
+  void add_resource(Resource resource);
+  const std::vector<Resource>& resources() const { return resources_; }
+
+  /// Per-node demand totals of resource `r` under `placement`.
+  std::vector<double> resource_loads(const Placement& placement,
+                                     std::size_t r) const;
+
+  /// Objective (1): total correlation-weighted communication cost of the
+  /// separated pairs under `placement`.
+  double communication_cost(const Placement& placement) const;
+
+  /// Upper bound on the objective: cost when every pair is separated
+  /// (sum of all pair costs). Normalization denominator for reports.
+  double total_pair_cost() const;
+
+  /// Per-node total object size under `placement`.
+  std::vector<double> node_loads(const Placement& placement) const;
+
+  /// max_k load(k) / capacity(k); <= 1 means capacity-feasible.
+  double max_load_factor(const Placement& placement) const;
+
+  /// True when `placement` satisfies capacities and pins.
+  bool is_feasible(const Placement& placement) const;
+
+ private:
+  std::vector<double> sizes_;
+  std::vector<double> capacities_;
+  std::vector<PairWeight> pairs_;
+  std::vector<std::optional<NodeId>> pins_;
+  std::vector<Resource> resources_;
+  double total_size_ = 0.0;
+  int num_pins_ = 0;
+};
+
+/// Fractional placement matrix x[i][k] — the LP-relaxation solution handed
+/// to randomized rounding. Row-major: value(i, k) = x_{i,k}.
+class FractionalPlacement {
+ public:
+  FractionalPlacement(int num_objects, int num_nodes)
+      : num_objects_(num_objects),
+        num_nodes_(num_nodes),
+        x_(static_cast<std::size_t>(num_objects) * num_nodes, 0.0) {}
+
+  int num_objects() const { return num_objects_; }
+  int num_nodes() const { return num_nodes_; }
+
+  double value(ObjectId i, NodeId k) const {
+    return x_[static_cast<std::size_t>(i) * num_nodes_ + k];
+  }
+  void set(ObjectId i, NodeId k, double v) {
+    x_[static_cast<std::size_t>(i) * num_nodes_ + k] = v;
+  }
+
+  /// The LP objective (3) at this point: sum over pairs of
+  /// r*w * (1/2) * sum_k |x_ik - x_jk|.
+  double lp_objective(const CcaInstance& instance) const;
+
+  /// Largest violation of row-stochasticity (each row must sum to 1 with
+  /// non-negative entries). Solver output should be ~0.
+  double max_row_violation() const;
+
+  /// Expected per-node loads sum_i s(i) x_{i,k}.
+  std::vector<double> expected_loads(const CcaInstance& instance) const;
+
+ private:
+  int num_objects_, num_nodes_;
+  std::vector<double> x_;
+};
+
+}  // namespace cca::core

@@ -1,0 +1,62 @@
+// The Fig. 4 linear program: the integer CCA program relaxed to an LP.
+//
+//   minimize   sum_{(i,j) in E} r(i,j) w(i,j) z_ij                      (3)
+//   subject to sum_k x_ik = 1                          for each object  (5)
+//              y_ijk >= x_ik - x_jk,  y_ijk >= x_jk - x_ik           (6, 7)
+//              z_ij = (1/2) sum_k y_ijk                                 (8)
+//              sum_i s(i) x_ik <= c(k)                 for each node    (9)
+//              x, y >= 0                     (relaxation of (4): x binary)
+//
+// We substitute (8) into (3) — putting cost r*w/2 directly on each y_ijk —
+// which removes the z variables without changing the program. Pinned
+// objects add x_ik = 1 rows (the minimum n-way-cut regime of Theorem 1).
+//
+// Variable/constraint counts match Sec. 3.1: O(|T| |N| + |E| |N|) of each,
+// i.e. O(|T| |N|) when E is sparse. These counts are exposed for the
+// offline-computation-cost experiment.
+#pragma once
+
+#include "core/instance.hpp"
+#include "lp/model.hpp"
+#include "lp/solution.hpp"
+
+namespace cca::core {
+
+/// Size report for Sec. 3.1 (offline computation overhead).
+struct LpSizeStats {
+  long num_variables = 0;
+  long num_constraints = 0;
+  long num_nonzeros = 0;
+};
+
+class LpFormulation {
+ public:
+  /// Builds the relaxed Fig. 4 model for `instance`.
+  explicit LpFormulation(const CcaInstance& instance);
+
+  const lp::Model& model() const { return model_; }
+  LpSizeStats stats() const;
+
+  /// Extracts the x_{i,k} block of an LP solution as a placement matrix.
+  FractionalPlacement extract(const lp::Solution& solution) const;
+
+  /// Column index of x_{i,k} in the model.
+  int x_column(ObjectId i, NodeId k) const {
+    return i * num_nodes_ + k;
+  }
+
+ private:
+  const CcaInstance* instance_;
+  lp::Model model_;
+  int num_nodes_ = 0;
+  int num_objects_ = 0;
+};
+
+/// Solves the Fig. 4 LP for `instance` with the simplex solvers and returns
+/// the fractional placement. Throws common::Error if the LP is infeasible
+/// (capacities cannot hold the objects even fractionally) or hits the
+/// iteration limit.
+FractionalPlacement solve_cca_lp(const CcaInstance& instance,
+                                 lp::SolverOptions options = {});
+
+}  // namespace cca::core

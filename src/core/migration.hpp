@@ -1,0 +1,77 @@
+// Placement migration and bounded-churn incremental re-optimization.
+//
+// The paper's premise (Fig. 2B) is that correlations are stable across
+// month-long periods, so a placement stays effective for a while — but
+// not forever. When the correlation distribution drifts, an operator has
+// three options: keep the stale placement (pay growing communication),
+// recompute from scratch (pay a bulk migration), or move only the objects
+// whose relocation buys the most (bounded churn). This module implements
+// the machinery for all three:
+//
+//   * migration_between — bytes/objects that must move between two
+//     placements (migration traffic is index bytes, like query traffic);
+//   * IncrementalOptimizer — computes a fresh LPRR target for the updated
+//     instance, then adopts target co-placement groups greedily by
+//     modeled-benefit per migrated byte until a migration budget is
+//     exhausted. With an unlimited budget it converges to the fresh
+//     target; with budget 0 it keeps the current placement.
+#pragma once
+
+#include <cstdint>
+
+#include "core/component_solver.hpp"
+#include "core/instance.hpp"
+#include "core/rounding.hpp"
+
+namespace cca::core {
+
+struct MigrationReport {
+  std::size_t objects_moved = 0;
+  double bytes_moved = 0.0;
+  /// bytes_moved / total object bytes (0 = no churn, 1 = everything).
+  double moved_fraction = 0.0;
+};
+
+/// Bytes and objects that differ between two placements over `instance`'s
+/// objects.
+MigrationReport migration_between(const CcaInstance& instance,
+                                  const Placement& from, const Placement& to);
+
+struct IncrementalConfig {
+  /// Migration byte budget as a fraction of total object bytes.
+  double migration_budget_fraction = 0.1;
+  /// Passed through to the fresh LPRR target computation.
+  double component_fill = 1.0;
+  RoundingPolicy rounding;
+  std::uint64_t seed = 1;
+};
+
+struct IncrementalResult {
+  Placement placement;
+  /// Modeled communication cost of `placement` on the updated instance.
+  double cost = 0.0;
+  /// Migration from the starting placement to `placement`.
+  MigrationReport migration;
+  /// Cost of the fresh full re-optimization target (lower bound on what
+  /// any budget can reach with this pipeline).
+  double fresh_target_cost = 0.0;
+  /// Cost of keeping the starting placement unchanged.
+  double stale_cost = 0.0;
+};
+
+class IncrementalOptimizer {
+ public:
+  explicit IncrementalOptimizer(IncrementalConfig config)
+      : config_(config) {}
+
+  /// Re-optimizes `current` for `instance` (which carries the UPDATED
+  /// correlations/sizes) within the migration budget. `current` must be a
+  /// complete placement for the instance's objects.
+  IncrementalResult reoptimize(const CcaInstance& instance,
+                               const Placement& current) const;
+
+ private:
+  IncrementalConfig config_;
+};
+
+}  // namespace cca::core

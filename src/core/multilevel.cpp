@@ -1,0 +1,284 @@
+#include "core/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cca::core {
+
+namespace {
+
+/// Working graph at one level of the multilevel hierarchy.
+struct Graph {
+  int n = 0;
+  std::vector<double> vweight;                         // object bytes
+  std::vector<std::vector<std::pair<int, double>>> adj;  // (nbr, cut cost)
+  std::vector<std::optional<NodeId>> pin;
+};
+
+Graph build_base_graph(const CcaInstance& instance) {
+  Graph g;
+  g.n = instance.num_objects();
+  g.vweight = instance.object_sizes();
+  g.adj.resize(static_cast<std::size_t>(g.n));
+  g.pin.resize(static_cast<std::size_t>(g.n));
+  for (int i = 0; i < g.n; ++i) g.pin[i] = instance.pinned_node(i);
+
+  // Merge parallel pairs into single weighted edges.
+  std::unordered_map<std::uint64_t, double> edges;
+  for (const PairWeight& p : instance.pairs()) {
+    if (p.cost() <= 0.0) continue;
+    edges[(static_cast<std::uint64_t>(p.i) << 32) |
+          static_cast<std::uint32_t>(p.j)] += p.cost();
+  }
+  for (const auto& [key, weight] : edges) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xFFFFFFFFULL);
+    g.adj[i].push_back({j, weight});
+    g.adj[j].push_back({i, weight});
+  }
+  return g;
+}
+
+/// Heavy-edge matching + contraction. Returns the coarser graph and fills
+/// coarse_of (fine vertex -> coarse vertex). Pinned vertices only merge
+/// with vertices of the same (or no) pin, and no match may create a
+/// coarse vertex heavier than `max_weight` — otherwise contracted blobs
+/// outgrow node capacity and no later refinement can rebalance them.
+Graph coarsen(const Graph& g, common::Rng& rng, double max_weight,
+              std::vector<int>& coarse_of) {
+  std::vector<int> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = g.n - 1; i > 0; --i)
+    std::swap(order[i],
+              order[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+
+  std::vector<int> match(static_cast<std::size_t>(g.n), -1);
+  const auto pins_compatible = [&](int a, int b) {
+    return !g.pin[a] || !g.pin[b] || *g.pin[a] == *g.pin[b];
+  };
+  for (int v : order) {
+    if (match[v] >= 0) continue;
+    int best = -1;
+    double best_weight = 0.0;
+    for (const auto& [u, w] : g.adj[v]) {
+      if (u == v || match[u] >= 0 || !pins_compatible(v, u)) continue;
+      if (g.vweight[v] + g.vweight[u] > max_weight) continue;
+      if (w > best_weight) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+
+  coarse_of.assign(static_cast<std::size_t>(g.n), -1);
+  Graph coarse;
+  for (int v = 0; v < g.n; ++v) {
+    if (coarse_of[v] >= 0) continue;
+    const int partner = match[v];
+    const int c = coarse.n++;
+    coarse_of[v] = c;
+    double weight = g.vweight[v];
+    std::optional<NodeId> pin = g.pin[v];
+    if (partner != v) {
+      coarse_of[partner] = c;
+      weight += g.vweight[partner];
+      if (!pin) pin = g.pin[partner];
+    }
+    coarse.vweight.push_back(weight);
+    coarse.pin.push_back(pin);
+  }
+
+  coarse.adj.resize(static_cast<std::size_t>(coarse.n));
+  std::unordered_map<std::uint64_t, double> edges;
+  for (int v = 0; v < g.n; ++v) {
+    for (const auto& [u, w] : g.adj[v]) {
+      if (u <= v) continue;  // each undirected edge once
+      const int cv = coarse_of[v], cu = coarse_of[u];
+      if (cv == cu) continue;  // contracted away
+      const int lo = std::min(cv, cu), hi = std::max(cv, cu);
+      edges[(static_cast<std::uint64_t>(lo) << 32) |
+            static_cast<std::uint32_t>(hi)] += w;
+    }
+  }
+  for (const auto& [key, weight] : edges) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xFFFFFFFFULL);
+    coarse.adj[i].push_back({j, weight});
+    coarse.adj[j].push_back({i, weight});
+  }
+  return coarse;
+}
+
+/// Greedy affinity placement of a (coarse) graph: big vertices first, each
+/// to the node holding most of its edge weight among nodes with room.
+std::vector<NodeId> initial_partition(const Graph& g,
+                                      const std::vector<double>& capacities) {
+  const int N = static_cast<int>(capacities.size());
+  std::vector<double> remaining = capacities;
+  std::vector<NodeId> part(static_cast<std::size_t>(g.n), -1);
+
+  std::vector<int> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (g.vweight[a] != g.vweight[b]) return g.vweight[a] > g.vweight[b];
+    return a < b;
+  });
+
+  const auto place = [&](int v, NodeId k) {
+    part[v] = k;
+    remaining[k] -= g.vweight[v];
+  };
+  for (int v = 0; v < g.n; ++v)
+    if (g.pin[v]) place(v, *g.pin[v]);
+
+  std::vector<double> affinity(static_cast<std::size_t>(N));
+  for (int v : order) {
+    if (part[v] >= 0) continue;
+    std::fill(affinity.begin(), affinity.end(), 0.0);
+    for (const auto& [u, w] : g.adj[v])
+      if (part[u] >= 0) affinity[part[u]] += w;
+    NodeId best = -1;
+    for (int k = 0; k < N; ++k) {
+      if (remaining[k] < g.vweight[v]) continue;
+      if (best < 0 || affinity[k] > affinity[best] ||
+          (affinity[k] == affinity[best] && remaining[k] > remaining[best]))
+        best = k;
+    }
+    if (best < 0) {  // nothing fits: least-loaded fallback
+      best = 0;
+      for (int k = 1; k < N; ++k)
+        if (remaining[k] > remaining[best]) best = k;
+    }
+    place(v, best);
+  }
+  return part;
+}
+
+/// Kernighan-Lin style single-vertex refinement under capacity.
+void refine(const Graph& g, const std::vector<double>& capacities,
+            std::vector<NodeId>& part, int passes, common::Rng& rng) {
+  const int N = static_cast<int>(capacities.size());
+  std::vector<double> load(static_cast<std::size_t>(N), 0.0);
+  for (int v = 0; v < g.n; ++v) load[part[v]] += g.vweight[v];
+
+  std::vector<int> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> affinity(static_cast<std::size_t>(N));
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int i = g.n - 1; i > 0; --i)
+      std::swap(order[i],
+                order[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+    bool moved = false;
+    for (int v : order) {
+      if (g.pin[v] || g.adj[v].empty()) continue;
+      std::fill(affinity.begin(), affinity.end(), 0.0);
+      for (const auto& [u, w] : g.adj[v]) affinity[part[u]] += w;
+      const NodeId current = part[v];
+      NodeId best = current;
+      double best_gain = 0.0;
+      for (int k = 0; k < N; ++k) {
+        if (k == current) continue;
+        if (load[k] + g.vweight[v] > capacities[k]) continue;
+        const double gain = affinity[k] - affinity[current];
+        if (gain > best_gain) {
+          best = k;
+          best_gain = gain;
+        }
+      }
+      if (best != current) {
+        load[current] -= g.vweight[v];
+        load[best] += g.vweight[v];
+        part[v] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  // Rebalance pass: gain moves never evict from an overloaded node on
+  // their own (overload is invisible to the cut objective), so explicitly
+  // drain nodes above capacity, cheapest evictions first.
+  for (int k = 0; k < N; ++k) {
+    int guard = g.n;
+    while (load[k] > capacities[k] && guard-- > 0) {
+      int victim = -1;
+      NodeId victim_dest = -1;
+      double victim_loss = 0.0;
+      for (int v = 0; v < g.n; ++v) {
+        if (part[v] != k || g.pin[v]) continue;
+        std::fill(affinity.begin(), affinity.end(), 0.0);
+        for (const auto& [u, w] : g.adj[v]) affinity[part[u]] += w;
+        for (int t = 0; t < N; ++t) {
+          if (t == k || load[t] + g.vweight[v] > capacities[t]) continue;
+          const double loss = affinity[k] - affinity[t];
+          if (victim < 0 || loss < victim_loss) {
+            victim = v;
+            victim_dest = t;
+            victim_loss = loss;
+          }
+        }
+      }
+      if (victim < 0) break;  // nothing movable: give up on this node
+      load[k] -= g.vweight[victim];
+      load[victim_dest] += g.vweight[victim];
+      part[victim] = victim_dest;
+    }
+  }
+}
+
+}  // namespace
+
+Placement multilevel_placement(const CcaInstance& instance,
+                               const MultilevelOptions& options) {
+  CCA_CHECK(options.coarsen_to >= 2);
+  common::Rng rng(options.seed ^ 0x4D554C5449ULL);
+
+  // --- Coarsening phase. ---
+  std::vector<Graph> levels;
+  std::vector<std::vector<int>> maps;  // maps[l]: levels[l] -> levels[l+1]
+  levels.push_back(build_base_graph(instance));
+  double min_capacity = instance.node_capacity(0);
+  for (int k = 1; k < instance.num_nodes(); ++k)
+    min_capacity = std::min(min_capacity, instance.node_capacity(k));
+  // Coarse vertices stay well under a node so the initial partition can
+  // always bin-pack them (METIS's max-vertex-weight rule).
+  const double max_vertex_weight = 0.4 * min_capacity;
+  while (levels.back().n > options.coarsen_to) {
+    std::vector<int> coarse_of;
+    Graph coarse = coarsen(levels.back(), rng, max_vertex_weight, coarse_of);
+    if (coarse.n >= levels.back().n) break;  // matching stalled
+    maps.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Initial partition at the coarsest level. ---
+  const std::vector<double>& capacities = instance.node_capacities();
+  std::vector<NodeId> part = initial_partition(levels.back(), capacities);
+  refine(levels.back(), capacities, part, options.refinement_passes, rng);
+
+  // --- Uncoarsening with refinement at each level. ---
+  for (int level = static_cast<int>(maps.size()) - 1; level >= 0; --level) {
+    const Graph& fine = levels[static_cast<std::size_t>(level)];
+    std::vector<NodeId> fine_part(static_cast<std::size_t>(fine.n));
+    for (int v = 0; v < fine.n; ++v)
+      fine_part[v] = part[maps[static_cast<std::size_t>(level)][v]];
+    part = std::move(fine_part);
+    refine(fine, capacities, part, options.refinement_passes, rng);
+  }
+  return part;
+}
+
+}  // namespace cca::core

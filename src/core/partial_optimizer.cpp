@@ -1,0 +1,143 @@
+#include "core/partial_optimizer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "core/component_solver.hpp"
+#include "core/lp_formulation.hpp"
+#include "hash/md5.hpp"
+
+namespace cca::core {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kRandom: return "random-hash";
+    case Strategy::kGreedy: return "greedy";
+    case Strategy::kLprr: return "lprr";
+    case Strategy::kMultilevel: return "multilevel";
+  }
+  return "unknown";
+}
+
+PartialOptimizer::PartialOptimizer(
+    const trace::QueryTrace& trace,
+    const std::vector<std::uint64_t>& index_sizes,
+    PartialOptimizerConfig config)
+    : config_(config), index_sizes_(index_sizes) {
+  CCA_CHECK(config.num_nodes >= 1);
+  CCA_CHECK(config.scope >= 1);
+  CCA_CHECK_MSG(config.capacity_slack >= 1.0,
+                "capacity below the average load cannot hold the data");
+  CCA_CHECK(index_sizes.size() >= trace.vocabulary_size());
+  const std::size_t vocab = index_sizes.size();
+
+  pairs_ = build_pair_weights(trace, index_sizes_, config.operation_model);
+  ranking_ = importance_ranking(pairs_, index_sizes_);
+  scope_.assign(ranking_.begin(),
+                ranking_.begin() +
+                    std::min<std::size_t>(config.scope, ranking_.size()));
+
+  object_of_keyword_.assign(vocab, -1);
+  for (std::size_t pos = 0; pos < scope_.size(); ++pos)
+    object_of_keyword_[scope_[pos]] = static_cast<int>(pos);
+
+  // Hash nodes for every keyword; only tail keywords actually use them,
+  // but kRandom reuses the full map.
+  tail_nodes_.resize(vocab);
+  const auto n = static_cast<std::uint64_t>(config.num_nodes);
+  for (std::size_t k = 0; k < vocab; ++k)
+    tail_nodes_[k] = static_cast<NodeId>(
+        hash::Md5::digest64(trace::keyword_name(
+            static_cast<trace::KeywordId>(k))) % n);
+
+  tail_loads_.assign(static_cast<std::size_t>(config.num_nodes), 0.0);
+  double total_bytes = 0.0;
+  for (std::size_t k = 0; k < vocab; ++k) {
+    total_bytes += static_cast<double>(index_sizes_[k]);
+    if (object_of_keyword_[k] < 0)
+      tail_loads_[tail_nodes_[k]] += static_cast<double>(index_sizes_[k]);
+  }
+  capacity_ = config.capacity_slack * total_bytes /
+              static_cast<double>(config.num_nodes);
+
+  // The scoped instance: objects are scope keywords; capacity available to
+  // the optimizer is what the hashed tail leaves free on each node.
+  std::vector<double> sizes(scope_.size());
+  for (std::size_t pos = 0; pos < scope_.size(); ++pos)
+    sizes[pos] = static_cast<double>(index_sizes_[scope_[pos]]);
+  std::vector<double> capacities(static_cast<std::size_t>(config.num_nodes));
+  for (int k = 0; k < config.num_nodes; ++k)
+    capacities[k] = std::max(0.0, capacity_ - tail_loads_[k]);
+
+  std::vector<PairWeight> scoped_pairs;
+  for (const KeywordPairWeight& p : pairs_) {
+    const int oi = object_of_keyword_[p.a];
+    const int oj = object_of_keyword_[p.b];
+    if (oi < 0 || oj < 0) continue;  // pair leaves the scope: tail-handled
+    scoped_pairs.push_back(PairWeight{oi, oj, p.r, p.w});
+  }
+  instance_ = std::make_unique<CcaInstance>(
+      std::move(sizes), std::move(capacities), std::move(scoped_pairs));
+}
+
+PlacementPlan PartialOptimizer::run(Strategy strategy) const {
+  switch (strategy) {
+    case Strategy::kRandom: {
+      // Pure hash for everything: the scoped placement is just the hash
+      // nodes of the scope keywords.
+      Placement scope_placement(scope_.size());
+      for (std::size_t pos = 0; pos < scope_.size(); ++pos)
+        scope_placement[pos] = tail_nodes_[scope_[pos]];
+      return assemble(strategy, scope_placement);
+    }
+    case Strategy::kGreedy:
+      return assemble(strategy, greedy_placement(*instance_, config_.greedy));
+    case Strategy::kMultilevel: {
+      MultilevelOptions options = config_.multilevel;
+      options.seed = config_.seed;
+      return assemble(strategy, multilevel_placement(*instance_, options));
+    }
+    case Strategy::kLprr: {
+      const ComponentSolverOptions solver_options{config_.seed,
+                                                  config_.component_fill};
+      FractionalPlacement fractional =
+          config_.use_full_lp
+              ? solve_cca_lp(*instance_)
+              : ComponentLpSolver(solver_options).solve(*instance_);
+      common::Rng rng(config_.seed ^ 0xC0FFEE1234ULL);
+      RoundingResult rounded =
+          round_best_of(fractional, *instance_, config_.rounding, rng);
+      return assemble(strategy, rounded.placement);
+    }
+  }
+  CCA_CHECK_MSG(false, "unknown strategy");
+  return {};
+}
+
+PlacementPlan PartialOptimizer::assemble(
+    Strategy strategy, const Placement& scope_placement) const {
+  CCA_CHECK(scope_placement.size() == scope_.size());
+  PlacementPlan plan;
+  plan.strategy = strategy;
+  plan.scope = scope_;
+  plan.scoped_report = evaluate_placement(*instance_, scope_placement);
+
+  const std::size_t vocab = tail_nodes_.size();
+  plan.keyword_to_node.resize(vocab);
+  plan.node_loads.assign(static_cast<std::size_t>(config_.num_nodes), 0.0);
+  for (std::size_t k = 0; k < vocab; ++k) {
+    const int obj = object_of_keyword_[k];
+    const NodeId node = obj >= 0 ? scope_placement[obj] : tail_nodes_[k];
+    plan.keyword_to_node[k] = node;
+    plan.node_loads[node] += static_cast<double>(index_sizes_[k]);
+  }
+  const double base_capacity = capacity_;
+  for (double load : plan.node_loads)
+    plan.max_load_factor =
+        std::max(plan.max_load_factor,
+                 base_capacity > 0.0 ? load / base_capacity : 0.0);
+  return plan;
+}
+
+}  // namespace cca::core

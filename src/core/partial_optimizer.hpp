@@ -1,0 +1,102 @@
+// Important-object partial optimization — the end-to-end placement
+// pipeline of Secs. 3.1 and 4 .
+//
+// Only the `scope` most important keywords enter the optimization; the
+// rest of the vocabulary is placed by MD5 hashing (the paper's production
+// baseline). Per Sec. 4.1, each node's capacity is `capacity_slack` (2.0
+// in the paper) times the average per-node index size; the optimizer sees
+// that capacity minus the load the hashed tail already put on the node.
+//
+// Three strategies share the pipeline so comparisons are apples-to-apples:
+//   kLprr   — Fig. 4 LP relaxation + Algorithm 2.1 rounding (the paper's
+//             contribution),
+//   kGreedy — the correlation-aware greedy heuristic,
+//   kRandom — hash placement for every keyword (scope ignored).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/correlation.hpp"
+#include "core/instance.hpp"
+#include "core/multilevel.hpp"
+#include "core/placements.hpp"
+#include "core/rounding.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::core {
+
+enum class Strategy { kRandom, kGreedy, kLprr, kMultilevel };
+
+const char* to_string(Strategy s);
+
+struct PartialOptimizerConfig {
+  int num_nodes = 10;
+  std::size_t scope = 1000;      // most-important keywords to optimize
+  double capacity_slack = 2.0;   // paper: twice the average per-node load
+  OperationModel operation_model = OperationModel::kSmallestPair;
+  RoundingPolicy rounding;       // LPRR only
+  GreedyOptions greedy;          // greedy only
+  MultilevelOptions multilevel;  // multilevel only (seed is overridden
+                                 // by `seed` below for determinism)
+  std::uint64_t seed = 1;        // LP vertex choice + rounding stream
+  /// LPRR: components larger than this fraction of the smallest node
+  /// capacity are pre-split so the rounded placement can respect realized
+  /// capacity (see ComponentSolverOptions::target_fill). 0 = literal LP
+  /// optimum with whole-component collapse.
+  double component_fill = 1.0;
+  /// Use the full Fig. 4 LP via simplex instead of the component-exact
+  /// solver. Identical optima; only viable at small scopes (see
+  /// component_solver.hpp). Exposed for validation runs.
+  bool use_full_lp = false;
+};
+
+struct PlacementPlan {
+  /// Node of every vocabulary keyword (the "lookup table" of Sec. 4.1).
+  std::vector<NodeId> keyword_to_node;
+  /// Keywords that were inside the optimization scope.
+  std::vector<trace::KeywordId> scope;
+  /// Modeled evaluation on the scoped instance (LPRR/greedy; for kRandom
+  /// the scoped instance is evaluated under the hash placement).
+  PlacementReport scoped_report;
+  /// Realized per-node total index bytes (scope + tail).
+  std::vector<double> node_loads;
+  /// max node load / (slack * average load) over all keywords.
+  double max_load_factor = 0.0;
+  Strategy strategy = Strategy::kRandom;
+};
+
+class PartialOptimizer {
+ public:
+  /// `index_sizes` are per-keyword byte sizes over the trace vocabulary.
+  PartialOptimizer(const trace::QueryTrace& trace,
+                   const std::vector<std::uint64_t>& index_sizes,
+                   PartialOptimizerConfig config);
+
+  /// Runs one strategy end-to-end and returns the full placement plan.
+  PlacementPlan run(Strategy strategy) const;
+
+  /// The scoped CCA instance a strategy optimizes (capacities already
+  /// reduced by the hashed tail's load). Useful for diagnostics/benches.
+  const CcaInstance& scoped_instance() const { return *instance_; }
+  const PartialOptimizerConfig& config() const { return config_; }
+  const std::vector<KeywordPairWeight>& all_pairs() const { return pairs_; }
+
+ private:
+  PlacementPlan assemble(Strategy strategy,
+                         const Placement& scope_placement) const;
+
+  PartialOptimizerConfig config_;
+  std::vector<std::uint64_t> index_sizes_;
+  std::vector<KeywordPairWeight> pairs_;        // full-vocabulary pairs
+  std::vector<trace::KeywordId> ranking_;       // importance order
+  std::vector<trace::KeywordId> scope_;         // first `scope` of ranking_
+  std::vector<int> object_of_keyword_;          // keyword -> scope index or -1
+  std::vector<NodeId> tail_nodes_;              // hash node per keyword
+  std::vector<double> tail_loads_;              // hashed tail bytes per node
+  double capacity_ = 0.0;                       // slack * average load
+  std::unique_ptr<CcaInstance> instance_;
+};
+
+}  // namespace cca::core

@@ -1,0 +1,195 @@
+#include "core/placements.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "hash/md5.hpp"
+
+namespace cca::core {
+
+ObjectNameFn default_object_names() {
+  return [](ObjectId i) { return "obj" + std::to_string(i); };
+}
+
+Placement random_hash_placement(const CcaInstance& instance,
+                                const ObjectNameFn& name) {
+  const auto n = static_cast<std::uint64_t>(instance.num_nodes());
+  Placement placement(static_cast<std::size_t>(instance.num_objects()));
+  for (int i = 0; i < instance.num_objects(); ++i) {
+    if (auto pin = instance.pinned_node(i)) {
+      placement[i] = *pin;
+    } else {
+      placement[i] = static_cast<NodeId>(hash::Md5::digest64(name(i)) % n);
+    }
+  }
+  return placement;
+}
+
+Placement greedy_placement(const CcaInstance& instance,
+                           const GreedyOptions& options) {
+  const int T = instance.num_objects();
+  const int N = instance.num_nodes();
+
+  std::vector<double> remaining(instance.node_capacities());
+  // Remaining headroom per extra resource dimension (Sec. 3.3).
+  std::vector<std::vector<double>> res_remaining;
+  for (const Resource& res : instance.resources())
+    res_remaining.push_back(res.capacities);
+  Placement placement(static_cast<std::size_t>(T), -1);
+
+  auto place = [&](ObjectId i, NodeId k) {
+    placement[i] = k;
+    remaining[k] -= instance.object_size(i);
+    for (std::size_t r = 0; r < res_remaining.size(); ++r)
+      res_remaining[r][k] -= instance.resources()[r].demands[i];
+  };
+
+  for (int i = 0; i < T; ++i)
+    if (auto pin = instance.pinned_node(i)) place(i, *pin);
+
+  // True when node k can absorb the given objects across all dimensions.
+  auto fits = [&](NodeId k, std::initializer_list<ObjectId> objs) {
+    double need = 0.0;
+    for (ObjectId i : objs) need += instance.object_size(i);
+    if (remaining[k] < need) return false;
+    for (std::size_t r = 0; r < res_remaining.size(); ++r) {
+      double rneed = 0.0;
+      for (ObjectId i : objs) rneed += instance.resources()[r].demands[i];
+      if (res_remaining[r][k] < rneed) return false;
+    }
+    return true;
+  };
+
+  // Emptiest (by storage) node that fits the objects, or -1.
+  auto roomiest_node = [&](std::initializer_list<ObjectId> objs) -> NodeId {
+    NodeId best = -1;
+    for (int k = 0; k < N; ++k)
+      if (fits(k, objs) && (best < 0 || remaining[k] > remaining[best]))
+        best = k;
+    return best;
+  };
+
+  // Pair pass: descending correlation (or cost), paper Sec. 4.1.
+  std::vector<const PairWeight*> order;
+  order.reserve(instance.pairs().size());
+  for (const PairWeight& p : instance.pairs()) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [&](const PairWeight* a, const PairWeight* b) {
+              const double ka = options.order_by_cost ? a->cost() : a->r;
+              const double kb = options.order_by_cost ? b->cost() : b->r;
+              if (ka != kb) return ka > kb;
+              if (a->i != b->i) return a->i < b->i;
+              return a->j < b->j;
+            });
+
+  for (const PairWeight* p : order) {
+    const bool i_placed = placement[p->i] >= 0;
+    const bool j_placed = placement[p->j] >= 0;
+    if (i_placed && j_placed) continue;
+    if (!i_placed && !j_placed) {
+      const NodeId k = roomiest_node({p->i, p->j});
+      if (k >= 0) {
+        place(p->i, k);
+        place(p->j, k);
+      }
+      continue;
+    }
+    const ObjectId placed = i_placed ? p->i : p->j;
+    const ObjectId other = i_placed ? p->j : p->i;
+    const NodeId k = placement[placed];
+    if (fits(k, {other})) place(other, k);
+    // else: leave `other` for a later pair or the leftover pass — placing
+    // it elsewhere now would waste its strongest correlation.
+  }
+
+  // Leftover pass: biggest objects first into the emptiest fitting node.
+  std::vector<ObjectId> leftovers;
+  for (int i = 0; i < T; ++i)
+    if (placement[i] < 0) leftovers.push_back(i);
+  std::sort(leftovers.begin(), leftovers.end(), [&](ObjectId a, ObjectId b) {
+    const double sa = instance.object_size(a), sb = instance.object_size(b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  for (ObjectId i : leftovers) {
+    NodeId k = roomiest_node({i});
+    if (k < 0) {
+      // Nothing fits: fall back to the least-overloaded node so the
+      // function still returns a complete placement (callers can detect
+      // the capacity violation through evaluate_placement).
+      k = 0;
+      for (int n = 1; n < N; ++n)
+        if (remaining[n] > remaining[k]) k = n;
+    }
+    place(i, k);
+  }
+  return placement;
+}
+
+namespace {
+
+void brute_force_recurse(const CcaInstance& instance, Placement& current,
+                         std::vector<double>& remaining,
+                         std::vector<std::vector<double>>& res_remaining,
+                         int next, std::optional<BruteForceResult>& best) {
+  const int T = instance.num_objects();
+  if (next == T) {
+    const double cost = instance.communication_cost(current);
+    if (!best || cost < best->cost) best = BruteForceResult{current, cost};
+    return;
+  }
+  const double size = instance.object_size(next);
+  for (int k = 0; k < instance.num_nodes(); ++k) {
+    if (auto pin = instance.pinned_node(next); pin && *pin != k) continue;
+    if (remaining[k] + 1e-12 < size) continue;
+    bool res_ok = true;
+    for (std::size_t r = 0; r < res_remaining.size(); ++r) {
+      if (res_remaining[r][k] + 1e-12 <
+          instance.resources()[r].demands[next]) {
+        res_ok = false;
+        break;
+      }
+    }
+    if (!res_ok) continue;
+    remaining[k] -= size;
+    for (std::size_t r = 0; r < res_remaining.size(); ++r)
+      res_remaining[r][k] -= instance.resources()[r].demands[next];
+    current[next] = k;
+    brute_force_recurse(instance, current, remaining, res_remaining, next + 1,
+                        best);
+    remaining[k] += size;
+    for (std::size_t r = 0; r < res_remaining.size(); ++r)
+      res_remaining[r][k] += instance.resources()[r].demands[next];
+  }
+}
+
+}  // namespace
+
+std::optional<BruteForceResult> brute_force_optimal(
+    const CcaInstance& instance) {
+  CCA_CHECK_MSG(instance.num_objects() <= 16,
+                "brute force limited to 16 objects, got "
+                    << instance.num_objects());
+  std::optional<BruteForceResult> best;
+  Placement current(static_cast<std::size_t>(instance.num_objects()), -1);
+  std::vector<double> remaining(instance.node_capacities());
+  std::vector<std::vector<double>> res_remaining;
+  for (const Resource& res : instance.resources())
+    res_remaining.push_back(res.capacities);
+  brute_force_recurse(instance, current, remaining, res_remaining, 0, best);
+  return best;
+}
+
+PlacementReport evaluate_placement(const CcaInstance& instance,
+                                   const Placement& placement) {
+  PlacementReport report;
+  report.cost = instance.communication_cost(placement);
+  const double total = instance.total_pair_cost();
+  report.normalized_cost = total > 0.0 ? report.cost / total : 0.0;
+  report.max_load_factor = instance.max_load_factor(placement);
+  report.feasible = instance.is_feasible(placement);
+  return report;
+}
+
+}  // namespace cca::core

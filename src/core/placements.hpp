@@ -1,0 +1,66 @@
+// Baseline placement strategies and the exact (exponential) reference.
+//
+//   * random_hash_placement — the paper's production baseline: node =
+//     MD5(object name) mod N (Sec. 4.1).
+//   * greedy_placement — the paper's correlation-aware heuristic: walk
+//     pairs in descending correlation and co-locate each pair when node
+//     capacity permits (Sec. 4.1).
+//   * brute_force_optimal — exact optimum by enumeration, feasible only
+//     for tiny instances; the test oracle for everything else.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace cca::core {
+
+/// Names an object for hashing; defaults to "obj<i>".
+using ObjectNameFn = std::function<std::string(ObjectId)>;
+
+ObjectNameFn default_object_names();
+
+/// MD5 hash-mod-N placement. Ignores capacities (as the production scheme
+/// does); honours pins. Deterministic in the names.
+Placement random_hash_placement(const CcaInstance& instance,
+                                const ObjectNameFn& name = default_object_names());
+
+struct GreedyOptions {
+  /// Pair visiting order: descending r (the paper's wording, default) or
+  /// descending r*w (cost-weighted variant, used as an ablation).
+  bool order_by_cost = false;
+};
+
+/// The paper's greedy heuristic. Pairs are examined in descending
+/// correlation; a pair is co-located on a node with room for it (the node
+/// with most remaining capacity, so clusters can keep growing). Leftover
+/// objects go to the emptiest node that fits them. Honours pins and never
+/// exceeds capacity (matching "as long as the node capacity permits it").
+Placement greedy_placement(const CcaInstance& instance,
+                           const GreedyOptions& options = {});
+
+struct BruteForceResult {
+  Placement placement;
+  double cost = 0.0;
+};
+
+/// Exhaustive search over all capacity-feasible placements (respecting
+/// pins). Returns nullopt when no feasible placement exists. Cost grows as
+/// N^T — callers must keep T tiny (checked: T <= 16).
+std::optional<BruteForceResult> brute_force_optimal(
+    const CcaInstance& instance);
+
+/// Summary of a placement against an instance, as reported by benches.
+struct PlacementReport {
+  double cost = 0.0;            // objective (1)
+  double normalized_cost = 0.0; // cost / total pair cost (1 = all split)
+  double max_load_factor = 0.0;
+  bool feasible = false;
+};
+
+PlacementReport evaluate_placement(const CcaInstance& instance,
+                                   const Placement& placement);
+
+}  // namespace cca::core

@@ -1,0 +1,79 @@
+#include "core/plan_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cca::core {
+
+namespace {
+constexpr const char* kHeaderPrefix = "# cca-placement v1 nodes=";
+}
+
+void write_placement(std::ostream& os,
+                     const std::vector<int>& keyword_to_node, int num_nodes) {
+  CCA_CHECK(num_nodes >= 1);
+  for (int node : keyword_to_node)
+    CCA_CHECK_MSG(node >= 0 && node < num_nodes,
+                  "placement references unknown node " << node);
+  os << kHeaderPrefix << num_nodes << " keywords=" << keyword_to_node.size()
+     << '\n';
+  for (int node : keyword_to_node) os << node << '\n';
+}
+
+LoadedPlacement read_placement(std::istream& is) {
+  std::string header;
+  CCA_CHECK_MSG(std::getline(is, header), "empty placement stream");
+  CCA_CHECK_MSG(header.rfind(kHeaderPrefix, 0) == 0,
+                "bad placement header: '" << header << "'");
+  std::istringstream header_tokens(
+      header.substr(std::string(kHeaderPrefix).size()));
+  long nodes = 0;
+  std::string keywords_field;
+  header_tokens >> nodes >> keywords_field;
+  CCA_CHECK_MSG(nodes >= 1, "bad node count in placement header");
+  CCA_CHECK_MSG(keywords_field.rfind("keywords=", 0) == 0,
+                "bad keywords field in placement header");
+  const long keywords = std::strtol(keywords_field.c_str() + 9, nullptr, 10);
+  CCA_CHECK_MSG(keywords >= 0, "bad keyword count in placement header");
+
+  LoadedPlacement out;
+  out.num_nodes = static_cast<int>(nodes);
+  out.keyword_to_node.reserve(static_cast<std::size_t>(keywords));
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    const long node = std::strtol(line.c_str(), &end, 10);
+    CCA_CHECK_MSG(end && *end == '\0',
+                  "placement line " << line_no << ": bad node '" << line
+                                    << "'");
+    CCA_CHECK_MSG(node >= 0 && node < nodes,
+                  "placement line " << line_no << ": node " << node
+                                    << " out of range");
+    out.keyword_to_node.push_back(static_cast<int>(node));
+  }
+  CCA_CHECK_MSG(static_cast<long>(out.keyword_to_node.size()) == keywords,
+                "placement has " << out.keyword_to_node.size()
+                                 << " entries, header said " << keywords);
+  return out;
+}
+
+void save_placement(const std::string& path,
+                    const std::vector<int>& keyword_to_node, int num_nodes) {
+  std::ofstream file(path);
+  CCA_CHECK_MSG(file, "cannot open '" << path << "' for writing");
+  write_placement(file, keyword_to_node, num_nodes);
+  CCA_CHECK_MSG(file.good(), "write failed for '" << path << "'");
+}
+
+LoadedPlacement load_placement(const std::string& path) {
+  std::ifstream file(path);
+  CCA_CHECK_MSG(file, "cannot open '" << path << "' for reading");
+  return read_placement(file);
+}
+
+}  // namespace cca::core

@@ -1,0 +1,43 @@
+// Plain-text serialization of keyword -> node placement plans.
+//
+// The placement is the artifact an operator actually deploys (the lookup
+// table of Sec. 4.1); persisting it decouples the offline optimization
+// run from the serving system and makes placements diffable across
+// re-optimization rounds (see core/migration.hpp).
+//
+// Format:
+//
+//   # cca-placement v1 nodes=10 keywords=253334
+//   3
+//   0
+//   7
+//   ...
+//
+// Line k+1 holds the node of keyword k. '#' lines after the header are
+// comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cca::core {
+
+/// Writes a keyword->node map for `num_nodes` nodes.
+void write_placement(std::ostream& os, const std::vector<int>& keyword_to_node,
+                     int num_nodes);
+
+/// Parses a v1 placement; throws common::Error on malformed input
+/// (bad header, non-numeric or out-of-range nodes, wrong entry count).
+struct LoadedPlacement {
+  std::vector<int> keyword_to_node;
+  int num_nodes = 0;
+};
+LoadedPlacement read_placement(std::istream& is);
+
+/// Convenience file wrappers.
+void save_placement(const std::string& path,
+                    const std::vector<int>& keyword_to_node, int num_nodes);
+LoadedPlacement load_placement(const std::string& path);
+
+}  // namespace cca::core

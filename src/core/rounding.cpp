@@ -1,0 +1,86 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cca::core {
+
+Placement round_once(const FractionalPlacement& x, common::Rng& rng) {
+  const int T = x.num_objects();
+  const int N = x.num_nodes();
+  CCA_CHECK_MSG(x.max_row_violation() < 1e-6,
+                "fractional placement is not row-stochastic (violation "
+                    << x.max_row_violation() << ")");
+
+  Placement placement(static_cast<std::size_t>(T), -1);
+  std::vector<int> unplaced(static_cast<std::size_t>(T));
+  for (int i = 0; i < T; ++i) unplaced[i] = i;
+
+  // Each round places a given object with probability 1/N (sum of x_ik
+  // over the random k), so ~N * ln T rounds suffice on average. The guard
+  // bound is far above that; hitting it means the input was malformed in a
+  // way the row check did not catch, so we fail loudly rather than loop.
+  const long max_rounds =
+      2000L * N * (static_cast<long>(std::log2(T + 1)) + 8);
+  long rounds = 0;
+  while (!unplaced.empty()) {
+    CCA_CHECK_MSG(++rounds <= max_rounds,
+                  "rounding failed to converge after " << rounds << " rounds");
+    const double r = rng.next_double();
+    const int k = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(N)));
+    std::size_t kept = 0;
+    for (std::size_t t = 0; t < unplaced.size(); ++t) {
+      const int i = unplaced[t];
+      if (r <= x.value(i, k)) {
+        placement[i] = k;
+      } else {
+        unplaced[kept++] = i;
+      }
+    }
+    unplaced.resize(kept);
+  }
+  return placement;
+}
+
+RoundingResult round_best_of(const FractionalPlacement& x,
+                             const CcaInstance& instance,
+                             const RoundingPolicy& policy, common::Rng& rng) {
+  CCA_CHECK_MSG(policy.trials >= 1, "need at least one rounding trial");
+  RoundingResult best;
+  for (int t = 0; t < policy.trials; ++t) {
+    Placement candidate = round_once(x, rng);
+    // Rounding cannot see pins (they are encoded in x as 0/1 rows), but
+    // verify the contract held.
+    const double cost = instance.communication_cost(candidate);
+    const double load = instance.max_load_factor(candidate);
+    const bool feasible = instance.is_feasible(candidate);
+
+    bool better;
+    if (best.placement.empty()) {
+      better = true;
+    } else if (policy.prefer_feasible && feasible != best.feasible) {
+      better = feasible;
+    } else if (policy.prefer_feasible && !feasible && !best.feasible &&
+               load != best.max_load_factor) {
+      // No feasible draw yet: drive the overload down first; a lower cost
+      // on a badly overloaded node is not a better placement.
+      better = load < best.max_load_factor;
+    } else if (cost != best.cost) {
+      better = cost < best.cost;
+    } else {
+      better = load < best.max_load_factor;
+    }
+    if (better) {
+      best.placement = std::move(candidate);
+      best.cost = cost;
+      best.max_load_factor = load;
+      best.feasible = feasible;
+    }
+  }
+  best.trials = policy.trials;
+  return best;
+}
+
+}  // namespace cca::core

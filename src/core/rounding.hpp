@@ -1,0 +1,49 @@
+// Randomized rounding of a fractional placement — Algorithm 2.1.
+//
+// Repeats the paper's correlated rounding step until every object is
+// placed: draw a threshold r ~ U[0,1] and a uniformly random node k; every
+// still-unplaced object i with x_ik >= r goes to node k. Lemma 1: the
+// marginal P(i -> k) is exactly x_ik. Lemma 2: P(i, j separated) <= z_ij,
+// so the expected objective equals the LP optimum (Theorem 2) and expected
+// node loads respect capacities (Theorem 3). Objects with identical rows
+// are always placed together — the property that makes this rounding
+// "correlation-aware" where independent per-object sampling is not.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/instance.hpp"
+
+namespace cca::core {
+
+/// One execution of Algorithm 2.1. `x` must be row-stochastic (rows sum to
+/// 1 within numerical noise; see FractionalPlacement::max_row_violation).
+Placement round_once(const FractionalPlacement& x, common::Rng& rng);
+
+struct RoundingPolicy {
+  /// Number of independent roundings; the best is kept (Sec. 2.3: "repeat
+  /// the randomized rounding several times and pick the best solution").
+  int trials = 8;
+  /// If true, a capacity-feasible rounding is preferred over an infeasible
+  /// one with lower cost (the paper only guarantees *expected* loads; this
+  /// is the practical tie-breaker its Sec. 2.3 capacity discussion
+  /// motivates). If false, selection is purely by cost — the literal
+  /// reading of the paper.
+  bool prefer_feasible = true;
+};
+
+struct RoundingResult {
+  Placement placement;
+  double cost = 0.0;            // modeled objective (1) of the winner
+  double max_load_factor = 0.0; // realized max load / capacity
+  bool feasible = false;        // realized loads within capacity
+  int trials = 0;
+};
+
+/// Best-of-K rounding of `x` for `instance`.
+RoundingResult round_best_of(const FractionalPlacement& x,
+                             const CcaInstance& instance,
+                             const RoundingPolicy& policy, common::Rng& rng);
+
+}  // namespace cca::core

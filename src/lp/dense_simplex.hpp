@@ -1,0 +1,27 @@
+// Dense two-phase primal simplex.
+//
+// Exact LP solver on a full Gauss-Jordan tableau. Simple and easy to audit,
+// which makes it the reference oracle in tests (the revised simplex and the
+// first-order CCA solver are cross-checked against it), and the right tool
+// for the paper's small instances. Memory is O(m * n), so use
+// RevisedSimplex for anything beyond a few hundred rows.
+#pragma once
+
+#include "lp/model.hpp"
+#include "lp/solution.hpp"
+
+namespace cca::lp {
+
+class DenseSimplex {
+ public:
+  explicit DenseSimplex(SolverOptions options = {}) : options_(options) {}
+
+  /// Solves `model` (minimization). The returned Solution::x is in the
+  /// model's variable space.
+  Solution solve(const Model& model) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace cca::lp

@@ -1,0 +1,81 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cca::lp {
+
+int Model::add_variable(double lower, double upper, double objective,
+                        std::string name) {
+  CCA_CHECK_MSG(lower <= upper,
+                "variable bounds inverted: [" << lower << ", " << upper << "]");
+  CCA_CHECK_MSG(std::isfinite(objective), "objective coefficient not finite");
+  columns_.push_back(Column{lower, upper, objective, std::move(name)});
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+int Model::add_constraint(Relation rel, double rhs, std::vector<Term> terms,
+                          std::string name) {
+  CCA_CHECK_MSG(std::isfinite(rhs), "constraint rhs not finite");
+  // Merge duplicate columns and drop explicit zeros so solvers can assume
+  // each row has unique column indices.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.col < b.col; });
+  std::vector<Term> merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    CCA_CHECK_MSG(t.col >= 0 && t.col < num_variables(),
+                  "constraint references unknown column " << t.col);
+    CCA_CHECK_MSG(std::isfinite(t.coef), "constraint coefficient not finite");
+    if (!merged.empty() && merged.back().col == t.col) {
+      merged.back().coef += t.coef;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const Term& t) { return t.coef == 0.0; });
+  rows_.push_back(Row{rel, rhs, std::move(merged), std::move(name)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+std::size_t Model::num_nonzeros() const {
+  std::size_t nnz = 0;
+  for (const Row& row : rows_) nnz += row.terms.size();
+  return nnz;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  CCA_CHECK(static_cast<int>(x.size()) == num_variables());
+  double obj = 0.0;
+  for (int j = 0; j < num_variables(); ++j) obj += columns_[j].objective * x[j];
+  return obj;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  CCA_CHECK(static_cast<int>(x.size()) == num_variables());
+  double viol = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    viol = std::max(viol, columns_[j].lower - x[j]);
+    viol = std::max(viol, x[j] - columns_[j].upper);
+  }
+  for (const Row& row : rows_) {
+    double lhs = 0.0;
+    for (const Term& t : row.terms) lhs += t.coef * x[t.col];
+    switch (row.rel) {
+      case Relation::kLessEqual:
+        viol = std::max(viol, lhs - row.rhs);
+        break;
+      case Relation::kGreaterEqual:
+        viol = std::max(viol, row.rhs - lhs);
+        break;
+      case Relation::kEqual:
+        viol = std::max(viol, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return viol;
+}
+
+}  // namespace cca::lp

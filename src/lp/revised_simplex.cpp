@@ -1,0 +1,338 @@
+#include "lp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "lp/canonical.hpp"
+
+namespace cca::lp {
+
+namespace {
+
+class RevisedState {
+ public:
+  RevisedState(const CanonicalForm& canon, const SolverOptions& options)
+      : options_(options), m_(canon.num_rows()), n_struct_(canon.num_cols()) {
+    // Gather structural + artificial columns. Artificials are unit columns
+    // for rows without an identity slack.
+    cols_.reserve(static_cast<std::size_t>(n_struct_));
+    for (int j = 0; j < n_struct_; ++j) cols_.push_back(canon.column(j));
+    n_ = n_struct_;
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    for (int i = 0; i < m_; ++i) {
+      const int slack = canon.identity_slack_for_row(i);
+      if (slack >= 0) {
+        basis_[i] = slack;
+      } else {
+        SparseColumn art;
+        art.rows.push_back(i);
+        art.values.push_back(1.0);
+        cols_.push_back(std::move(art));
+        basis_[i] = n_++;
+      }
+    }
+    num_artificial_ = n_ - n_struct_;
+    allowed_.assign(static_cast<std::size_t>(n_), true);
+    in_basis_.assign(static_cast<std::size_t>(n_), false);
+    for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = true;
+
+    b_ = canon.rhs();
+    // Initial basis is the identity (slacks have +1 entries, artificials
+    // are unit columns), so B^-1 = I and x_B = b.
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
+    xb_ = b_;
+  }
+
+  int num_structural() const { return n_struct_; }
+  int num_artificial() const { return num_artificial_; }
+
+  SolveStatus run_phase(const std::vector<double>& struct_cost,
+                        double artificial_cost, long* iterations) {
+    std::vector<double> cost(static_cast<std::size_t>(n_), artificial_cost);
+    for (int j = 0; j < n_struct_; ++j) cost[j] = struct_cost[j];
+
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    std::vector<double> w(static_cast<std::size_t>(m_));
+    const double tol = options_.tolerance;
+
+    // With every cost non-negative the objective is bounded below by 0,
+    // so reaching ~0 proves optimality without waiting for clean reduced
+    // costs. This matters enormously for the CCA LP: its optimum IS 0 and
+    // its thousands of rhs-0 rows otherwise strand the simplex on a
+    // degenerate plateau for tens of thousands of pivots.
+    bool costs_nonnegative = true;
+    for (double c : cost)
+      if (c < 0.0) {
+        costs_nonnegative = false;
+        break;
+      }
+
+    long since_improvement = 0;
+    double best_obj = objective(cost);
+    long pivots_since_refactor = 0;
+
+    while (true) {
+      if (costs_nonnegative && objective(cost) <= tol)
+        return SolveStatus::kOptimal;
+      if (*iterations >= options_.max_iterations)
+        return SolveStatus::kIterationLimit;
+
+      btran(cost, y);
+
+      // Pricing: reduced cost d_j = c_j - y' a_j over allowed nonbasics.
+      const bool bland = since_improvement > options_.stall_limit;
+      int enter = -1;
+      double best_d = -tol;
+      for (int j = 0; j < n_; ++j) {
+        if (in_basis_[j] || !allowed_[j]) continue;
+        double d = cost[j];
+        const SparseColumn& col = cols_[j];
+        for (std::size_t t = 0; t < col.rows.size(); ++t)
+          d -= y[col.rows[t]] * col.values[t];
+        if (d < best_d) {
+          enter = j;
+          if (bland) break;
+          best_d = d;
+        }
+      }
+      if (enter < 0) return SolveStatus::kOptimal;
+
+      ftran(cols_[enter], w);
+
+      // Two-pass Harris-style ratio test: find the tightest ratio, then
+      // among rows within tolerance of it pick the largest pivot element.
+      double theta = kInfinity;
+      for (int i = 0; i < m_; ++i) {
+        if (w[i] > options_.pivot_tolerance)
+          theta = std::min(theta, xb_[i] / w[i]);
+      }
+      if (theta == kInfinity) return SolveStatus::kUnbounded;
+      int leave_row = -1;
+      double best_pivot = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (w[i] <= options_.pivot_tolerance) continue;
+        if (xb_[i] / w[i] <= theta + tol && w[i] > best_pivot) {
+          leave_row = i;
+          best_pivot = w[i];
+        }
+      }
+      CCA_CHECK(leave_row >= 0);
+
+      pivot(leave_row, enter, w);
+      ++*iterations;
+      if (++pivots_since_refactor >= options_.refactor_interval) {
+        reinvert();
+        pivots_since_refactor = 0;
+      }
+
+      const double obj = objective(cost);
+      if (obj < best_obj - tol) {
+        best_obj = obj;
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+      }
+    }
+  }
+
+  double artificial_sum() const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] >= n_struct_) s += std::max(xb_[i], 0.0);
+    return s;
+  }
+
+  void retire_artificials() {
+    for (int j = n_struct_; j < n_; ++j) allowed_[j] = false;
+    std::vector<double> w(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) continue;
+      // Basic artificial at zero: pivot in any structural column whose
+      // transformed entry in this row is usable; a redundant row keeps its
+      // artificial basic at zero, which is harmless since it is priced out.
+      for (int j = 0; j < n_struct_; ++j) {
+        if (in_basis_[j]) continue;
+        ftran(cols_[j], w);
+        if (std::abs(w[i]) > 1e-6) {
+          pivot(i, j, w);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Rebuilds binv_ from the basis columns by Gauss-Jordan with partial
+  /// pivoting, and refreshes x_B. Throws if the basis went singular (which
+  /// would indicate a solver bug, not user error).
+  void reinvert() {
+    std::vector<double> dense(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const SparseColumn& col = cols_[basis_[i]];
+      for (std::size_t t = 0; t < col.rows.size(); ++t)
+        dense[static_cast<std::size_t>(col.rows[t]) * m_ + i] = col.values[t];
+    }
+    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+
+    for (int c = 0; c < m_; ++c) {
+      int piv = c;
+      double piv_val = std::abs(dense[static_cast<std::size_t>(c) * m_ + c]);
+      for (int r = c + 1; r < m_; ++r) {
+        const double v = std::abs(dense[static_cast<std::size_t>(r) * m_ + c]);
+        if (v > piv_val) {
+          piv = r;
+          piv_val = v;
+        }
+      }
+      CCA_CHECK_MSG(piv_val > 1e-12, "singular basis during reinversion");
+      if (piv != c) {
+        // Row swaps are elementary operations applied to both sides of
+        // [B | I]; the final right-hand side is exactly B^-1.
+        for (int j = 0; j < m_; ++j) {
+          std::swap(dense[static_cast<std::size_t>(piv) * m_ + j],
+                    dense[static_cast<std::size_t>(c) * m_ + j]);
+          std::swap(inv[static_cast<std::size_t>(piv) * m_ + j],
+                    inv[static_cast<std::size_t>(c) * m_ + j]);
+        }
+      }
+      const double inv_piv = 1.0 / dense[static_cast<std::size_t>(c) * m_ + c];
+      for (int j = 0; j < m_; ++j) {
+        dense[static_cast<std::size_t>(c) * m_ + j] *= inv_piv;
+        inv[static_cast<std::size_t>(c) * m_ + j] *= inv_piv;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == c) continue;
+        const double f = dense[static_cast<std::size_t>(r) * m_ + c];
+        if (f == 0.0) continue;
+        for (int j = 0; j < m_; ++j) {
+          dense[static_cast<std::size_t>(r) * m_ + j] -=
+              f * dense[static_cast<std::size_t>(c) * m_ + j];
+          inv[static_cast<std::size_t>(r) * m_ + j] -=
+              f * inv[static_cast<std::size_t>(c) * m_ + j];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    refresh_xb();
+  }
+
+  /// Canonical-space primal point.
+  std::vector<double> primal() const {
+    std::vector<double> x(static_cast<std::size_t>(n_struct_), 0.0);
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] < n_struct_) x[basis_[i]] = std::max(xb_[i], 0.0);
+    return x;
+  }
+
+ private:
+  double& binv_at(int i, int j) {
+    return binv_[static_cast<std::size_t>(i) * m_ + j];
+  }
+
+  double objective(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (int i = 0; i < m_; ++i) obj += cost[basis_[i]] * xb_[i];
+    return obj;
+  }
+
+  /// y' = c_B' B^-1 (row-major friendly accumulation).
+  void btran(const std::vector<double>& cost, std::vector<double>& y) const {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int j = 0; j < m_; ++j) y[j] += cb * row[j];
+    }
+  }
+
+  /// w = B^-1 a (a sparse).
+  void ftran(const SparseColumn& a, std::vector<double>& w) const {
+    std::fill(w.begin(), w.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      double acc = 0.0;
+      for (std::size_t t = 0; t < a.rows.size(); ++t)
+        acc += row[a.rows[t]] * a.values[t];
+      w[i] = acc;
+    }
+  }
+
+  void refresh_xb() {
+    xb_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      double acc = 0.0;
+      for (int j = 0; j < m_; ++j) acc += row[j] * b_[j];
+      xb_[i] = acc;
+    }
+  }
+
+  /// Product-form basis change: row r leaves, column `enter` (with
+  /// transformed column w = B^-1 a_enter) enters.
+  void pivot(int r, int enter, const std::vector<double>& w) {
+    const double inv_piv = 1.0 / w[r];
+    double* prow = &binv_[static_cast<std::size_t>(r) * m_];
+    for (int j = 0; j < m_; ++j) prow[j] *= inv_piv;
+    const double theta = xb_[r] * inv_piv;
+
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double f = w[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int j = 0; j < m_; ++j) row[j] -= f * prow[j];
+      xb_[i] -= f * theta;
+      if (xb_[i] < 0.0 && xb_[i] > -options_.tolerance) xb_[i] = 0.0;
+    }
+    xb_[r] = theta;
+
+    in_basis_[basis_[r]] = false;
+    basis_[r] = enter;
+    in_basis_[enter] = true;
+  }
+
+  SolverOptions options_;
+  int m_, n_struct_, n_ = 0, num_artificial_ = 0;
+  std::vector<SparseColumn> cols_;
+  std::vector<double> b_;
+  std::vector<double> binv_;  // m x m row-major
+  std::vector<double> xb_;
+  std::vector<int> basis_;
+  std::vector<bool> allowed_;
+  std::vector<bool> in_basis_;
+};
+
+}  // namespace
+
+Solution RevisedSimplex::solve(const Model& model) const {
+  Solution sol;
+  const CanonicalForm canon(model);
+  RevisedState state(canon, options_);
+
+  const std::vector<double> zero_cost(
+      static_cast<std::size_t>(canon.num_cols()), 0.0);
+  SolveStatus status = state.run_phase(zero_cost, 1.0, &sol.iterations);
+  if (status != SolveStatus::kOptimal) {
+    sol.status = SolveStatus::kIterationLimit;
+    return sol;
+  }
+  if (state.artificial_sum() > 1e-7) {
+    sol.status = SolveStatus::kInfeasible;
+    return sol;
+  }
+  state.retire_artificials();
+
+  status = state.run_phase(canon.cost(), 0.0, &sol.iterations);
+  sol.status = status;
+  if (status != SolveStatus::kOptimal) return sol;
+
+  sol.x = canon.to_user_solution(state.primal());
+  sol.objective = model.objective_value(sol.x);
+  return sol;
+}
+
+}  // namespace cca::lp

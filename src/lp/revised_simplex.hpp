@@ -1,0 +1,27 @@
+// Revised primal simplex with sparse constraint columns.
+//
+// Unlike DenseSimplex, only the m x m basis inverse is kept dense; the
+// constraint matrix itself stays sparse (CCA programs have ~3 nonzeros per
+// row). The basis inverse is maintained by product-form row updates with
+// Harris-style pivot-size protection and periodic reinversion, so programs
+// with a few thousand rows — the paper's Fig. 4 LP at small-to-medium scope
+// — solve exactly in seconds instead of exhausting dense-tableau memory.
+#pragma once
+
+#include "lp/model.hpp"
+#include "lp/solution.hpp"
+
+namespace cca::lp {
+
+class RevisedSimplex {
+ public:
+  explicit RevisedSimplex(SolverOptions options = {}) : options_(options) {}
+
+  /// Solves `model` (minimization); Solution::x is in model variable space.
+  Solution solve(const Model& model) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace cca::lp

@@ -1,0 +1,53 @@
+// Solver result types shared by all LP solvers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cca::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Primal values in the caller's variable space (only meaningful when
+  /// status == kOptimal).
+  std::vector<double> x;
+  double objective = 0.0;
+  /// Total simplex pivots across both phases.
+  long iterations = 0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Options common to the simplex solvers.
+struct SolverOptions {
+  long max_iterations = 200000;
+  /// Feasibility / reduced-cost tolerance.
+  double tolerance = 1e-9;
+  /// Switch from Dantzig to Bland pricing after this many non-improving
+  /// pivots (anti-cycling).
+  long stall_limit = 500;
+  /// RevisedSimplex: smallest acceptable pivot magnitude in the ratio test.
+  double pivot_tolerance = 1e-7;
+  /// RevisedSimplex: rebuild the basis inverse from scratch after this many
+  /// pivots to shed accumulated floating-point error.
+  long refactor_interval = 2000;
+};
+
+}  // namespace cca::lp

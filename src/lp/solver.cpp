@@ -1,0 +1,27 @@
+#include "lp/solver.hpp"
+
+#include "lp/dense_simplex.hpp"
+#include "lp/revised_simplex.hpp"
+
+namespace cca::lp {
+
+SolverKind Solver::choose(const Model& model) {
+  // The dense tableau is m x (n + slacks + artificials) doubles and every
+  // pivot touches all of it; the revised simplex only keeps the m x m
+  // basis inverse dense and prices sparse columns. Dense wins on small
+  // compact programs; anything wide (many columns) or tall goes revised.
+  const auto m = static_cast<long>(model.num_constraints());
+  const auto n = static_cast<long>(model.num_variables());
+  if (m <= 400 && n <= 2000 && m * (n + 2 * m) <= 4'000'000)
+    return SolverKind::kDense;
+  return SolverKind::kRevised;
+}
+
+Solution Solver::solve(const Model& model) const {
+  SolverKind kind = kind_;
+  if (kind == SolverKind::kAuto) kind = choose(model);
+  if (kind == SolverKind::kDense) return DenseSimplex(options_).solve(model);
+  return RevisedSimplex(options_).solve(model);
+}
+
+}  // namespace cca::lp

@@ -1,0 +1,34 @@
+// Solver facade: picks the right simplex implementation for the problem
+// size. Small programs go to the dense tableau (lower constant factors,
+// easiest to audit); anything larger goes to the revised simplex, whose
+// memory footprint is O(m^2 + nnz) rather than O(m * n).
+#pragma once
+
+#include "lp/model.hpp"
+#include "lp/solution.hpp"
+
+namespace cca::lp {
+
+enum class SolverKind {
+  kAuto,
+  kDense,
+  kRevised,
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverKind kind = SolverKind::kAuto,
+                  SolverOptions options = {})
+      : kind_(kind), options_(options) {}
+
+  Solution solve(const Model& model) const;
+
+  /// The implementation kAuto would dispatch to for this model.
+  static SolverKind choose(const Model& model);
+
+ private:
+  SolverKind kind_;
+  SolverOptions options_;
+};
+
+}  // namespace cca::lp

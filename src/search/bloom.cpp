@@ -1,0 +1,71 @@
+#include "search/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cca::search {
+
+namespace {
+
+/// Two independent 64-bit hashes of `id` via SplitMix64 steps; combined
+/// with double hashing h1 + i*h2 for the k probe positions.
+std::pair<std::uint64_t, std::uint64_t> base_hashes(std::uint64_t id) {
+  common::SplitMix64 sm(id ^ 0xB10011F117E2ULL);
+  const std::uint64_t h1 = sm();
+  const std::uint64_t h2 = sm() | 1;  // odd, so probes cycle all positions
+  return {h1, h2};
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t num_bits, int num_hashes)
+    : num_bits_((std::max<std::size_t>(num_bits, 1) + 63) / 64 * 64),
+      num_hashes_(num_hashes),
+      words_(num_bits_ / 64, 0) {
+  CCA_CHECK_MSG(num_hashes >= 1 && num_hashes <= 16,
+                "num_hashes out of range: " << num_hashes);
+}
+
+BloomFilter BloomFilter::build(const std::vector<std::uint64_t>& ids,
+                               double bits_per_key) {
+  CCA_CHECK_MSG(bits_per_key > 0.0, "bits_per_key must be positive");
+  const std::size_t bits = std::max<std::size_t>(
+      64, static_cast<std::size_t>(bits_per_key *
+                                   static_cast<double>(ids.size())));
+  const int k = std::clamp(
+      static_cast<int>(std::lround(bits_per_key * 0.6931)), 1, 16);
+  BloomFilter filter(bits, k);
+  for (std::uint64_t id : ids) filter.insert(id);
+  return filter;
+}
+
+void BloomFilter::insert(std::uint64_t id) {
+  const auto [h1, h2] = base_hashes(id);
+  for (int i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) %
+                              num_bits_;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t id) const {
+  const auto [h1, h2] = base_hashes(id);
+  for (int i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) %
+                              num_bits_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::expected_fp_rate(std::size_t n) const {
+  if (n == 0) return 0.0;
+  const double k = num_hashes_;
+  const double m = static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(-k * static_cast<double>(n) / m), k);
+}
+
+}  // namespace cca::search

@@ -1,0 +1,52 @@
+// Bloom filters for distributed intersection.
+//
+// The paper's reference [13] (the authors' companion work) optimizes
+// Bloom-filter hash counts for skewed access; here Bloom filters serve
+// their classic distributed-join role: instead of shipping the smaller
+// posting list wholesale, its node sends a Bloom filter (a few bits per
+// posting), the remote node returns only the candidates that pass the
+// filter (true matches + false positives), and the intersection finishes
+// exactly at the origin. When the true intersection is much smaller than
+// the smaller list, this cuts the pair's communication from 8|small| to
+// bits_per_key/8 * |small| + 8 * (|result| + fp * |large|) bytes.
+//
+// Implementation: standard Bloom filter with double hashing (Kirsch-
+// Mitzenmacher) over SplitMix64-derived hash values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cca::search {
+
+class BloomFilter {
+ public:
+  /// `num_bits` >= 1 (rounded up to a multiple of 64), `num_hashes` in
+  /// [1, 16].
+  BloomFilter(std::size_t num_bits, int num_hashes);
+
+  /// Sizes a filter at `bits_per_key` bits per element (k chosen as
+  /// ln2 * bits_per_key, clamped to [1, 16]) and inserts all `ids`.
+  static BloomFilter build(const std::vector<std::uint64_t>& ids,
+                           double bits_per_key);
+
+  void insert(std::uint64_t id);
+  /// No false negatives; false positives at roughly the textbook rate.
+  bool maybe_contains(std::uint64_t id) const;
+
+  std::size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  /// On-the-wire size of the filter.
+  std::uint64_t size_bytes() const { return (num_bits_ + 7) / 8; }
+
+  /// Textbook false-positive estimate for `n` inserted keys:
+  /// (1 - e^{-kn/m})^k.
+  double expected_fp_rate(std::size_t n) const;
+
+ private:
+  std::size_t num_bits_;
+  int num_hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cca::search

@@ -1,0 +1,108 @@
+#include "search/compression.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace cca::search {
+
+std::size_t varint_length(std::uint64_t v) {
+  std::size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t varint_decode(const std::uint8_t** p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    CCA_CHECK_MSG(*p != end, "truncated varint");
+    CCA_CHECK_MSG(shift < 64, "varint longer than 10 bytes");
+    const std::uint8_t byte = **p;
+    ++*p;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::vector<std::uint8_t> compress_postings(
+    const std::vector<std::uint64_t>& sorted_ids) {
+  std::vector<std::uint8_t> out;
+  out.reserve(sorted_ids.size() + 4);
+  varint_encode(sorted_ids.size(), out);
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (std::uint64_t id : sorted_ids) {
+    if (first) {
+      varint_encode(id, out);
+      first = false;
+    } else {
+      CCA_CHECK_MSG(id > previous, "posting IDs must be strictly increasing");
+      varint_encode(id - previous, out);
+    }
+    previous = id;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decompress_postings(
+    const std::vector<std::uint8_t>& bytes) {
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* end = bytes.data() + bytes.size();
+  const std::uint64_t count = varint_decode(&p, end);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  std::uint64_t current = 0;
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const std::uint64_t delta = varint_decode(&p, end);
+    current = t == 0 ? delta : current + delta;
+    ids.push_back(current);
+  }
+  CCA_CHECK_MSG(p == end, "trailing bytes after postings");
+  return ids;
+}
+
+std::vector<std::uint64_t> compressed_index_sizes(
+    const InvertedIndex& index) {
+  // Dense ordinal remap: rank of each document ID across the whole index.
+  std::vector<std::uint64_t> all_ids;
+  for (std::size_t k = 0; k < index.vocabulary_size(); ++k) {
+    const auto& ids = index.postings(static_cast<trace::KeywordId>(k)).ids();
+    all_ids.insert(all_ids.end(), ids.begin(), ids.end());
+  }
+  std::sort(all_ids.begin(), all_ids.end());
+  all_ids.erase(std::unique(all_ids.begin(), all_ids.end()), all_ids.end());
+
+  std::vector<std::uint64_t> sizes(index.vocabulary_size(), 0);
+  for (std::size_t k = 0; k < index.vocabulary_size(); ++k) {
+    const auto& ids = index.postings(static_cast<trace::KeywordId>(k)).ids();
+    std::uint64_t bytes = varint_length(ids.size());
+    std::uint64_t previous_ordinal = 0;
+    bool first = true;
+    for (std::uint64_t id : ids) {
+      const auto ordinal = static_cast<std::uint64_t>(
+          std::lower_bound(all_ids.begin(), all_ids.end(), id) -
+          all_ids.begin());
+      bytes += varint_length(first ? ordinal : ordinal - previous_ordinal);
+      previous_ordinal = ordinal;
+      first = false;
+    }
+    sizes[k] = bytes;
+  }
+  return sizes;
+}
+
+}  // namespace cca::search

@@ -1,0 +1,79 @@
+#include "search/inverted_index.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cca::search {
+
+PostingList::PostingList(std::vector<std::uint64_t> doc_ids)
+    : doc_ids_(std::move(doc_ids)) {
+  std::sort(doc_ids_.begin(), doc_ids_.end());
+  doc_ids_.erase(std::unique(doc_ids_.begin(), doc_ids_.end()),
+                 doc_ids_.end());
+}
+
+bool PostingList::contains(std::uint64_t id) const {
+  return std::binary_search(doc_ids_.begin(), doc_ids_.end(), id);
+}
+
+PostingList intersect(const PostingList& a, const PostingList& b) {
+  const PostingList& small = a.size() <= b.size() ? a : b;
+  const PostingList& large = a.size() <= b.size() ? b : a;
+  std::vector<std::uint64_t> out;
+  out.reserve(small.size());
+
+  if (large.size() > small.size() * 16) {
+    // Galloping: binary-search each small element in the large list.
+    auto begin = large.ids().begin();
+    for (std::uint64_t id : small.ids()) {
+      begin = std::lower_bound(begin, large.ids().end(), id);
+      if (begin == large.ids().end()) break;
+      if (*begin == id) out.push_back(id);
+    }
+  } else {
+    std::set_intersection(small.ids().begin(), small.ids().end(),
+                          large.ids().begin(), large.ids().end(),
+                          std::back_inserter(out));
+  }
+  return PostingList(std::move(out));
+}
+
+PostingList unite(const PostingList& a, const PostingList& b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.ids().begin(), a.ids().end(), b.ids().begin(),
+                 b.ids().end(), std::back_inserter(out));
+  return PostingList(std::move(out));
+}
+
+InvertedIndex InvertedIndex::build(const trace::Corpus& corpus) {
+  InvertedIndex index;
+  std::vector<std::vector<std::uint64_t>> raw(corpus.vocabulary_size());
+  for (const trace::Document& doc : corpus.documents())
+    for (trace::KeywordId w : doc.words) raw[w].push_back(doc.id);
+
+  index.lists_.reserve(raw.size());
+  for (auto& ids : raw) index.lists_.emplace_back(std::move(ids));
+  return index;
+}
+
+const PostingList& InvertedIndex::postings(trace::KeywordId k) const {
+  CCA_CHECK_MSG(k < lists_.size(), "keyword " << k << " outside vocabulary");
+  return lists_[k];
+}
+
+std::vector<std::uint64_t> InvertedIndex::index_sizes() const {
+  std::vector<std::uint64_t> sizes(lists_.size());
+  for (std::size_t k = 0; k < lists_.size(); ++k)
+    sizes[k] = lists_[k].size_bytes();
+  return sizes;
+}
+
+std::uint64_t InvertedIndex::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const PostingList& list : lists_) total += list.size_bytes();
+  return total;
+}
+
+}  // namespace cca::search

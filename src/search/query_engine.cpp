@@ -1,0 +1,195 @@
+#include "search/query_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "search/bloom.hpp"
+
+namespace cca::search {
+
+QueryEngine::QueryEngine(const InvertedIndex& index,
+                         std::vector<std::uint64_t> keyword_bytes)
+    : index_(&index), keyword_bytes_(std::move(keyword_bytes)) {
+  CCA_CHECK_MSG(keyword_bytes_.size() == index.vocabulary_size(),
+                "keyword_bytes must cover the whole vocabulary");
+}
+
+QueryCost QueryEngine::execute_intersection(
+    const trace::Query& query, const PlacementFn& placement,
+    const TransferObserver& observer) const {
+  CCA_CHECK(!query.keywords.empty());
+  QueryCost cost;
+
+  if (query.keywords.size() == 1) {
+    cost.result_size = index_->postings(query.keywords[0]).size();
+    return cost;
+  }
+
+  // Ascending posting-size execution order (ties by keyword ID), per the
+  // paper's smallest-two-first intersection scheme.
+  std::vector<trace::KeywordId> order = query.keywords;
+  std::sort(order.begin(), order.end(),
+            [&](trace::KeywordId a, trace::KeywordId b) {
+              const auto sa = bytes_of(a);
+              const auto sb = bytes_of(b);
+              return sa != sb ? sa < sb : a < b;
+            });
+
+  // Step 1: the two smallest lists. The smaller ships to the larger's
+  // node — unless either is replicated everywhere, in which case the step
+  // is free and executes at the other's node.
+  const PostingList& first = index_->postings(order[0]);
+  const PostingList& second = index_->postings(order[1]);
+  const int node0 = placement(order[0]);
+  const int node1 = placement(order[1]);
+  int current_node;
+  if (node1 == kEverywhere) {
+    current_node = node0 == kEverywhere ? 0 : node0;
+  } else if (node0 == kEverywhere) {
+    current_node = node1;
+  } else {
+    current_node = node1;
+    if (node0 != current_node) {
+      const std::uint64_t shipped = bytes_of(order[0]);
+      cost.bytes_transferred += shipped;
+      ++cost.messages;
+      cost.local = false;
+      if (observer) observer(node0, current_node, shipped);
+    }
+  }
+  PostingList running = intersect(first, second);
+
+  // Step 2: fold in the remaining keywords; the running intersection (which
+  // only shrinks) travels to each keyword's node when needed. Replicated
+  // keywords are present locally and never force a move.
+  for (std::size_t t = 2; t < order.size(); ++t) {
+    const int node = placement(order[t]);
+    if (node != current_node && node != kEverywhere) {
+      cost.bytes_transferred += running.size_bytes();
+      ++cost.messages;
+      cost.local = false;
+      if (observer) observer(current_node, node, running.size_bytes());
+      current_node = node;
+    }
+    running = intersect(running, index_->postings(order[t]));
+  }
+
+  cost.result_size = running.size();
+  return cost;
+}
+
+QueryCost QueryEngine::execute_intersection_bloom(
+    const trace::Query& query, const PlacementFn& placement,
+    double bits_per_key, const TransferObserver& observer) const {
+  CCA_CHECK(!query.keywords.empty());
+  QueryCost cost;
+
+  if (query.keywords.size() == 1) {
+    cost.result_size = index_->postings(query.keywords[0]).size();
+    return cost;
+  }
+
+  std::vector<trace::KeywordId> order = query.keywords;
+  std::sort(order.begin(), order.end(),
+            [&](trace::KeywordId a, trace::KeywordId b) {
+              const auto sa = bytes_of(a);
+              const auto sb = bytes_of(b);
+              return sa != sb ? sa < sb : a < b;
+            });
+
+  const PostingList& small = index_->postings(order[0]);
+  const PostingList& large = index_->postings(order[1]);
+  const int small_node = placement(order[0]);
+  const int large_node = placement(order[1]);
+  PostingList running = intersect(small, large);
+  int current_node;
+  if (large_node == kEverywhere) {
+    current_node = small_node == kEverywhere ? 0 : small_node;
+  } else {
+    current_node = large_node;
+  }
+
+  if (small_node != large_node && small_node != kEverywhere &&
+      large_node != kEverywhere) {
+    cost.local = false;
+    // Option A (classic): ship the small list to the large list's node.
+    const std::uint64_t ship_bytes = bytes_of(order[0]);
+    // Option B (Bloom): filter over the small list travels out; the large
+    // list's survivors travel back (8 B each). Exact survivor count from
+    // the actual filter, not the textbook estimate.
+    const BloomFilter filter = BloomFilter::build(small.ids(), bits_per_key);
+    std::uint64_t candidates = 0;
+    for (std::uint64_t id : large.ids())
+      if (filter.maybe_contains(id)) ++candidates;
+    const std::uint64_t bloom_bytes = filter.size_bytes() + 8 * candidates;
+
+    if (bloom_bytes < ship_bytes) {
+      cost.bytes_transferred += bloom_bytes;
+      cost.messages += 2;
+      if (observer) {
+        observer(small_node, large_node, filter.size_bytes());
+        observer(large_node, small_node, 8 * candidates);
+      }
+      current_node = small_node;  // candidates returned; finish locally
+    } else {
+      cost.bytes_transferred += ship_bytes;
+      ++cost.messages;
+      if (observer) observer(small_node, large_node, ship_bytes);
+    }
+  }
+
+  // Remaining keywords: the running intersection is already small, so the
+  // classic ship-the-running-result step is used (a Bloom round trip
+  // cannot beat shipping a list that is at most the filter's size).
+  for (std::size_t t = 2; t < order.size(); ++t) {
+    const int node = placement(order[t]);
+    if (node != current_node && node != kEverywhere) {
+      cost.bytes_transferred += running.size_bytes();
+      ++cost.messages;
+      cost.local = false;
+      if (observer) observer(current_node, node, running.size_bytes());
+      current_node = node;
+    }
+    running = intersect(running, index_->postings(order[t]));
+  }
+
+  cost.result_size = running.size();
+  return cost;
+}
+
+QueryCost QueryEngine::execute_union(const trace::Query& query,
+                                     const PlacementFn& placement,
+                                     const TransferObserver& observer) const {
+  CCA_CHECK(!query.keywords.empty());
+  QueryCost cost;
+
+  // Destination: the node hosting the largest NON-replicated object
+  // (Sec. 3.2); replicated keywords are present everywhere and never
+  // determine or pay for transfers.
+  int dest = kEverywhere;
+  std::uint64_t largest_bytes = 0;
+  for (trace::KeywordId k : query.keywords) {
+    if (placement(k) == kEverywhere) continue;
+    if (dest == kEverywhere || bytes_of(k) > largest_bytes) {
+      dest = placement(k);
+      largest_bytes = bytes_of(k);
+    }
+  }
+  if (dest == kEverywhere) dest = 0;  // everything replicated: free union
+
+  PostingList running;
+  for (trace::KeywordId k : query.keywords) {
+    const int node = placement(k);
+    if (node != dest && node != kEverywhere) {
+      cost.bytes_transferred += bytes_of(k);
+      ++cost.messages;
+      cost.local = false;
+      if (observer) observer(node, dest, bytes_of(k));
+    }
+    running = unite(running, index_->postings(k));
+  }
+  cost.result_size = running.size();
+  return cost;
+}
+
+}  // namespace cca::search

@@ -1,0 +1,66 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace cca::sim {
+
+Cluster::Cluster(int num_nodes, double capacity_bytes)
+    : nodes_(static_cast<std::size_t>(num_nodes)),
+      capacity_bytes_(capacity_bytes) {
+  CCA_CHECK(num_nodes >= 1);
+  CCA_CHECK(capacity_bytes >= 0.0);
+}
+
+void Cluster::install_placement(
+    const std::vector<int>& keyword_to_node,
+    const std::vector<std::uint64_t>& index_sizes) {
+  CCA_CHECK_MSG(keyword_to_node.size() == index_sizes.size(),
+                "placement and sizes disagree on vocabulary size");
+  for (NodeStats& node : nodes_) node = NodeStats{};
+  total_network_bytes_ = 0;
+  keyword_to_node_ = keyword_to_node;
+  for (std::size_t k = 0; k < keyword_to_node_.size(); ++k) {
+    const int node = keyword_to_node_[k];
+    CCA_CHECK_MSG(node >= 0 && node < num_nodes(),
+                  "keyword " << k << " placed on unknown node " << node);
+    nodes_[node].stored_bytes += static_cast<double>(index_sizes[k]);
+  }
+}
+
+int Cluster::node_of(trace::KeywordId keyword) const {
+  CCA_CHECK_MSG(keyword < keyword_to_node_.size(),
+                "keyword " << keyword << " has no placement installed");
+  return keyword_to_node_[keyword];
+}
+
+void Cluster::record_transfer(int from, int to, std::uint64_t bytes) {
+  CCA_CHECK(from >= 0 && from < num_nodes());
+  CCA_CHECK(to >= 0 && to < num_nodes());
+  if (from == to) return;
+  nodes_[from].bytes_sent += bytes;
+  nodes_[to].bytes_received += bytes;
+  total_network_bytes_ += bytes;
+}
+
+double Cluster::max_storage_factor() const {
+  if (capacity_bytes_ <= 0.0) return 0.0;
+  double factor = 0.0;
+  for (const NodeStats& node : nodes_)
+    factor = std::max(factor, node.stored_bytes / capacity_bytes_);
+  return factor;
+}
+
+double Cluster::storage_imbalance() const {
+  double total = 0.0, peak = 0.0;
+  for (const NodeStats& node : nodes_) {
+    total += node.stored_bytes;
+    peak = std::max(peak, node.stored_bytes);
+  }
+  if (total <= 0.0) return 0.0;
+  const double mean = total / static_cast<double>(nodes_.size());
+  return peak / mean;
+}
+
+}  // namespace cca::sim

@@ -1,0 +1,60 @@
+// Distributed-cluster model: nodes with storage capacity hosting keyword
+// indices under some placement.
+//
+// This is the measurement substrate mirroring the paper's prototype
+// (Sec. 4.1): a placement is installed as a keyword -> node lookup table
+// (the paper's per-node location table), per-node storage is accounted,
+// and the query replay (replay.hpp) charges byte transfers against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cca::sim {
+
+struct NodeStats {
+  double stored_bytes = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Cluster {
+ public:
+  /// `capacity_bytes` is the nominal per-node storage capacity (the
+  /// paper's 2x-average rule is applied by the caller); it is reported
+  /// against, not enforced — placements may overload nodes, and the
+  /// statistics expose by how much.
+  Cluster(int num_nodes, double capacity_bytes);
+
+  /// Installs a full keyword -> node placement with per-keyword index
+  /// byte sizes; resets all statistics.
+  void install_placement(const std::vector<int>& keyword_to_node,
+                         const std::vector<std::uint64_t>& index_sizes);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int node_of(trace::KeywordId keyword) const;
+
+  /// Charges `bytes` moving from node `from` to node `to`.
+  void record_transfer(int from, int to, std::uint64_t bytes);
+
+  const NodeStats& node(int k) const { return nodes_[k]; }
+  double capacity_bytes() const { return capacity_bytes_; }
+
+  /// max over nodes of stored / capacity (1.0 = exactly full).
+  double max_storage_factor() const;
+  /// max stored / mean stored — the balance metric ("no more than twice
+  /// the average per-node load" is factor <= 2 under the paper's rule).
+  double storage_imbalance() const;
+  /// Total bytes moved between nodes since the placement was installed.
+  std::uint64_t total_network_bytes() const { return total_network_bytes_; }
+
+ private:
+  std::vector<NodeStats> nodes_;
+  std::vector<int> keyword_to_node_;
+  double capacity_bytes_ = 0.0;
+  std::uint64_t total_network_bytes_ = 0;
+};
+
+}  // namespace cca::sim

@@ -1,0 +1,76 @@
+#include "sim/doc_partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "search/inverted_index.hpp"
+
+namespace cca::sim {
+
+DocPartitionStats replay_doc_partitioned(const trace::Corpus& corpus,
+                                         const trace::QueryTrace& trace,
+                                         const DocPartitionConfig& config) {
+  CCA_CHECK(config.num_nodes >= 1);
+  const auto n = static_cast<std::uint64_t>(config.num_nodes);
+
+  // Partition documents by their (already MD5-derived) ID and build one
+  // sub-index per node.
+  std::vector<std::vector<trace::Document>> slices(
+      static_cast<std::size_t>(config.num_nodes));
+  for (const trace::Document& doc : corpus.documents())
+    slices[doc.id % n].push_back(doc);
+
+  std::vector<search::InvertedIndex> sub_indices;
+  std::vector<double> stored_bytes;
+  sub_indices.reserve(slices.size());
+  for (auto& slice : slices) {
+    sub_indices.push_back(search::InvertedIndex::build(
+        trace::Corpus(corpus.vocabulary_size(), std::move(slice))));
+    stored_bytes.push_back(
+        static_cast<double>(sub_indices.back().total_bytes()));
+  }
+
+  DocPartitionStats stats;
+  std::size_t node_computations = 0;
+  std::size_t wasted_computations = 0;
+  for (const trace::Query& query : trace.queries()) {
+    ++stats.queries;
+    // Coordinator rotates; it computes locally for free.
+    const int coordinator = static_cast<int>(stats.queries % n);
+    std::uint64_t query_bytes = 0;
+    for (int k = 0; k < config.num_nodes; ++k) {
+      // Local intersection of the query's keywords on node k's slice.
+      const search::InvertedIndex& index = sub_indices[k];
+      search::PostingList running = index.postings(query.keywords[0]);
+      for (std::size_t t = 1; t < query.keywords.size() && !running.empty();
+           ++t)
+        running = search::intersect(running, index.postings(query.keywords[t]));
+
+      ++node_computations;
+      if (running.empty()) ++wasted_computations;
+      if (k == coordinator) continue;
+      // Broadcast out, results back.
+      query_bytes += config.query_message_bytes + running.size_bytes();
+      stats.total_messages += 2;
+    }
+    stats.total_bytes += query_bytes;
+  }
+
+  if (stats.queries > 0)
+    stats.mean_bytes_per_query = static_cast<double>(stats.total_bytes) /
+                                 static_cast<double>(stats.queries);
+  if (node_computations > 0)
+    stats.wasted_node_fraction = static_cast<double>(wasted_computations) /
+                                 static_cast<double>(node_computations);
+  double total = 0.0, peak = 0.0;
+  for (double bytes : stored_bytes) {
+    total += bytes;
+    peak = std::max(peak, bytes);
+  }
+  if (total > 0.0)
+    stats.storage_imbalance =
+        peak / (total / static_cast<double>(config.num_nodes));
+  return stats;
+}
+
+}  // namespace cca::sim

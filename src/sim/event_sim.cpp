@@ -1,0 +1,135 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "search/query_engine.hpp"
+
+namespace cca::sim {
+
+namespace {
+
+struct Transfer {
+  int from = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One in-flight query: its arrival time and remaining transfer chain.
+struct PendingQuery {
+  double arrival_ms = 0.0;
+  const std::vector<Transfer>* chain = nullptr;
+};
+
+/// Event: a query step becomes ready to transmit.
+struct ReadyEvent {
+  double ready_ms = 0.0;
+  std::uint32_t query = 0;
+  std::uint32_t step = 0;
+
+  bool operator>(const ReadyEvent& other) const {
+    return ready_ms > other.ready_ms;
+  }
+};
+
+}  // namespace
+
+EventSimStats simulate_load(const Cluster& cluster,
+                            const search::InvertedIndex& index,
+                            const trace::QueryTrace& trace,
+                            const EventSimConfig& config) {
+  CCA_CHECK_MSG(config.arrival_rate_qps > 0.0, "arrival rate must be > 0");
+  CCA_CHECK_MSG(config.nic_mbps > 0.0, "NIC bandwidth must be > 0");
+  CCA_CHECK_MSG(!trace.empty(), "empty trace");
+  CCA_CHECK(config.num_queries >= 1);
+
+  // --- Extract each distinct trace query's transfer chain once. ---
+  const search::QueryEngine engine(index);
+  const auto placement = [&cluster](trace::KeywordId k) {
+    return cluster.node_of(k);
+  };
+  std::vector<std::vector<Transfer>> chains(trace.size());
+  for (std::size_t q = 0; q < trace.size(); ++q) {
+    engine.execute_intersection(
+        trace[q], placement,
+        [&](int from, int to, std::uint64_t bytes) {
+          (void)to;
+          chains[q].push_back({from, bytes});
+        });
+  }
+
+  // --- Poisson arrivals. ---
+  common::Rng rng(config.seed ^ 0x51ABCDEF1234ULL);
+  const double mean_gap_ms = 1000.0 / config.arrival_rate_qps;
+  std::vector<PendingQuery> queries(config.num_queries);
+  double clock = 0.0;
+  for (std::size_t q = 0; q < config.num_queries; ++q) {
+    clock += -std::log(1.0 - rng.next_double()) * mean_gap_ms;
+    queries[q].arrival_ms = clock;
+    queries[q].chain = &chains[q % trace.size()];
+  }
+
+  // --- Event loop: non-preemptive FIFO per sender NIC. ---
+  const double bytes_per_ms = config.nic_mbps * 1000.0 / 8.0;
+  std::vector<double> nic_free(static_cast<std::size_t>(cluster.num_nodes()),
+                               0.0);
+  std::vector<double> nic_busy(static_cast<std::size_t>(cluster.num_nodes()),
+                               0.0);
+  std::priority_queue<ReadyEvent, std::vector<ReadyEvent>,
+                      std::greater<ReadyEvent>>
+      events;
+  std::vector<double> latencies;
+  latencies.reserve(config.num_queries);
+
+  for (std::size_t q = 0; q < config.num_queries; ++q) {
+    if (queries[q].chain->empty()) {
+      latencies.push_back(0.0);  // fully local: no network time
+    } else {
+      events.push({queries[q].arrival_ms, static_cast<std::uint32_t>(q), 0});
+    }
+  }
+
+  double last_completion = 0.0;
+  while (!events.empty()) {
+    const ReadyEvent ev = events.top();
+    events.pop();
+    const PendingQuery& query = queries[ev.query];
+    const Transfer& transfer = (*query.chain)[ev.step];
+
+    const double start = std::max(ev.ready_ms, nic_free[transfer.from]);
+    const double tx =
+        static_cast<double>(transfer.bytes) / bytes_per_ms;
+    nic_free[transfer.from] = start + tx;
+    nic_busy[transfer.from] += tx;
+    const double delivered = start + tx + config.per_message_ms;
+
+    if (ev.step + 1 < query.chain->size()) {
+      events.push({delivered, ev.query, ev.step + 1});
+    } else {
+      latencies.push_back(delivered - query.arrival_ms);
+      last_completion = std::max(last_completion, delivered);
+    }
+  }
+
+  EventSimStats stats;
+  stats.completed = latencies.size();
+  stats.makespan_ms =
+      std::max(last_completion, queries.back().arrival_ms) -
+      queries.front().arrival_ms;
+  if (!latencies.empty()) {
+    stats.mean_latency_ms = common::mean_of(latencies);
+    stats.p50_latency_ms = common::percentile(latencies, 50.0);
+    stats.p99_latency_ms = common::percentile(latencies, 99.0);
+  }
+  if (stats.makespan_ms > 0.0) {
+    for (double busy : nic_busy)
+      stats.max_nic_utilization =
+          std::max(stats.max_nic_utilization, busy / stats.makespan_ms);
+  }
+  return stats;
+}
+
+}  // namespace cca::sim

@@ -1,0 +1,29 @@
+// Network latency model for trace replay.
+//
+// The paper optimizes communication VOLUME; the user-visible consequence
+// is query latency. This model turns each replayed transfer into time:
+// a fixed per-message cost plus bytes over link bandwidth. Intersection
+// plans are sequential (each step needs the previous result), so a
+// query's latency is the sum of its transfers; union plans fan out in
+// parallel, so theirs is the maximum. Local compute time is out of scope
+// (identical across placements, so it cancels from comparisons).
+#pragma once
+
+#include <cstdint>
+
+namespace cca::sim {
+
+struct LatencyModel {
+  /// Fixed cost per inter-node message (propagation + software overhead).
+  double per_message_ms = 0.5;
+  /// Link bandwidth in megabits per second.
+  double bandwidth_mbps = 1000.0;
+
+  /// Wall time of one transfer of `bytes`.
+  double transfer_ms(std::uint64_t bytes) const {
+    return per_message_ms +
+           static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1000.0);
+  }
+};
+
+}  // namespace cca::sim

@@ -1,0 +1,42 @@
+#include "sim/lookup_table.hpp"
+
+#include "common/check.hpp"
+#include "hash/md5.hpp"
+
+namespace cca::sim {
+
+namespace {
+
+int hash_node(trace::KeywordId keyword, int num_nodes) {
+  return static_cast<int>(hash::Md5::digest64(trace::keyword_name(keyword)) %
+                          static_cast<std::uint64_t>(num_nodes));
+}
+
+}  // namespace
+
+LookupTable LookupTable::build(const std::vector<int>& keyword_to_node,
+                               int num_nodes) {
+  CCA_CHECK(num_nodes >= 1);
+  LookupTable table;
+  table.vocabulary_size_ = keyword_to_node.size();
+  table.num_nodes_ = num_nodes;
+  for (std::size_t k = 0; k < keyword_to_node.size(); ++k) {
+    const int node = keyword_to_node[k];
+    CCA_CHECK_MSG(node >= 0 && node < num_nodes,
+                  "keyword " << k << " placed on unknown node " << node);
+    const auto keyword = static_cast<trace::KeywordId>(k);
+    if (node != hash_node(keyword, num_nodes))
+      table.exceptions_.emplace(keyword, node);
+  }
+  return table;
+}
+
+int LookupTable::resolve(trace::KeywordId keyword) const {
+  CCA_CHECK_MSG(keyword < vocabulary_size_,
+                "keyword " << keyword << " outside vocabulary");
+  const auto it = exceptions_.find(keyword);
+  return it == exceptions_.end() ? hash_node(keyword, num_nodes_)
+                                 : it->second;
+}
+
+}  // namespace cca::sim

@@ -1,0 +1,44 @@
+// Keyword-location lookup table (Sec. 4.1).
+//
+// With hash placement a node can compute any keyword's location
+// (MD5 mod n) — no table at all. A correlation-aware placement needs a
+// table, but only for keywords whose optimized node DIFFERS from their
+// hash node: everything else falls through to the hash rule. The paper
+// notes that partial optimization keeps this table small ("the table only
+// needs to contain those important keywords within the optimization
+// scope"); this class makes that saving measurable.
+//
+// Entry cost model: 4-byte keyword ID + 2-byte node ID = 6 bytes/entry.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cca::sim {
+
+class LookupTable {
+ public:
+  /// Builds the exception table for `keyword_to_node` over `num_nodes`
+  /// nodes: entries only where the placement differs from MD5 hashing.
+  static LookupTable build(const std::vector<int>& keyword_to_node,
+                           int num_nodes);
+
+  /// Resolves a keyword: table hit, else the hash rule. Matches the
+  /// installed placement exactly (tested invariant).
+  int resolve(trace::KeywordId keyword) const;
+
+  std::size_t entries() const { return exceptions_.size(); }
+  /// 6 bytes per entry (4 B keyword + 2 B node).
+  std::size_t bytes() const { return 6 * exceptions_.size(); }
+  std::size_t vocabulary_size() const { return vocabulary_size_; }
+
+ private:
+  std::unordered_map<trace::KeywordId, int> exceptions_;
+  std::size_t vocabulary_size_ = 0;
+  int num_nodes_ = 1;
+};
+
+}  // namespace cca::sim

@@ -1,0 +1,77 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace cca::sim {
+
+ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
+                         const trace::QueryTrace& trace, OperationKind kind,
+                         std::vector<std::uint64_t> keyword_bytes,
+                         const LatencyModel& latency) {
+  const search::QueryEngine engine =
+      keyword_bytes.empty()
+          ? search::QueryEngine(index)
+          : search::QueryEngine(index, std::move(keyword_bytes));
+  const auto placement = [&cluster](trace::KeywordId k) {
+    return cluster.node_of(k);
+  };
+  // Per-query latency accumulates through the observer: transfers arrive
+  // in plan order, summed for sequential intersection steps and maxed for
+  // the union fan-out.
+  double query_latency = 0.0;
+  const bool parallel_fanout = kind == OperationKind::kUnion;
+  const auto observer = [&](int from, int to, std::uint64_t bytes) {
+    cluster.record_transfer(from, to, bytes);
+    const double ms = latency.transfer_ms(bytes);
+    query_latency =
+        parallel_fanout ? std::max(query_latency, ms) : query_latency + ms;
+  };
+
+  ReplayStats stats;
+  std::vector<double> per_query_bytes;
+  std::vector<double> per_query_latency;
+  per_query_bytes.reserve(trace.size());
+  per_query_latency.reserve(trace.size());
+
+  for (const trace::Query& query : trace.queries()) {
+    query_latency = 0.0;
+    search::QueryCost cost;
+    switch (kind) {
+      case OperationKind::kIntersection:
+        cost = engine.execute_intersection(query, placement, observer);
+        break;
+      case OperationKind::kIntersectionBloom:
+        cost = engine.execute_intersection_bloom(query, placement,
+                                                 /*bits_per_key=*/8.0,
+                                                 observer);
+        break;
+      case OperationKind::kUnion:
+        cost = engine.execute_union(query, placement, observer);
+        break;
+    }
+    ++stats.queries;
+    if (query.size() >= 2) {
+      ++stats.multi_keyword_queries;
+      if (cost.local) ++stats.local_queries;
+    }
+    stats.total_bytes += cost.bytes_transferred;
+    stats.total_messages += cost.messages;
+    per_query_bytes.push_back(static_cast<double>(cost.bytes_transferred));
+    per_query_latency.push_back(query_latency);
+  }
+
+  if (!per_query_bytes.empty()) {
+    stats.mean_bytes_per_query = common::mean_of(per_query_bytes);
+    stats.p99_bytes_per_query = common::percentile(per_query_bytes, 99.0);
+    stats.mean_latency_ms = common::mean_of(per_query_latency);
+    stats.p99_latency_ms = common::percentile(per_query_latency, 99.0);
+  }
+  stats.max_storage_factor = cluster.max_storage_factor();
+  stats.storage_imbalance = cluster.storage_imbalance();
+  return stats;
+}
+
+}  // namespace cca::sim

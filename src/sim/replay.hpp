@@ -1,0 +1,50 @@
+// Trace-driven evaluation: replay a query trace against a cluster under a
+// placement, measuring actual communication — the paper's evaluation
+// methodology (Sec. 4.1). The optimizer only ever sees the r*w model; the
+// replay charges the real bytes the smallest-two-first intersection plan
+// moves, including everything the model approximates away (>2-keyword
+// residual shipments, out-of-scope keywords, model/reality size skew).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/query_engine.hpp"
+#include "sim/latency.hpp"
+#include "sim/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::sim {
+
+enum class OperationKind { kIntersection, kIntersectionBloom, kUnion };
+
+struct ReplayStats {
+  std::size_t queries = 0;
+  std::size_t multi_keyword_queries = 0;
+  std::size_t local_queries = 0;  // multi-keyword queries with no transfer
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+  double mean_bytes_per_query = 0.0;
+  double p99_bytes_per_query = 0.0;
+  /// Communication latency per query under the replay's LatencyModel
+  /// (local queries contribute 0). Intersection steps are sequential;
+  /// union fan-out is parallel.
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Cluster-side measurements after the replay.
+  double max_storage_factor = 0.0;
+  double storage_imbalance = 0.0;
+};
+
+/// Replays `trace` through `cluster` (which must have a placement
+/// installed). Communication is attributed to node pairs via the cluster's
+/// transfer accounting. `keyword_bytes`, when non-empty, overrides the
+/// on-the-wire posting-list sizes (e.g. compressed sizes) — see
+/// search::QueryEngine.
+ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
+                         const trace::QueryTrace& trace,
+                         OperationKind kind = OperationKind::kIntersection,
+                         std::vector<std::uint64_t> keyword_bytes = {},
+                         const LatencyModel& latency = LatencyModel{});
+
+}  // namespace cca::sim

@@ -1,0 +1,73 @@
+#include "trace/documents.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "hash/md5.hpp"
+
+namespace cca::trace {
+
+Corpus::Corpus(std::size_t vocabulary_size, std::vector<Document> docs)
+    : vocabulary_size_(vocabulary_size), docs_(std::move(docs)) {
+  for (Document& doc : docs_) {
+    std::sort(doc.words.begin(), doc.words.end());
+    doc.words.erase(std::unique(doc.words.begin(), doc.words.end()),
+                    doc.words.end());
+    CCA_CHECK_MSG(doc.words.empty() || doc.words.back() < vocabulary_size_,
+                  "document word outside vocabulary of " << vocabulary_size_);
+  }
+}
+
+Corpus Corpus::generate(const CorpusConfig& config) {
+  CCA_CHECK(config.num_documents >= 1);
+  CCA_CHECK(config.vocabulary_size >= 2);
+  CCA_CHECK(config.mean_distinct_words >= 1.0);
+  CCA_CHECK_MSG(config.mean_distinct_words <
+                    static_cast<double>(config.vocabulary_size) / 2.0,
+                "documents would exhaust the vocabulary");
+
+  Corpus corpus;
+  corpus.vocabulary_size_ = config.vocabulary_size;
+  corpus.docs_.resize(config.num_documents);
+
+  common::Rng rng(config.seed ^ 0xA0761D6478BD642FULL);
+  const common::ZipfSampler word_zipf(config.vocabulary_size,
+                                      config.zipf_word);
+
+  for (std::size_t d = 0; d < config.num_documents; ++d) {
+    Document& doc = corpus.docs_[d];
+    const std::string url =
+        "http://corpus.synthetic/page/" + std::to_string(d);
+    doc.id = hash::Md5::digest64(url);
+
+    // Distinct-word count ~ Poisson-ish around the mean: we use a
+    // uniform +/-25% band, which matches the "approximately 114" framing
+    // without adding a heavy sampling dependency.
+    const double lo = config.mean_distinct_words * 0.75;
+    const double hi = config.mean_distinct_words * 1.25;
+    const auto target = static_cast<std::size_t>(
+        lo + rng.next_double() * (hi - lo) + 0.5);
+
+    std::unordered_set<KeywordId> seen;
+    seen.reserve(target * 2);
+    while (seen.size() < std::max<std::size_t>(target, 1)) {
+      seen.insert(static_cast<KeywordId>(word_zipf.sample(rng)));
+    }
+    doc.words.assign(seen.begin(), seen.end());
+    std::sort(doc.words.begin(), doc.words.end());
+  }
+  return corpus;
+}
+
+std::vector<std::size_t> Corpus::document_frequencies() const {
+  std::vector<std::size_t> df(vocabulary_size_, 0);
+  for (const Document& doc : docs_)
+    for (KeywordId w : doc.words) ++df[w];
+  return df;
+}
+
+}  // namespace cca::trace

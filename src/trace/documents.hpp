@@ -1,0 +1,61 @@
+// Synthetic web-document corpus (substitute for the 3.7 M-page ODP crawl).
+//
+// The placement problem consumes the corpus only through per-keyword
+// document frequencies: a keyword's inverted-index size is
+// (8 bytes) x (number of documents containing it), per the paper's
+// 8-byte-page-ID index format. Documents draw their distinct keywords from
+// the same Zipf vocabulary as the query workload, which yields the
+// heavy-tailed document-frequency (and hence index-size) distribution that
+// Fig. 5 depends on. The paper's corpus averages ~114 distinct
+// post-stopword keywords per page; that is the default here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cca::trace {
+
+struct CorpusConfig {
+  std::size_t num_documents = 20000;
+  std::size_t vocabulary_size = 20000;
+  double mean_distinct_words = 114.0;  // paper's post-stopword average
+  double zipf_word = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// One synthetic page: a URL-derived 64-bit ID plus its distinct keywords
+/// (sorted).
+struct Document {
+  std::uint64_t id = 0;
+  std::vector<KeywordId> words;
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Wraps externally built documents (hand-crafted fixtures, real crawls).
+  /// Word IDs must lie inside the vocabulary; word lists are sorted and
+  /// deduplicated.
+  Corpus(std::size_t vocabulary_size, std::vector<Document> docs);
+
+  /// Generates a corpus. Document IDs are the first 8 bytes of the MD5
+  /// digest of a synthetic URL, mirroring the paper's page-ID convention.
+  static Corpus generate(const CorpusConfig& config);
+
+  std::size_t size() const { return docs_.size(); }
+  std::size_t vocabulary_size() const { return vocabulary_size_; }
+  const Document& operator[](std::size_t i) const { return docs_[i]; }
+  const std::vector<Document>& documents() const { return docs_; }
+
+  /// Number of documents containing each keyword.
+  std::vector<std::size_t> document_frequencies() const;
+
+ private:
+  std::size_t vocabulary_size_ = 0;
+  std::vector<Document> docs_;
+};
+
+}  // namespace cca::trace

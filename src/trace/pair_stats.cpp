@@ -1,0 +1,114 @@
+#include "trace/pair_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cca::trace {
+
+std::uint64_t pack_pair(KeywordId i, KeywordId j) {
+  CCA_CHECK_MSG(i != j, "self-pair");
+  if (i > j) std::swap(i, j);
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+KeywordPair unpack_pair(std::uint64_t packed) {
+  return KeywordPair{static_cast<KeywordId>(packed >> 32),
+                     static_cast<KeywordId>(packed & 0xFFFFFFFFULL)};
+}
+
+PairCounter PairCounter::count_all_pairs(const QueryTrace& trace) {
+  PairCounter counter;
+  counter.num_queries_ = trace.size();
+  for (const Query& q : trace.queries()) {
+    for (std::size_t a = 0; a < q.keywords.size(); ++a)
+      for (std::size_t b = a + 1; b < q.keywords.size(); ++b)
+        ++counter.counts_[pack_pair(q.keywords[a], q.keywords[b])];
+  }
+  return counter;
+}
+
+PairCounter PairCounter::count_smallest_pair(
+    const QueryTrace& trace, const std::vector<std::uint64_t>& object_sizes) {
+  CCA_CHECK_MSG(object_sizes.size() >= trace.vocabulary_size(),
+                "object_sizes does not cover the vocabulary");
+  PairCounter counter;
+  counter.num_queries_ = trace.size();
+  for (const Query& q : trace.queries()) {
+    if (q.keywords.size() < 2) continue;
+    // Find the two keywords with the smallest index sizes; ties broken by
+    // keyword ID (keywords are sorted, so the first seen wins).
+    KeywordId best = q.keywords[0], second = q.keywords[1];
+    if (object_sizes[second] < object_sizes[best]) std::swap(best, second);
+    for (std::size_t t = 2; t < q.keywords.size(); ++t) {
+      const KeywordId k = q.keywords[t];
+      if (object_sizes[k] < object_sizes[best]) {
+        second = best;
+        best = k;
+      } else if (object_sizes[k] < object_sizes[second]) {
+        second = k;
+      }
+    }
+    ++counter.counts_[pack_pair(best, second)];
+  }
+  return counter;
+}
+
+std::uint64_t PairCounter::count(KeywordId i, KeywordId j) const {
+  auto it = counts_.find(pack_pair(i, j));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<PairCount> PairCounter::sorted_pairs(
+    std::uint64_t min_count) const {
+  std::vector<PairCount> out;
+  out.reserve(counts_.size());
+  const double n = num_queries_ > 0 ? static_cast<double>(num_queries_) : 1.0;
+  for (const auto& [packed, count] : counts_) {
+    if (count < min_count) continue;
+    out.push_back(PairCount{unpack_pair(packed), count,
+                            static_cast<double>(count) / n});
+  }
+  std::sort(out.begin(), out.end(), [](const PairCount& a, const PairCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.pair.first != b.pair.first) return a.pair.first < b.pair.first;
+    return a.pair.second < b.pair.second;
+  });
+  return out;
+}
+
+std::vector<PairCount> PairCounter::top_pairs(std::size_t k) const {
+  std::vector<PairCount> all = sorted_pairs();
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+StabilityReport compare_stability(const PairCounter& reference,
+                                  const PairCounter& other,
+                                  std::size_t top_k) {
+  StabilityReport report;
+  const double other_n =
+      other.num_queries() > 0 ? static_cast<double>(other.num_queries()) : 1.0;
+  double log_sum = 0.0;
+  for (const PairCount& pc : reference.top_pairs(top_k)) {
+    ++report.pairs_compared;
+    const double other_prob =
+        static_cast<double>(other.count(pc.pair.first, pc.pair.second)) /
+        other_n;
+    const double ratio = other_prob / pc.probability;
+    if (ratio > 2.0 || ratio < 0.5) ++report.pairs_changed;
+    // An absent pair reads as a 2^64 change rather than infinity so the
+    // mean stays finite.
+    log_sum += ratio > 0.0 ? std::abs(std::log2(ratio)) : 64.0;
+  }
+  if (report.pairs_compared > 0) {
+    report.changed_fraction = static_cast<double>(report.pairs_changed) /
+                              static_cast<double>(report.pairs_compared);
+    report.mean_abs_log2_ratio =
+        log_sum / static_cast<double>(report.pairs_compared);
+  }
+  return report;
+}
+
+}  // namespace cca::trace

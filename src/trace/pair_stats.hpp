@@ -1,0 +1,84 @@
+// Keyword-pair co-occurrence statistics over a query trace.
+//
+// The paper defines the correlation r(i, j) of a pair as the probability
+// that i and j are requested together in an operation (Sec. 2.1), adjusted
+// for intersection-like >2-object operations to "the probability that they
+// are the two smallest objects requested" (Sec. 3.2). Both counting modes
+// live here; Fig. 2's skewness/stability analysis and the optimizer's
+// correlation input are built on these counts.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cca::trace {
+
+/// Canonical (i < j) keyword pair.
+struct KeywordPair {
+  KeywordId first = 0;
+  KeywordId second = 0;
+
+  friend bool operator==(const KeywordPair&, const KeywordPair&) = default;
+};
+
+/// Packs an ordered pair into a map key.
+std::uint64_t pack_pair(KeywordId i, KeywordId j);
+KeywordPair unpack_pair(std::uint64_t packed);
+
+/// One pair with its observed statistics.
+struct PairCount {
+  KeywordPair pair;
+  std::uint64_t count = 0;
+  /// count / number of queries in the trace — the empirical r(i, j).
+  double probability = 0.0;
+};
+
+/// Co-occurrence counter.
+class PairCounter {
+ public:
+  /// Counts every unordered keyword pair of every query — the paper's
+  /// base definition of correlation.
+  static PairCounter count_all_pairs(const QueryTrace& trace);
+
+  /// Counts, per query, only the two keywords with the smallest object
+  /// sizes (ties broken by keyword ID) — the Sec. 3.2 adjustment for
+  /// intersection-like operations. `object_sizes` is indexed by KeywordId
+  /// and must cover the trace's vocabulary.
+  static PairCounter count_smallest_pair(
+      const QueryTrace& trace, const std::vector<std::uint64_t>& object_sizes);
+
+  std::uint64_t count(KeywordId i, KeywordId j) const;
+  std::size_t distinct_pairs() const { return counts_.size(); }
+  std::size_t num_queries() const { return num_queries_; }
+
+  /// All pairs sorted by descending count (ties by pair), with empirical
+  /// probabilities. `min_count` drops noise pairs.
+  std::vector<PairCount> sorted_pairs(std::uint64_t min_count = 1) const;
+
+  /// The `k` most frequent pairs (or all, if fewer exist).
+  std::vector<PairCount> top_pairs(std::size_t k) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::size_t num_queries_ = 0;
+};
+
+/// Fig. 2(B) summary: of `reference`'s top-k pairs, the fraction whose
+/// probability in `other` is more than double or less than half the
+/// reference probability (the paper reports 1.2% across Jan/Feb 2006).
+struct StabilityReport {
+  std::size_t pairs_compared = 0;
+  std::size_t pairs_changed = 0;   // >2x or <0.5x
+  double changed_fraction = 0.0;
+  /// Mean |log2(other/reference)| over compared pairs — 0 when perfectly
+  /// stable; pairs absent from `other` count as a 64x change.
+  double mean_abs_log2_ratio = 0.0;
+};
+
+StabilityReport compare_stability(const PairCounter& reference,
+                                  const PairCounter& other, std::size_t top_k);
+
+}  // namespace cca::trace

@@ -1,0 +1,62 @@
+// Query-trace data model.
+//
+// A trace is the stream of multi-object operations driving the whole
+// study: for the paper's case study, multi-keyword search queries. Each
+// query holds the distinct keyword IDs it requests. Traces are the input
+// to correlation estimation (core/correlation.hpp) and to the replay
+// evaluation (sim/replay.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cca::trace {
+
+using KeywordId = std::uint32_t;
+
+/// Canonical printable name of a keyword — used wherever a stable string
+/// identity is needed (MD5 hash placement, page-ID style digests).
+std::string keyword_name(KeywordId id);
+
+/// One multi-keyword operation. Keywords are distinct and sorted.
+struct Query {
+  std::vector<KeywordId> keywords;
+
+  std::size_t size() const { return keywords.size(); }
+};
+
+/// An ordered collection of queries over a fixed vocabulary [0, vocab_size).
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+  explicit QueryTrace(std::size_t vocabulary_size)
+      : vocabulary_size_(vocabulary_size) {}
+
+  /// Appends a query; keywords are deduplicated and sorted, and must lie
+  /// within the vocabulary. Empty queries are rejected.
+  void add_query(std::vector<KeywordId> keywords);
+
+  std::size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  std::size_t vocabulary_size() const { return vocabulary_size_; }
+  const Query& operator[](std::size_t i) const { return queries_[i]; }
+  const std::vector<Query>& queries() const { return queries_; }
+
+  /// Mean number of keywords per query (the paper's trace: 2.54).
+  double mean_query_length() const;
+
+  /// Number of queries with >= 2 keywords (only those create inter-object
+  /// communication).
+  std::size_t multi_keyword_queries() const;
+
+  /// Per-keyword query frequency (how many queries contain the keyword).
+  std::vector<std::size_t> keyword_frequencies() const;
+
+ private:
+  std::size_t vocabulary_size_ = 0;
+  std::vector<Query> queries_;
+};
+
+}  // namespace cca::trace

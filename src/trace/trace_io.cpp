@@ -1,0 +1,75 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace cca::trace {
+
+namespace {
+constexpr const char* kHeaderPrefix = "# cca-trace v1 vocab=";
+}
+
+void write_trace(std::ostream& os, const QueryTrace& trace) {
+  os << kHeaderPrefix << trace.vocabulary_size() << '\n';
+  for (const Query& q : trace.queries()) {
+    for (std::size_t t = 0; t < q.keywords.size(); ++t)
+      os << (t == 0 ? "" : " ") << q.keywords[t];
+    os << '\n';
+  }
+}
+
+QueryTrace read_trace(std::istream& is) {
+  std::string header;
+  CCA_CHECK_MSG(std::getline(is, header), "empty trace stream");
+  CCA_CHECK_MSG(header.rfind(kHeaderPrefix, 0) == 0,
+                "bad trace header: '" << header << "'");
+  const std::string vocab_str = header.substr(std::string(kHeaderPrefix).size());
+  char* end = nullptr;
+  const unsigned long vocab = std::strtoul(vocab_str.c_str(), &end, 10);
+  CCA_CHECK_MSG(end && *end == '\0' && vocab > 0,
+                "bad vocabulary size in trace header: '" << vocab_str << "'");
+
+  QueryTrace trace(vocab);
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::vector<KeywordId> keywords;
+    std::string token;
+    while (tokens >> token) {
+      char* tok_end = nullptr;
+      const unsigned long id = std::strtoul(token.c_str(), &tok_end, 10);
+      CCA_CHECK_MSG(tok_end && *tok_end == '\0',
+                    "trace line " << line_no << ": bad keyword '" << token
+                                  << "'");
+      CCA_CHECK_MSG(id < vocab, "trace line " << line_no << ": keyword " << id
+                                              << " outside vocabulary "
+                                              << vocab);
+      keywords.push_back(static_cast<KeywordId>(id));
+    }
+    CCA_CHECK_MSG(!keywords.empty(),
+                  "trace line " << line_no << ": no keywords");
+    trace.add_query(std::move(keywords));
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const QueryTrace& trace) {
+  std::ofstream file(path);
+  CCA_CHECK_MSG(file, "cannot open '" << path << "' for writing");
+  write_trace(file, trace);
+  CCA_CHECK_MSG(file.good(), "write failed for '" << path << "'");
+}
+
+QueryTrace load_trace(const std::string& path) {
+  std::ifstream file(path);
+  CCA_CHECK_MSG(file, "cannot open '" << path << "' for reading");
+  return read_trace(file);
+}
+
+}  // namespace cca::trace

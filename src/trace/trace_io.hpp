@@ -1,0 +1,37 @@
+// Plain-text query-trace serialization.
+//
+// Lets real query logs drive the pipeline (the paper used Ask.com logs we
+// cannot redistribute) and lets generated workloads be archived for
+// exactly-reproducible experiments.
+//
+// Format (one query per line, keyword IDs space-separated):
+//
+//   # cca-trace v1 vocab=253334
+//   17 92 4711
+//   92
+//   8 17
+//
+// Lines starting with '#' after the header are comments. Keywords are
+// validated against the header's vocabulary size on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cca::trace {
+
+/// Writes `trace` in the v1 text format.
+void write_trace(std::ostream& os, const QueryTrace& trace);
+
+/// Parses a v1 text trace; throws common::Error on malformed input
+/// (missing/garbled header, non-numeric tokens, out-of-vocabulary
+/// keywords, empty query lines).
+QueryTrace read_trace(std::istream& is);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const QueryTrace& trace);
+QueryTrace load_trace(const std::string& path);
+
+}  // namespace cca::trace

@@ -1,0 +1,113 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/zipf.hpp"
+
+namespace cca::trace {
+
+using common::Rng;
+using common::ZipfSampler;
+
+WorkloadModel::WorkloadModel(const WorkloadConfig& config) : config_(config) {
+  CCA_CHECK(config.vocabulary_size >= 2);
+  CCA_CHECK(config.num_topics >= 1);
+  CCA_CHECK(config.topic_size >= 2);
+  CCA_CHECK_MSG(config.topic_size <= config.vocabulary_size,
+                "topic_size exceeds vocabulary");
+  CCA_CHECK(config.mean_query_length >= 1.0);
+  CCA_CHECK(config.topic_coherence >= 0.0 && config.topic_coherence <= 1.0);
+
+  Rng rng(config.seed);
+  const ZipfSampler membership_zipf(config.vocabulary_size,
+                                    config.zipf_membership);
+  topics_.resize(config.num_topics);
+  if (config.disjoint_topics) {
+    CCA_CHECK_MSG(config.num_topics * config.topic_size <=
+                      config.vocabulary_size,
+                  "disjoint topics need num_topics * topic_size <= vocab");
+    // Strided assignment: topic t holds {t, t+T, t+2T, ...}. Contiguous
+    // blocks would hand topic 0 all the head (largest-index) keywords;
+    // striding gives every topic one keyword from each popularity band,
+    // like real interest clusters that mix head and tail terms.
+    for (std::size_t t = 0; t < config.num_topics; ++t) {
+      for (std::size_t m = 0; m < config.topic_size; ++m)
+        topics_[t].push_back(
+            static_cast<KeywordId>(m * config.num_topics + t));
+    }
+  } else {
+    for (auto& topic : topics_) {
+      // Mildly popularity-biased distinct membership (see header note on
+      // zipf_membership).
+      while (topic.size() < config.topic_size) {
+        const auto k = static_cast<KeywordId>(membership_zipf.sample(rng));
+        if (std::find(topic.begin(), topic.end(), k) == topic.end())
+          topic.push_back(k);
+      }
+      std::sort(topic.begin(), topic.end());
+    }
+  }
+}
+
+QueryTrace WorkloadModel::generate(std::size_t num_queries,
+                                   std::uint64_t seed) const {
+  QueryTrace out(config_.vocabulary_size);
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+
+  const ZipfSampler topic_zipf(config_.num_topics, config_.zipf_topic);
+  const ZipfSampler within_zipf(config_.topic_size, config_.zipf_within_topic);
+  const ZipfSampler keyword_zipf(config_.vocabulary_size,
+                                 config_.zipf_keyword);
+
+  // Query length L = 1 + Geometric(p) (number of failures before success),
+  // so E[L] = 1 + (1-p)/p = 1/p. Choose p = 1 / mean_query_length.
+  const double p = 1.0 / config_.mean_query_length;
+
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const std::size_t topic_idx = topic_zipf.sample(rng);
+    const auto& topic = topics_[topic_idx];
+
+    std::size_t length = 1;
+    while (rng.next_double() >= p && length < 10) ++length;
+
+    std::vector<KeywordId> keywords;
+    keywords.reserve(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      if (rng.next_double() < config_.topic_coherence) {
+        keywords.push_back(topic[within_zipf.sample(rng)]);
+      } else {
+        keywords.push_back(static_cast<KeywordId>(keyword_zipf.sample(rng)));
+      }
+    }
+    out.add_query(std::move(keywords));  // dedupes; may shorten the query
+  }
+  return out;
+}
+
+WorkloadModel WorkloadModel::drifted(double epsilon,
+                                     std::uint64_t seed) const {
+  CCA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  WorkloadModel copy = *this;
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  const ZipfSampler membership_zipf(config_.vocabulary_size,
+                                    config_.zipf_membership);
+  for (auto& topic : copy.topics_) {
+    for (auto& member : topic) {
+      if (rng.next_double() >= epsilon) continue;
+      // Re-roll this membership to a keyword not already in the topic.
+      for (int attempts = 0; attempts < 64; ++attempts) {
+        const auto k = static_cast<KeywordId>(membership_zipf.sample(rng));
+        if (std::find(topic.begin(), topic.end(), k) == topic.end()) {
+          member = k;
+          break;
+        }
+      }
+    }
+    std::sort(topic.begin(), topic.end());
+  }
+  return copy;
+}
+
+}  // namespace cca::trace

@@ -1,0 +1,82 @@
+// Synthetic multi-keyword query workload (substitute for the Ask.com trace).
+//
+// The paper's premises (Sec. 1, Fig. 2) are that keyword-pair correlations
+// are (a) sparse, (b) highly skewed, and (c) stable across month-long
+// periods. We reproduce those properties with a topic model:
+//
+//   * keywords have Zipf-distributed global popularity;
+//   * each topic owns a random keyword subset (popularity-biased), and
+//   * a query picks a Zipf-popular topic, draws a query length with mean
+//     ~2.54 (the paper's trace average), then draws keywords from the topic
+//     with probability `topic_coherence` and from the global distribution
+//     otherwise.
+//
+// Keywords co-occurring in a popular topic are strongly correlated; pairs
+// across topics are weak — giving the skew of Fig. 2(A). Two traces drawn
+// from the same model differ only by sampling noise — the stability of
+// Fig. 2(B). `WorkloadModel::drifted` additionally re-rolls a fraction of
+// topic memberships to model genuine interest drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::trace {
+
+struct WorkloadConfig {
+  std::size_t vocabulary_size = 20000;
+  std::size_t num_topics = 400;
+  std::size_t topic_size = 12;     // keywords per topic
+  double zipf_keyword = 1.0;       // global keyword popularity skew
+  /// Popularity bias of topic MEMBERSHIP. Kept flatter than zipf_keyword:
+  /// with a strong bias the same head keywords join most topics and weld
+  /// the co-occurrence graph into one giant, expensively-cut component —
+  /// unlike real query logs, where strong pair weight stays within
+  /// clusters and hub words attach only weakly. 0 = uniform membership.
+  double zipf_membership = 0.4;
+  double zipf_topic = 1.0;         // topic popularity skew
+  double zipf_within_topic = 0.8;  // keyword skew inside a topic
+  double mean_query_length = 2.54; // paper's Ask.com trace average
+  double topic_coherence = 0.85;   // P(keyword drawn from the query's topic)
+  /// When true, topics tile the vocabulary in disjoint blocks instead of
+  /// sampling (possibly overlapping) members: the correlation graph's
+  /// strong edges then form small isolated clusters, the regime the
+  /// paper's trace appears to be in (its savings do not degrade with node
+  /// count the way an interlinked-cluster workload's do). Overlapping
+  /// topics model hub keywords that weld clusters together.
+  bool disjoint_topics = false;
+  std::uint64_t seed = 1;          // topic-structure seed
+};
+
+/// A fixed "interest distribution": topic structure plus samplers. One
+/// model generates arbitrarily many traces (e.g. a "January" and a
+/// "February" sample) that share correlation structure.
+class WorkloadModel {
+ public:
+  explicit WorkloadModel(const WorkloadConfig& config);
+
+  /// Draws `num_queries` queries; `seed` selects the sampling stream, so
+  /// different seeds model different observation periods.
+  QueryTrace generate(std::size_t num_queries, std::uint64_t seed) const;
+
+  /// Returns a copy of this model in which each topic-keyword membership
+  /// was independently re-rolled with probability `epsilon` — genuine
+  /// distribution drift, as opposed to sampling noise.
+  WorkloadModel drifted(double epsilon, std::uint64_t seed) const;
+
+  const WorkloadConfig& config() const { return config_; }
+  const std::vector<std::vector<KeywordId>>& topics() const {
+    return topics_;
+  }
+
+ private:
+  WorkloadModel() = default;
+
+  WorkloadConfig config_;
+  std::vector<std::vector<KeywordId>> topics_;
+};
+
+}  // namespace cca::trace

@@ -1,0 +1,146 @@
+// ComponentLpSolver: component detection, exactness of the contraction
+// (optimal LP objective 0, capacity in expectation), and agreement with
+// the full Fig. 4 simplex solve.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include "common/rng.hpp"
+#include "core/component_solver.hpp"
+#include "core/lp_formulation.hpp"
+
+namespace cca::core {
+namespace {
+
+TEST(Components, FindsConnectedGroups) {
+  // 0-1-2 connected, 3-4 connected, 5 alone.
+  const CcaInstance inst(
+      {1, 1, 1, 1, 1, 1}, {10, 10},
+      {{0, 1, 0.5, 1.0}, {1, 2, 0.5, 1.0}, {3, 4, 0.5, 1.0}});
+  const ComponentStructure cs = find_components(inst);
+  EXPECT_EQ(cs.num_components(), 3);
+  EXPECT_EQ(cs.component_of[0], cs.component_of[1]);
+  EXPECT_EQ(cs.component_of[1], cs.component_of[2]);
+  EXPECT_EQ(cs.component_of[3], cs.component_of[4]);
+  EXPECT_NE(cs.component_of[0], cs.component_of[3]);
+  EXPECT_NE(cs.component_of[0], cs.component_of[5]);
+  EXPECT_NE(cs.component_of[3], cs.component_of[5]);
+}
+
+TEST(Components, ZeroCostPairsDoNotConnect) {
+  const CcaInstance inst({1, 1}, {10}, {{0, 1, 0.0, 5.0}});
+  EXPECT_EQ(find_components(inst).num_components(), 2);
+  const CcaInstance inst2({1, 1}, {10}, {{0, 1, 0.5, 0.0}});
+  EXPECT_EQ(find_components(inst2).num_components(), 2);
+}
+
+TEST(Components, SizesAggregateMemberSizes) {
+  const CcaInstance inst({3, 4, 5}, {20}, {{0, 1, 0.5, 1.0}});
+  const ComponentStructure cs = find_components(inst);
+  double total = 0.0;
+  for (double s : cs.sizes) total += s;
+  EXPECT_DOUBLE_EQ(total, 12.0);
+}
+
+TEST(ComponentSolver, ProducesZeroObjectiveRowStochasticSolution) {
+  const CcaInstance inst({4, 4, 2, 1, 1}, {7, 7},
+                         {{0, 1, 1.0, 8.0}, {1, 2, 0.5, 2.0},
+                          {3, 4, 0.9, 3.0}});
+  const FractionalPlacement x = ComponentLpSolver(7).solve(inst);
+  EXPECT_LT(x.max_row_violation(), 1e-7);
+  EXPECT_NEAR(x.lp_objective(inst), 0.0, 1e-9);
+  const auto loads = x.expected_loads(inst);
+  for (int k = 0; k < inst.num_nodes(); ++k)
+    EXPECT_LE(loads[k], inst.node_capacity(k) + 1e-6);
+}
+
+TEST(ComponentSolver, RowsIdenticalWithinComponent) {
+  const CcaInstance inst({2, 2, 2, 3}, {5, 5},
+                         {{0, 1, 0.5, 1.0}, {1, 2, 0.5, 1.0}});
+  const FractionalPlacement x = ComponentLpSolver(3).solve(inst);
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_NEAR(x.value(0, k), x.value(1, k), 1e-9);
+    EXPECT_NEAR(x.value(1, k), x.value(2, k), 1e-9);
+  }
+}
+
+TEST(ComponentSolver, MatchesFullLpOptimum) {
+  // Both solvers must land on the same (zero) optimum of the Fig. 4 LP.
+  const CcaInstance inst({4, 3, 2, 2, 1}, {6, 6, 6},
+                         {{0, 1, 0.8, 5.0}, {2, 3, 0.4, 2.0}});
+  const FractionalPlacement component = ComponentLpSolver(1).solve(inst);
+  const FractionalPlacement full = solve_cca_lp(inst);
+  EXPECT_NEAR(component.lp_objective(inst), full.lp_objective(inst), 1e-6);
+  EXPECT_NEAR(component.lp_objective(inst), 0.0, 1e-9);
+}
+
+TEST(ComponentSolver, TightCapacityForcesFractionalSpread) {
+  // One component of size 8 with per-node capacity 5: the fractional
+  // solution must split it across nodes, 5 + 3 or similar.
+  const CcaInstance inst({4, 4}, {5, 5}, {{0, 1, 1.0, 10.0}});
+  const FractionalPlacement x = ComponentLpSolver(2).solve(inst);
+  const auto loads = x.expected_loads(inst);
+  EXPECT_LE(loads[0], 5.0 + 1e-6);
+  EXPECT_LE(loads[1], 5.0 + 1e-6);
+  EXPECT_NEAR(loads[0] + loads[1], 8.0, 1e-6);
+  // Still objective 0 — the degeneracy the docs call out.
+  EXPECT_NEAR(x.lp_objective(inst), 0.0, 1e-9);
+}
+
+TEST(ComponentSolver, InfeasibleWhenTotalCapacityTooSmall) {
+  const CcaInstance inst({5, 5}, {4, 4}, {{0, 1, 1.0, 1.0}});
+  EXPECT_THROW(ComponentLpSolver(1).solve(inst), common::Error);
+}
+
+TEST(ComponentSolver, RejectsPinnedInstances) {
+  CcaInstance inst({1, 1}, {4, 4}, {{0, 1, 0.5, 1.0}});
+  inst.pin(0, 1);
+  EXPECT_THROW(ComponentLpSolver(1).solve(inst), common::Error);
+}
+
+TEST(ComponentSolver, MostComponentsRoundToIntegralAssignments) {
+  // Vertex property: a transportation-polytope vertex has <= C + N - 1
+  // nonzeros, so at most N - 1 components can be fractional.
+  common::Rng rng(5);
+  std::vector<double> sizes;
+  std::vector<PairWeight> pairs;
+  const int kComponents = 40;
+  for (int c = 0; c < kComponents; ++c) {
+    const int base = c * 2;
+    sizes.push_back(1.0 + rng.next_double());
+    sizes.push_back(1.0 + rng.next_double());
+    pairs.push_back({base, base + 1, 0.5, 1.0});
+  }
+  const int kNodes = 4;
+  double total = 0.0;
+  for (double s : sizes) total += s;
+  const CcaInstance inst(
+      sizes, std::vector<double>(kNodes, 2.0 * total / kNodes), pairs);
+  const FractionalPlacement x = ComponentLpSolver(11).solve(inst);
+
+  int fractional_components = 0;
+  for (int c = 0; c < kComponents; ++c) {
+    bool integral = false;
+    for (int k = 0; k < kNodes; ++k)
+      if (x.value(c * 2, k) > 1.0 - 1e-7) integral = true;
+    if (!integral) ++fractional_components;
+  }
+  EXPECT_LE(fractional_components, kNodes - 1);
+}
+
+TEST(ComponentSolver, DifferentSeedsPickDifferentVertices) {
+  std::vector<double> sizes(20, 1.0);
+  std::vector<PairWeight> pairs;
+  for (int c = 0; c < 10; ++c) pairs.push_back({2 * c, 2 * c + 1, 0.5, 1.0});
+  const CcaInstance inst(sizes, {10.0, 10.0, 10.0, 10.0}, pairs);
+  const FractionalPlacement a = ComponentLpSolver(1).solve(inst);
+  const FractionalPlacement b = ComponentLpSolver(2).solve(inst);
+  bool differs = false;
+  for (int i = 0; i < 20 && !differs; ++i)
+    for (int k = 0; k < 4 && !differs; ++k)
+      if (std::abs(a.value(i, k) - b.value(i, k)) > 1e-9) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,131 @@
+// Varint codec, delta-compressed postings, compressed index sizes, and
+// the query engine's custom size model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "search/compression.hpp"
+#include "search/query_engine.hpp"
+#include "trace/documents.hpp"
+
+namespace cca::search {
+namespace {
+
+TEST(Varint, LengthsMatchLeb128Boundaries) {
+  EXPECT_EQ(varint_length(0), 1u);
+  EXPECT_EQ(varint_length(127), 1u);
+  EXPECT_EQ(varint_length(128), 2u);
+  EXPECT_EQ(varint_length(16383), 2u);
+  EXPECT_EQ(varint_length(16384), 3u);
+  EXPECT_EQ(varint_length(UINT64_MAX), 10u);
+}
+
+TEST(Varint, EncodeDecodeRoundTrip) {
+  common::Rng rng(3);
+  std::vector<std::uint64_t> values{0, 1, 127, 128, 300, 16384, UINT64_MAX};
+  for (int i = 0; i < 100; ++i) values.push_back(rng());
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t v : values) varint_encode(v, bytes);
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t* end = bytes.data() + bytes.size();
+  for (std::uint64_t v : values) EXPECT_EQ(varint_decode(&p, end), v);
+  EXPECT_EQ(p, end);
+}
+
+TEST(Varint, DecodeRejectsTruncatedInput) {
+  std::vector<std::uint8_t> bytes;
+  varint_encode(1ULL << 40, bytes);
+  bytes.pop_back();  // chop the terminator byte
+  const std::uint8_t* p = bytes.data();
+  EXPECT_THROW(varint_decode(&p, bytes.data() + bytes.size()), common::Error);
+}
+
+TEST(Postings, CompressRoundTrip) {
+  const std::vector<std::uint64_t> ids{3, 7, 8, 100, 100000, 1ULL << 40};
+  EXPECT_EQ(decompress_postings(compress_postings(ids)), ids);
+  EXPECT_TRUE(decompress_postings(compress_postings({})).empty());
+}
+
+TEST(Postings, DenseGapsCompressFarBelow8BytesPerEntry) {
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 1000; ++i) ids.push_back(i * 3);  // gap 3
+  const auto bytes = compress_postings(ids);
+  EXPECT_LT(bytes.size(), 1100u);  // ~1 byte/posting vs 8000 raw
+}
+
+TEST(Postings, CompressRejectsUnsortedInput) {
+  EXPECT_THROW(compress_postings({5, 3}), common::Error);
+  EXPECT_THROW(compress_postings({5, 5}), common::Error);
+}
+
+TEST(Postings, DecompressRejectsTrailingGarbage) {
+  auto bytes = compress_postings({1, 2, 3});
+  bytes.push_back(0x01);
+  EXPECT_THROW(decompress_postings(bytes), common::Error);
+}
+
+TEST(CompressedIndex, SizesAreSmallerThanRawAndConsistent) {
+  trace::CorpusConfig cfg;
+  cfg.num_documents = 800;
+  cfg.vocabulary_size = 600;
+  cfg.mean_distinct_words = 40.0;
+  cfg.seed = 9;
+  const InvertedIndex index =
+      InvertedIndex::build(trace::Corpus::generate(cfg));
+  const auto raw = index.index_sizes();
+  const auto compressed = compressed_index_sizes(index);
+  ASSERT_EQ(compressed.size(), raw.size());
+  std::uint64_t raw_total = 0, compressed_total = 0;
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    raw_total += raw[k];
+    compressed_total += compressed[k];
+    if (raw[k] > 0) {
+      EXPECT_GT(compressed[k], 0u);
+    }
+    // Dense-ordinal gaps of <= 800 documents need at most 2-byte varints
+    // (plus the count header): far below 8 bytes per posting.
+    if (index.postings(static_cast<trace::KeywordId>(k)).size() >= 4) {
+      EXPECT_LT(compressed[k], raw[k]) << "keyword " << k;
+    }
+  }
+  EXPECT_LT(compressed_total, raw_total / 3);  // >= 3x compression here
+}
+
+TEST(QueryEngineSizeModel, CustomBytesDriveCostAndOrder) {
+  // kw0 -> {1..6} (48 B raw), kw1 -> {2,3} (16 B raw). Override so kw0
+  // "compresses" to 4 B: now kw0 is the smaller object and ships instead.
+  std::vector<trace::Document> docs = {
+      {1, {0}}, {2, {0, 1}}, {3, {0, 1}}, {4, {0}}, {5, {0}}, {6, {0}},
+  };
+  const InvertedIndex index =
+      InvertedIndex::build(trace::Corpus(2, std::move(docs)));
+  const QueryEngine engine(index, {4, 16});
+  const QueryCost cost = engine.execute_intersection(
+      trace::Query{{0, 1}},
+      [](trace::KeywordId k) { return static_cast<int>(k); });
+  EXPECT_EQ(cost.bytes_transferred, 4u);
+  EXPECT_EQ(cost.result_size, 2u);
+}
+
+TEST(QueryEngineSizeModel, RejectsWrongVocabularyCoverage) {
+  std::vector<trace::Document> docs = {{1, {0}}, {2, {1}}};
+  const InvertedIndex index =
+      InvertedIndex::build(trace::Corpus(2, std::move(docs)));
+  EXPECT_THROW(QueryEngine(index, {8}), common::Error);
+}
+
+TEST(QueryEngineSizeModel, UnionUsesCustomSizes) {
+  std::vector<trace::Document> docs = {{1, {0, 1}}, {2, {0}}, {3, {1}}};
+  const InvertedIndex index =
+      InvertedIndex::build(trace::Corpus(2, std::move(docs)));
+  // Raw sizes: kw0 = 16 B, kw1 = 16 B. Override: kw1 much larger, so it
+  // becomes the union destination and kw0's 2 B ship.
+  const QueryEngine engine(index, {2, 100});
+  const QueryCost cost = engine.execute_union(
+      trace::Query{{0, 1}},
+      [](trace::KeywordId k) { return static_cast<int>(k); });
+  EXPECT_EQ(cost.bytes_transferred, 2u);
+}
+
+}  // namespace
+}  // namespace cca::search

@@ -1,0 +1,103 @@
+// CcaInstance and FractionalPlacement invariants.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/instance.hpp"
+
+namespace cca::core {
+namespace {
+
+CcaInstance tiny() {
+  // 3 objects (sizes 4, 2, 2), 2 nodes (capacity 5 each), pairs
+  // (0,1): r=0.5 w=10, (1,2): r=0.25 w=4.
+  return CcaInstance({4.0, 2.0, 2.0}, {5.0, 5.0},
+                     {{0, 1, 0.5, 10.0}, {1, 2, 0.25, 4.0}});
+}
+
+TEST(CcaInstance, CommunicationCostCountsSeparatedPairsOnly) {
+  const CcaInstance inst = tiny();
+  EXPECT_DOUBLE_EQ(inst.communication_cost({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(inst.communication_cost({0, 1, 1}), 5.0);   // (0,1) split
+  EXPECT_DOUBLE_EQ(inst.communication_cost({0, 0, 1}), 1.0);   // (1,2) split
+  EXPECT_DOUBLE_EQ(inst.communication_cost({0, 1, 0}), 6.0);   // both split
+  EXPECT_DOUBLE_EQ(inst.total_pair_cost(), 6.0);
+}
+
+TEST(CcaInstance, LoadsAndFeasibility) {
+  const CcaInstance inst = tiny();
+  const Placement p{0, 1, 1};  // loads: node0 = 4, node1 = 4
+  EXPECT_EQ(inst.node_loads(p), (std::vector<double>{4.0, 4.0}));
+  EXPECT_DOUBLE_EQ(inst.max_load_factor(p), 0.8);
+  EXPECT_TRUE(inst.is_feasible(p));
+  // All on one node: 8 > 5 infeasible.
+  EXPECT_FALSE(inst.is_feasible({0, 0, 0}));
+  EXPECT_DOUBLE_EQ(inst.max_load_factor({0, 0, 0}), 1.6);
+}
+
+TEST(CcaInstance, PinsAffectFeasibility) {
+  CcaInstance inst = tiny();
+  inst.pin(0, 1);
+  EXPECT_TRUE(inst.has_pins());
+  EXPECT_EQ(inst.pinned_node(0), std::optional<NodeId>{1});
+  EXPECT_EQ(inst.pinned_node(1), std::nullopt);
+  EXPECT_FALSE(inst.is_feasible({0, 1, 1}));  // violates the pin
+  EXPECT_TRUE(inst.is_feasible({1, 0, 0}));
+}
+
+TEST(CcaInstance, NormalizesPairOrder) {
+  const CcaInstance inst({1.0, 1.0}, {2.0}, {{1, 0, 0.5, 2.0}});
+  EXPECT_EQ(inst.pairs()[0].i, 0);
+  EXPECT_EQ(inst.pairs()[0].j, 1);
+}
+
+TEST(CcaInstance, RejectsMalformedInputs) {
+  EXPECT_THROW(CcaInstance({}, {1.0}, {}), common::Error);
+  EXPECT_THROW(CcaInstance({1.0}, {}, {}), common::Error);
+  EXPECT_THROW(CcaInstance({-1.0}, {1.0}, {}), common::Error);
+  EXPECT_THROW(CcaInstance({1.0}, {-1.0}, {}), common::Error);
+  // Self-pair, out-of-range object, bad r.
+  EXPECT_THROW(CcaInstance({1.0, 1.0}, {2.0}, {{0, 0, 0.5, 1.0}}),
+               common::Error);
+  EXPECT_THROW(CcaInstance({1.0, 1.0}, {2.0}, {{0, 5, 0.5, 1.0}}),
+               common::Error);
+  EXPECT_THROW(CcaInstance({1.0, 1.0}, {2.0}, {{0, 1, 1.5, 1.0}}),
+               common::Error);
+}
+
+TEST(FractionalPlacement, LpObjectiveMatchesHandComputation) {
+  const CcaInstance inst = tiny();
+  FractionalPlacement x(3, 2);
+  // Objects 0 and 1 identical rows; object 2 fully on node 1.
+  x.set(0, 0, 0.5); x.set(0, 1, 0.5);
+  x.set(1, 0, 0.5); x.set(1, 1, 0.5);
+  x.set(2, 1, 1.0);
+  // Pair (0,1): separation 0. Pair (1,2): 1/2 (|0.5-0| + |0.5-1|) = 0.5.
+  EXPECT_DOUBLE_EQ(x.lp_objective(inst), 0.25 * 4.0 * 0.5);
+  EXPECT_DOUBLE_EQ(x.max_row_violation(), 0.0);
+  // Expected loads: node0 = 4*0.5 + 2*0.5 = 3, node1 = 2 + 1 + 2 = 5.
+  EXPECT_EQ(x.expected_loads(inst), (std::vector<double>{3.0, 5.0}));
+}
+
+TEST(FractionalPlacement, DetectsRowViolations) {
+  FractionalPlacement x(1, 2);
+  x.set(0, 0, 0.4);
+  x.set(0, 1, 0.4);
+  EXPECT_NEAR(x.max_row_violation(), 0.2, 1e-12);
+  x.set(0, 1, -0.1);
+  EXPECT_NEAR(x.max_row_violation(), 0.7, 1e-12);
+}
+
+TEST(CcaInstance, IntegralPlacementCostEqualsLpObjective) {
+  // For 0/1 rows the LP objective must coincide with the combinatorial
+  // objective — the bridge both solvers rely on.
+  const CcaInstance inst = tiny();
+  for (const Placement& p :
+       {Placement{0, 0, 0}, Placement{0, 1, 0}, Placement{1, 0, 1}}) {
+    FractionalPlacement x(3, 2);
+    for (int i = 0; i < 3; ++i) x.set(i, p[i], 1.0);
+    EXPECT_DOUBLE_EQ(x.lp_objective(inst), inst.communication_cost(p));
+  }
+}
+
+}  // namespace
+}  // namespace cca::core

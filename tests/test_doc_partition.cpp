@@ -1,0 +1,107 @@
+// Document-partitioned execution: correctness of the broadcast/gather
+// accounting and the footnote-1 trade-off's direction.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/doc_partition.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::sim {
+namespace {
+
+trace::Corpus tiny_corpus() {
+  // Doc IDs chosen so id % 2 splits them 2/2 across two nodes.
+  std::vector<trace::Document> docs = {
+      {2, {0, 1}}, {4, {0, 2}}, {3, {0, 1, 2}}, {5, {1, 2}},
+  };
+  return trace::Corpus(3, std::move(docs));
+}
+
+TEST(DocPartition, HandComputedBytesAndMessages) {
+  const trace::Corpus corpus = tiny_corpus();
+  trace::QueryTrace t(3);
+  t.add_query({0, 1});  // matches docs 2 (node 0) and 3 (node 1)
+  DocPartitionConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.query_message_bytes = 64;
+  const DocPartitionStats stats = replay_doc_partitioned(corpus, t, cfg);
+  ASSERT_EQ(stats.queries, 1u);
+  // Coordinator = queries % 2 = node 1; node 0 gets the broadcast (64 B)
+  // and returns its one match (8 B).
+  EXPECT_EQ(stats.total_bytes, 64u + 8u);
+  EXPECT_EQ(stats.total_messages, 2u);
+  EXPECT_DOUBLE_EQ(stats.wasted_node_fraction, 0.0);  // both contribute
+}
+
+TEST(DocPartition, WastedWorkCountsEmptyNodes) {
+  const trace::Corpus corpus = tiny_corpus();
+  trace::QueryTrace t(3);
+  t.add_query({1, 2});  // matches docs 3 and 5, both on node 1
+  DocPartitionConfig cfg;
+  cfg.num_nodes = 2;
+  const DocPartitionStats stats = replay_doc_partitioned(corpus, t, cfg);
+  // Node 0 computed and contributed nothing: 1 of 2 computations wasted.
+  EXPECT_DOUBLE_EQ(stats.wasted_node_fraction, 0.5);
+}
+
+TEST(DocPartition, SingleNodeIsFree) {
+  const trace::Corpus corpus = tiny_corpus();
+  trace::QueryTrace t(3);
+  t.add_query({0, 1});
+  DocPartitionConfig cfg;
+  cfg.num_nodes = 1;
+  const DocPartitionStats stats = replay_doc_partitioned(corpus, t, cfg);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_EQ(stats.total_messages, 0u);
+}
+
+TEST(DocPartition, MessagesScaleLinearlyWithNodes) {
+  trace::CorpusConfig corpus_cfg;
+  corpus_cfg.num_documents = 400;
+  corpus_cfg.vocabulary_size = 500;
+  corpus_cfg.mean_distinct_words = 30.0;
+  const trace::Corpus corpus = trace::Corpus::generate(corpus_cfg);
+  trace::WorkloadConfig query_cfg;
+  query_cfg.vocabulary_size = 500;
+  query_cfg.num_topics = 25;
+  const trace::QueryTrace t =
+      trace::WorkloadModel(query_cfg).generate(500, 3);
+
+  DocPartitionConfig small;
+  small.num_nodes = 4;
+  DocPartitionConfig large;
+  large.num_nodes = 16;
+  const DocPartitionStats a = replay_doc_partitioned(corpus, t, small);
+  const DocPartitionStats b = replay_doc_partitioned(corpus, t, large);
+  EXPECT_EQ(a.total_messages, 2u * 3u * 500u);    // 2 (N-1) per query
+  EXPECT_EQ(b.total_messages, 2u * 15u * 500u);
+  // Broadcast overhead alone grows with N, so total bytes must too.
+  EXPECT_GT(b.total_bytes, a.total_bytes);
+}
+
+TEST(DocPartition, StorageNaturallyBalanced) {
+  trace::CorpusConfig corpus_cfg;
+  corpus_cfg.num_documents = 3000;
+  corpus_cfg.vocabulary_size = 800;
+  corpus_cfg.mean_distinct_words = 40.0;
+  const trace::Corpus corpus = trace::Corpus::generate(corpus_cfg);
+  trace::QueryTrace t(800);
+  t.add_query({0, 1});
+  DocPartitionConfig cfg;
+  cfg.num_nodes = 10;
+  const DocPartitionStats stats = replay_doc_partitioned(corpus, t, cfg);
+  EXPECT_LT(stats.storage_imbalance, 1.2);  // hashing spreads documents
+}
+
+TEST(DocPartition, RejectsBadConfig) {
+  const trace::Corpus corpus = tiny_corpus();
+  trace::QueryTrace t(3);
+  t.add_query({0});
+  DocPartitionConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(replay_doc_partitioned(corpus, t, cfg), common::Error);
+}
+
+}  // namespace
+}  // namespace cca::sim

@@ -1,0 +1,133 @@
+// Event-driven load simulation: hand-checkable scenarios and load
+// monotonicity properties.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_sim.hpp"
+#include "trace/documents.hpp"
+
+namespace cca::sim {
+namespace {
+
+/// kw0 48 B, kw1 16 B, kw2 24 B, kw3 8 B (same fixture as the sim tests).
+search::InvertedIndex hand_index() {
+  std::vector<trace::Document> docs = {
+      {1, {0}}, {2, {0, 1}}, {3, {0, 1, 2}}, {4, {0, 2}},
+      {5, {0}}, {6, {0}},    {9, {2, 3}},
+  };
+  return search::InvertedIndex::build(trace::Corpus(4, std::move(docs)));
+}
+
+EventSimConfig slow_nic_config(double qps, std::size_t n) {
+  EventSimConfig cfg;
+  cfg.arrival_rate_qps = qps;
+  cfg.nic_mbps = 0.008;  // 1 byte per ms: transfer times dominate
+  cfg.per_message_ms = 1.0;
+  cfg.num_queries = n;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(EventSim, LocalOnlyWorkloadHasZeroLatency) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1000.0);
+  cluster.install_placement({0, 0, 0, 0}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});
+  const EventSimStats stats =
+      simulate_load(cluster, index, t, slow_nic_config(100.0, 500));
+  EXPECT_EQ(stats.completed, 500u);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_nic_utilization, 0.0);
+}
+
+TEST(EventSim, UncontendedLatencyMatchesHandComputation) {
+  // One very slow arrival rate: no queueing. Query {0,1,2} across three
+  // nodes: ship 16 B then 8 B at 1 B/ms + 1 ms/message = 17 + 9 = 26 ms.
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});
+  const EventSimStats stats =
+      simulate_load(cluster, index, t, slow_nic_config(0.001, 50));
+  EXPECT_NEAR(stats.mean_latency_ms, 26.0, 1e-9);
+  EXPECT_NEAR(stats.p99_latency_ms, 26.0, 1e-9);
+}
+
+TEST(EventSim, ContentionRaisesTailLatency) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});
+  const EventSimStats light =
+      simulate_load(cluster, index, t, slow_nic_config(1.0, 2000));
+  const EventSimStats heavy =
+      simulate_load(cluster, index, t, slow_nic_config(60.0, 2000));
+  EXPECT_GT(heavy.p99_latency_ms, light.p99_latency_ms);
+  EXPECT_GT(heavy.max_nic_utilization, light.max_nic_utilization);
+}
+
+TEST(EventSim, UtilizationIsAFraction) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1000.0);
+  cluster.install_placement({0, 1, 0, 1}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1});
+  t.add_query({2, 3});
+  const EventSimStats stats =
+      simulate_load(cluster, index, t, slow_nic_config(20.0, 3000));
+  EXPECT_GT(stats.max_nic_utilization, 0.0);
+  EXPECT_LE(stats.max_nic_utilization, 1.0 + 1e-9);
+  EXPECT_EQ(stats.completed, 3000u);
+}
+
+TEST(EventSim, BetterPlacementDelaysSaturation) {
+  // Same workload, two placements: co-located (no traffic) vs scattered.
+  // At a rate that saturates the scattered placement, the co-located one
+  // stays flat.
+  const search::InvertedIndex index = hand_index();
+  trace::QueryTrace t(4);
+  t.add_query({1, 2});
+  t.add_query({0, 1});
+  Cluster together(2, 1000.0);
+  together.install_placement({0, 0, 0, 0}, index.index_sizes());
+  Cluster apart(2, 1000.0);
+  apart.install_placement({0, 1, 0, 1}, index.index_sizes());
+  const EventSimConfig cfg = slow_nic_config(50.0, 2000);
+  const EventSimStats good = simulate_load(together, index, t, cfg);
+  const EventSimStats bad = simulate_load(apart, index, t, cfg);
+  EXPECT_LT(good.p99_latency_ms, bad.p99_latency_ms);
+}
+
+TEST(EventSim, RejectsBadConfig) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1000.0);
+  cluster.install_placement({0, 0, 0, 0}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1});
+  EventSimConfig cfg;
+  cfg.arrival_rate_qps = 0.0;
+  EXPECT_THROW(simulate_load(cluster, index, t, cfg), common::Error);
+  trace::QueryTrace empty(4);
+  EXPECT_THROW(simulate_load(cluster, index, empty, EventSimConfig{}),
+               common::Error);
+}
+
+TEST(EventSim, DeterministicPerSeed) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});
+  const EventSimConfig cfg = slow_nic_config(10.0, 1000);
+  const EventSimStats a = simulate_load(cluster, index, t, cfg);
+  const EventSimStats b = simulate_load(cluster, index, t, cfg);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+}
+
+}  // namespace
+}  // namespace cca::sim

@@ -1,0 +1,144 @@
+// End-to-end integration: synthetic corpus + trace -> inverted index ->
+// partial optimization -> cluster replay, asserting the paper's headline
+// ordering on MEASURED bytes (not the model): LPRR < greedy < random.
+#include <gtest/gtest.h>
+
+#include "core/partial_optimizer.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/cluster.hpp"
+#include "sim/replay.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca {
+namespace {
+
+struct Pipeline {
+  trace::QueryTrace train{0};
+  trace::QueryTrace eval{0};
+  search::InvertedIndex index;
+  std::vector<std::uint64_t> sizes;
+};
+
+Pipeline build_pipeline() {
+  // Shared vocabulary between corpus and queries.
+  const std::size_t vocab = 1500;
+
+  trace::CorpusConfig corpus_cfg;
+  corpus_cfg.num_documents = 3000;
+  corpus_cfg.vocabulary_size = vocab;
+  corpus_cfg.mean_distinct_words = 60.0;
+  corpus_cfg.seed = 31;
+  const trace::Corpus corpus = trace::Corpus::generate(corpus_cfg);
+
+  trace::WorkloadConfig query_cfg;
+  query_cfg.vocabulary_size = vocab;
+  query_cfg.num_topics = 80;
+  query_cfg.topic_size = 8;
+  query_cfg.seed = 13;
+  const trace::WorkloadModel model(query_cfg);
+
+  Pipeline p;
+  p.index = search::InvertedIndex::build(corpus);
+  p.sizes = p.index.index_sizes();
+  // Train on one sample, evaluate on an independent one — the paper's
+  // stability premise is what makes this legitimate.
+  p.train = model.generate(25000, 1001);
+  p.eval = model.generate(25000, 2002);
+  return p;
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { pipeline_ = new Pipeline(build_pipeline()); }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static Pipeline* pipeline_;
+};
+
+Pipeline* EndToEnd::pipeline_ = nullptr;
+
+sim::ReplayStats run_strategy(const Pipeline& p, core::Strategy strategy,
+                              int nodes, std::size_t scope) {
+  core::PartialOptimizerConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.scope = scope;
+  cfg.seed = 7;
+  cfg.rounding.trials = 8;
+  const core::PartialOptimizer opt(p.train, p.sizes, cfg);
+  const core::PlacementPlan plan = opt.run(strategy);
+
+  double total_bytes = 0.0;
+  for (std::uint64_t s : p.sizes) total_bytes += static_cast<double>(s);
+  sim::Cluster cluster(nodes, cfg.capacity_slack * total_bytes / nodes);
+  cluster.install_placement(plan.keyword_to_node, p.sizes);
+  return sim::replay_trace(cluster, p.index, p.eval);
+}
+
+TEST_F(EndToEnd, MeasuredOrderingLprrGreedyRandom) {
+  const Pipeline& p = *pipeline_;
+  const auto random = run_strategy(p, core::Strategy::kRandom, 8, 400);
+  const auto greedy = run_strategy(p, core::Strategy::kGreedy, 8, 400);
+  const auto lprr = run_strategy(p, core::Strategy::kLprr, 8, 400);
+
+  // The paper's headline: LPRR strictly cheapest, greedy in between.
+  EXPECT_LT(lprr.total_bytes, greedy.total_bytes);
+  EXPECT_LT(greedy.total_bytes, random.total_bytes);
+  // And substantially so for LPRR (paper: 37-86% vs random).
+  EXPECT_LT(static_cast<double>(lprr.total_bytes),
+            0.8 * static_cast<double>(random.total_bytes));
+}
+
+TEST_F(EndToEnd, LprrKeepsMoreQueriesLocal) {
+  const Pipeline& p = *pipeline_;
+  const auto random = run_strategy(p, core::Strategy::kRandom, 8, 400);
+  const auto lprr = run_strategy(p, core::Strategy::kLprr, 8, 400);
+  EXPECT_GT(lprr.local_queries, random.local_queries);
+}
+
+TEST_F(EndToEnd, WiderScopeImprovesLprr) {
+  const Pipeline& p = *pipeline_;
+  const auto narrow = run_strategy(p, core::Strategy::kLprr, 8, 100);
+  const auto wide = run_strategy(p, core::Strategy::kLprr, 8, 800);
+  EXPECT_LT(wide.total_bytes, narrow.total_bytes);
+}
+
+TEST_F(EndToEnd, StorageNeverOrphaned) {
+  const Pipeline& p = *pipeline_;
+  for (core::Strategy s : {core::Strategy::kRandom, core::Strategy::kGreedy,
+                           core::Strategy::kLprr}) {
+    const auto stats = run_strategy(p, s, 8, 400);
+    EXPECT_GT(stats.queries, 0u);
+    EXPECT_GT(stats.storage_imbalance, 0.0);
+    EXPECT_EQ(stats.queries, p.eval.size());
+  }
+}
+
+TEST_F(EndToEnd, TrainEvalGeneralizationHolds) {
+  // Optimizing on the training month must pay off on the evaluation month
+  // nearly as much as on itself (stability premise, Fig. 2(B)).
+  const Pipeline& p = *pipeline_;
+  core::PartialOptimizerConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.scope = 400;
+  cfg.seed = 7;
+  const core::PartialOptimizer opt(p.train, p.sizes, cfg);
+  const core::PlacementPlan plan = opt.run(core::Strategy::kLprr);
+
+  double total_bytes = 0.0;
+  for (std::uint64_t s : p.sizes) total_bytes += static_cast<double>(s);
+  sim::Cluster cluster(8, cfg.capacity_slack * total_bytes / 8);
+  cluster.install_placement(plan.keyword_to_node, p.sizes);
+  const auto on_train = sim::replay_trace(cluster, p.index, p.train);
+  cluster.install_placement(plan.keyword_to_node, p.sizes);
+  const auto on_eval = sim::replay_trace(cluster, p.index, p.eval);
+  // Per-query cost on unseen queries within 35% of the trained trace.
+  const double train_per_query = on_train.mean_bytes_per_query;
+  const double eval_per_query = on_eval.mean_bytes_per_query;
+  EXPECT_LT(eval_per_query, train_per_query * 1.35);
+}
+
+}  // namespace
+}  // namespace cca

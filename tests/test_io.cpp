@@ -1,0 +1,124 @@
+// Trace and placement serialization: round trips and malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/plan_io.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workload.hpp"
+
+namespace cca {
+namespace {
+
+// ---------- trace I/O ----------
+
+TEST(TraceIo, RoundTripsHandTrace) {
+  trace::QueryTrace t(100);
+  t.add_query({3, 1, 7});
+  t.add_query({42});
+  t.add_query({0, 99});
+  std::stringstream buffer;
+  trace::write_trace(buffer, t);
+  const trace::QueryTrace loaded = trace::read_trace(buffer);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.vocabulary_size(), 100u);
+  EXPECT_EQ(loaded[0].keywords, (std::vector<trace::KeywordId>{1, 3, 7}));
+  EXPECT_EQ(loaded[1].keywords, (std::vector<trace::KeywordId>{42}));
+  EXPECT_EQ(loaded[2].keywords, (std::vector<trace::KeywordId>{0, 99}));
+}
+
+TEST(TraceIo, RoundTripsGeneratedWorkload) {
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = 500;
+  cfg.num_topics = 20;
+  const trace::QueryTrace original =
+      trace::WorkloadModel(cfg).generate(2000, 3);
+  std::stringstream buffer;
+  trace::write_trace(buffer, original);
+  const trace::QueryTrace loaded = trace::read_trace(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i].keywords, original[i].keywords);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# cca-trace v1 vocab=10\n# a comment\n\n1 2\n");
+  const trace::QueryTrace t = trace::read_trace(buffer);
+  ASSERT_EQ(t.size(), 1u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream bad("not a header\n1 2\n");
+    EXPECT_THROW(trace::read_trace(bad), common::Error);
+  }
+  {
+    std::stringstream bad("# cca-trace v1 vocab=10\n1 banana\n");
+    EXPECT_THROW(trace::read_trace(bad), common::Error);
+  }
+  {
+    std::stringstream bad("# cca-trace v1 vocab=10\n11\n");  // out of vocab
+    EXPECT_THROW(trace::read_trace(bad), common::Error);
+  }
+  {
+    std::stringstream bad("");
+    EXPECT_THROW(trace::read_trace(bad), common::Error);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  trace::QueryTrace t(10);
+  t.add_query({1, 2});
+  const std::string path = ::testing::TempDir() + "/cca_trace_io_test.txt";
+  trace::save_trace(path, t);
+  const trace::QueryTrace loaded = trace::load_trace(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].keywords, (std::vector<trace::KeywordId>{1, 2}));
+  EXPECT_THROW(trace::load_trace(path + ".missing"), common::Error);
+}
+
+// ---------- placement I/O ----------
+
+TEST(PlanIo, RoundTripsPlacement) {
+  const std::vector<int> placement{3, 0, 7, 7, 1};
+  std::stringstream buffer;
+  core::write_placement(buffer, placement, 10);
+  const core::LoadedPlacement loaded = core::read_placement(buffer);
+  EXPECT_EQ(loaded.keyword_to_node, placement);
+  EXPECT_EQ(loaded.num_nodes, 10);
+}
+
+TEST(PlanIo, WriteValidatesNodeRange) {
+  std::stringstream buffer;
+  EXPECT_THROW(core::write_placement(buffer, {0, 12}, 10), common::Error);
+  EXPECT_THROW(core::write_placement(buffer, {-1}, 10), common::Error);
+}
+
+TEST(PlanIo, ReadRejectsCorruptedContent) {
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=2\n0\n5\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);  // node 5 of 2
+  }
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=3\n0\n1\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);  // short file
+  }
+  {
+    std::stringstream bad("garbage\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cca_plan_io_test.txt";
+  core::save_placement(path, {1, 0, 1}, 2);
+  const core::LoadedPlacement loaded = core::load_placement(path);
+  EXPECT_EQ(loaded.keyword_to_node, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(loaded.num_nodes, 2);
+}
+
+}  // namespace
+}  // namespace cca

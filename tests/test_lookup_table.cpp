@@ -1,0 +1,83 @@
+// Lookup-table exception encoding: correctness and size accounting.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/partial_optimizer.hpp"
+#include "hash/md5.hpp"
+#include "sim/lookup_table.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::sim {
+namespace {
+
+std::vector<int> hash_placement(std::size_t vocab, int nodes) {
+  std::vector<int> placement(vocab);
+  for (std::size_t k = 0; k < vocab; ++k)
+    placement[k] = static_cast<int>(
+        hash::Md5::digest64(trace::keyword_name(
+            static_cast<trace::KeywordId>(k))) %
+        static_cast<std::uint64_t>(nodes));
+  return placement;
+}
+
+TEST(LookupTable, PureHashPlacementNeedsNoEntries) {
+  const std::vector<int> placement = hash_placement(500, 7);
+  const LookupTable table = LookupTable::build(placement, 7);
+  EXPECT_EQ(table.entries(), 0u);
+  EXPECT_EQ(table.bytes(), 0u);
+}
+
+TEST(LookupTable, ResolveMatchesPlacementExactly) {
+  std::vector<int> placement = hash_placement(500, 7);
+  // Divert some keywords from their hash node.
+  for (std::size_t k = 0; k < 500; k += 13)
+    placement[k] = (placement[k] + 1) % 7;
+  const LookupTable table = LookupTable::build(placement, 7);
+  for (std::size_t k = 0; k < 500; ++k)
+    EXPECT_EQ(table.resolve(static_cast<trace::KeywordId>(k)), placement[k])
+        << "keyword " << k;
+}
+
+TEST(LookupTable, CountsOnlyDivertedKeywords) {
+  std::vector<int> placement = hash_placement(100, 4);
+  placement[3] = (placement[3] + 1) % 4;
+  placement[42] = (placement[42] + 2) % 4;
+  const LookupTable table = LookupTable::build(placement, 4);
+  EXPECT_EQ(table.entries(), 2u);
+  EXPECT_EQ(table.bytes(), 12u);
+}
+
+TEST(LookupTable, RejectsBadInputs) {
+  EXPECT_THROW(LookupTable::build({5}, 4), common::Error);
+  const LookupTable table = LookupTable::build({0, 1}, 2);
+  EXPECT_THROW(table.resolve(2), common::Error);
+}
+
+TEST(LookupTable, PartialOptimizationKeepsTableSmall) {
+  // The Sec. 4.1 claim: only scope keywords (at most) need entries, so
+  // table size is bounded by the scope, not the vocabulary.
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = 2000;
+  cfg.num_topics = 100;
+  cfg.seed = 4;
+  const trace::QueryTrace t = trace::WorkloadModel(cfg).generate(15000, 9);
+  std::vector<std::uint64_t> sizes(2000);
+  for (std::size_t k = 0; k < sizes.size(); ++k)
+    sizes[k] = 8 * (1 + 2000 / (k + 1));
+
+  core::PartialOptimizerConfig opt_cfg;
+  opt_cfg.num_nodes = 8;
+  opt_cfg.scope = 150;
+  opt_cfg.seed = 4;
+  const core::PartialOptimizer optimizer(t, sizes, opt_cfg);
+  const core::PlacementPlan plan = optimizer.run(core::Strategy::kLprr);
+  const LookupTable table = LookupTable::build(plan.keyword_to_node, 8);
+  EXPECT_LE(table.entries(), 150u);
+  // And the table must reproduce the plan.
+  for (std::size_t k = 0; k < 2000; ++k)
+    EXPECT_EQ(table.resolve(static_cast<trace::KeywordId>(k)),
+              plan.keyword_to_node[k]);
+}
+
+}  // namespace
+}  // namespace cca::sim

@@ -1,0 +1,178 @@
+// End-to-end partial optimization pipeline: scope handling, tail hashing,
+// capacity adjustment, and the LPRR > greedy > random ordering on a
+// correlated workload (the paper's central comparison).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/partial_optimizer.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::core {
+namespace {
+
+struct Workbench {
+  trace::QueryTrace trace{0};
+  std::vector<std::uint64_t> sizes;
+};
+
+Workbench make_workbench(std::size_t vocab = 1200, std::size_t queries = 20000) {
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = vocab;
+  cfg.num_topics = 60;
+  cfg.topic_size = 8;
+  cfg.seed = 5;
+  const trace::WorkloadModel model(cfg);
+  Workbench wb;
+  wb.trace = model.generate(queries, 17);
+  wb.sizes.resize(vocab);
+  for (std::size_t k = 0; k < vocab; ++k)
+    wb.sizes[k] = 8 * (1 + vocab / (k + 1));  // Zipf-ish index sizes
+  return wb;
+}
+
+PartialOptimizerConfig base_config() {
+  PartialOptimizerConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.scope = 300;
+  cfg.seed = 3;
+  cfg.rounding.trials = 8;
+  return cfg;
+}
+
+TEST(PartialOptimizer, PlanCoversWholeVocabulary) {
+  const Workbench wb = make_workbench();
+  const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
+  const PlacementPlan plan = opt.run(Strategy::kLprr);
+  ASSERT_EQ(plan.keyword_to_node.size(), wb.sizes.size());
+  for (NodeId node : plan.keyword_to_node) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 8);
+  }
+  EXPECT_EQ(plan.scope.size(), 300u);
+}
+
+TEST(PartialOptimizer, NodeLoadsSumToTotalIndexBytes) {
+  const Workbench wb = make_workbench();
+  const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
+  for (Strategy s : {Strategy::kRandom, Strategy::kGreedy, Strategy::kLprr}) {
+    const PlacementPlan plan = opt.run(s);
+    double total_loads = 0.0;
+    for (double load : plan.node_loads) total_loads += load;
+    double total_sizes = 0.0;
+    for (std::uint64_t size : wb.sizes) total_sizes += static_cast<double>(size);
+    EXPECT_NEAR(total_loads, total_sizes, 1e-6) << to_string(s);
+  }
+}
+
+TEST(PartialOptimizer, TailKeywordsFollowMd5Hash) {
+  const Workbench wb = make_workbench();
+  const PartialOptimizerConfig cfg = base_config();
+  const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
+  const PlacementPlan lprr = opt.run(Strategy::kLprr);
+  const PlacementPlan random = opt.run(Strategy::kRandom);
+  // Outside the scope, both strategies place identically (hash).
+  std::vector<bool> in_scope(wb.sizes.size(), false);
+  for (trace::KeywordId k : lprr.scope) in_scope[k] = true;
+  for (std::size_t k = 0; k < wb.sizes.size(); ++k) {
+    if (!in_scope[k]) {
+      EXPECT_EQ(lprr.keyword_to_node[k], random.keyword_to_node[k]);
+    }
+  }
+}
+
+TEST(PartialOptimizer, StrategiesAreDeterministicPerSeed) {
+  const Workbench wb = make_workbench();
+  const PartialOptimizer a(wb.trace, wb.sizes, base_config());
+  const PartialOptimizer b(wb.trace, wb.sizes, base_config());
+  for (Strategy s : {Strategy::kRandom, Strategy::kGreedy, Strategy::kLprr})
+    EXPECT_EQ(a.run(s).keyword_to_node, b.run(s).keyword_to_node)
+        << to_string(s);
+}
+
+TEST(PartialOptimizer, ModeledCostOrderingLprrBeatsGreedyBeatsRandom) {
+  // The paper's Fig. 6/7 ordering on the *modeled* scoped objective.
+  const Workbench wb = make_workbench();
+  const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
+  const double random_cost = opt.run(Strategy::kRandom).scoped_report.cost;
+  const double greedy_cost = opt.run(Strategy::kGreedy).scoped_report.cost;
+  const double lprr_cost = opt.run(Strategy::kLprr).scoped_report.cost;
+  EXPECT_LT(lprr_cost, greedy_cost + 1e-9);
+  EXPECT_LT(greedy_cost, random_cost);
+  // Substantial, not marginal. This workbench is deliberately a hard
+  // regime (the scope holds most of the bytes, so balance keeps forcing
+  // splits); the paper's own band starts at 37% savings.
+  EXPECT_LT(lprr_cost, 0.7 * random_cost);
+}
+
+TEST(PartialOptimizer, LargerScopeNeverHurtsModeledCoverage) {
+  const Workbench wb = make_workbench();
+  PartialOptimizerConfig small = base_config();
+  small.scope = 100;
+  PartialOptimizerConfig large = base_config();
+  large.scope = 600;
+  // Compare total-pair-cost coverage: the scoped instance of the larger
+  // scope must cover at least as much pair cost.
+  const PartialOptimizer a(wb.trace, wb.sizes, small);
+  const PartialOptimizer b(wb.trace, wb.sizes, large);
+  EXPECT_GE(b.scoped_instance().total_pair_cost(),
+            a.scoped_instance().total_pair_cost());
+}
+
+TEST(PartialOptimizer, CapacityReducedByTailLoad) {
+  const Workbench wb = make_workbench();
+  const PartialOptimizerConfig cfg = base_config();
+  const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
+  const CcaInstance& inst = opt.scoped_instance();
+  double total_bytes = 0.0;
+  for (std::uint64_t s : wb.sizes) total_bytes += static_cast<double>(s);
+  const double full_capacity =
+      cfg.capacity_slack * total_bytes / cfg.num_nodes;
+  for (int k = 0; k < cfg.num_nodes; ++k)
+    EXPECT_LT(inst.node_capacity(k), full_capacity);
+}
+
+TEST(PartialOptimizer, FullLpPathMatchesComponentPathObjective) {
+  // On a small scope both LPRR paths reach LP objective 0 and comparable
+  // rounded costs (they share the rounding stream structure but may pick
+  // different vertices; the modeled cost of each must be << random).
+  // Scope stays tiny: the literal Fig. 4 program has ~2|E||N| rows and the
+  // simplex cost grows with the square of that (the same wall it put in
+  // front of the paper's authors — Sec. 4.2's 48-hour solves).
+  const Workbench wb = make_workbench(400, 8000);
+  PartialOptimizerConfig cfg = base_config();
+  cfg.scope = 14;
+  cfg.num_nodes = 4;
+  const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
+  PartialOptimizerConfig full_cfg = cfg;
+  full_cfg.use_full_lp = true;
+  const PartialOptimizer full_opt(wb.trace, wb.sizes, full_cfg);
+
+  const double component_cost = opt.run(Strategy::kLprr).scoped_report.cost;
+  const double full_cost = full_opt.run(Strategy::kLprr).scoped_report.cost;
+  const double random_cost = opt.run(Strategy::kRandom).scoped_report.cost;
+  EXPECT_LT(component_cost, 0.7 * random_cost);
+  EXPECT_LT(full_cost, 0.7 * random_cost);
+}
+
+TEST(PartialOptimizer, RejectsBadConfig) {
+  const Workbench wb = make_workbench(200, 1000);
+  PartialOptimizerConfig cfg = base_config();
+  cfg.capacity_slack = 0.5;
+  EXPECT_THROW(PartialOptimizer(wb.trace, wb.sizes, cfg), common::Error);
+  cfg = base_config();
+  cfg.scope = 0;
+  EXPECT_THROW(PartialOptimizer(wb.trace, wb.sizes, cfg), common::Error);
+}
+
+TEST(PartialOptimizer, ScopeLargerThanVocabularyIsClamped) {
+  const Workbench wb = make_workbench(200, 3000);
+  PartialOptimizerConfig cfg = base_config();
+  cfg.scope = 10000;
+  cfg.num_nodes = 4;
+  const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
+  const PlacementPlan plan = opt.run(Strategy::kLprr);
+  EXPECT_EQ(plan.scope.size(), 200u);
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,141 @@
+// Parameterized property sweeps across randomized CCA instances:
+// LPRR-vs-brute-force optimality gaps, baseline sanity, and invariants
+// that must hold for every strategy on every instance.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/component_solver.hpp"
+#include "core/placements.hpp"
+#include "core/rounding.hpp"
+
+namespace cca::core {
+namespace {
+
+struct InstanceCase {
+  int objects;
+  int nodes;
+  int pairs;
+  double slack;  // total-capacity multiplier
+  std::uint64_t seed;
+};
+
+void PrintTo(const InstanceCase& c, std::ostream* os) {
+  *os << "T" << c.objects << "_N" << c.nodes << "_E" << c.pairs << "_s"
+      << c.slack << "_seed" << c.seed;
+}
+
+CcaInstance random_instance(const InstanceCase& param) {
+  common::Rng rng(param.seed * 7 + 13);
+  std::vector<double> sizes(static_cast<std::size_t>(param.objects));
+  double total = 0.0;
+  for (double& s : sizes) {
+    s = 1.0 + rng.next_double() * 4.0;
+    total += s;
+  }
+  std::vector<PairWeight> pairs;
+  for (int e = 0; e < param.pairs; ++e) {
+    const int i = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(param.objects)));
+    int j = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(param.objects)));
+    if (i == j) j = (j + 1) % param.objects;
+    pairs.push_back({i, j, 0.05 + rng.next_double() * 0.9,
+                     0.5 + rng.next_double() * 9.5});
+  }
+  const double cap = param.slack * total / param.nodes;
+  return CcaInstance(
+      sizes, std::vector<double>(static_cast<std::size_t>(param.nodes), cap),
+      pairs);
+}
+
+class InstanceSweep : public ::testing::TestWithParam<InstanceCase> {};
+
+TEST_P(InstanceSweep, SplitLprrWithinBruteForceFactor) {
+  // The end-to-end pipeline (split groups + best-of-K rounding) must land
+  // within a small constant factor of the true optimum on instances small
+  // enough to enumerate, and must respect capacity whenever a feasible
+  // rounding exists among the trials.
+  const CcaInstance inst = random_instance(GetParam());
+  const auto exact = brute_force_optimal(inst);
+  ASSERT_TRUE(exact.has_value());
+
+  const FractionalPlacement x =
+      ComponentLpSolver(ComponentSolverOptions{GetParam().seed, 1.0})
+          .solve(inst);
+  common::Rng rng(GetParam().seed);
+  const RoundingResult rounded =
+      round_best_of(x, inst, RoundingPolicy{32, true}, rng);
+
+  // Optimality gap: heuristic splitting is not optimal, but must stay in
+  // the same league (empirically < 2x + small absolute slack on these
+  // sizes; a regression here means the splitter or packing broke).
+  EXPECT_LE(rounded.cost, 2.0 * exact->cost + 0.35 * inst.total_pair_cost())
+      << "exact " << exact->cost << " total " << inst.total_pair_cost();
+}
+
+TEST_P(InstanceSweep, GreedyNeverBeatsBruteForce) {
+  const CcaInstance inst = random_instance(GetParam());
+  const auto exact = brute_force_optimal(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_GE(inst.communication_cost(greedy_placement(inst)),
+            exact->cost - 1e-9);
+}
+
+TEST_P(InstanceSweep, LiteralLpRoundingMatchesLpOptimumExactly) {
+  // Unsplit: every rounding of the zero-objective solution costs zero on
+  // modeled pairs (Theorem 2 in the degenerate regime).
+  const CcaInstance inst = random_instance(GetParam());
+  const FractionalPlacement x =
+      ComponentLpSolver(GetParam().seed).solve(inst);
+  ASSERT_NEAR(x.lp_objective(inst), 0.0, 1e-9);
+  common::Rng rng(GetParam().seed + 1);
+  for (int t = 0; t < 20; ++t)
+    EXPECT_DOUBLE_EQ(inst.communication_cost(round_once(x, rng)), 0.0);
+}
+
+TEST_P(InstanceSweep, AllStrategiesProduceCompletePlacements) {
+  const CcaInstance inst = random_instance(GetParam());
+  for (const Placement& p :
+       {random_hash_placement(inst), greedy_placement(inst)}) {
+    ASSERT_EQ(static_cast<int>(p.size()), inst.num_objects());
+    for (NodeId node : p) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, inst.num_nodes());
+    }
+  }
+}
+
+TEST_P(InstanceSweep, ExpectedLoadsNeverExceedCapacity) {
+  // Theorem 3 for both fractional inputs (split and unsplit).
+  const CcaInstance inst = random_instance(GetParam());
+  for (double fill : {0.0, 1.0}) {
+    const FractionalPlacement x =
+        ComponentLpSolver(ComponentSolverOptions{GetParam().seed, fill})
+            .solve(inst);
+    EXPECT_LT(x.max_row_violation(), 1e-7);
+    const auto loads = x.expected_loads(inst);
+    for (int k = 0; k < inst.num_nodes(); ++k)
+      EXPECT_LE(loads[k], inst.node_capacity(k) + 1e-6)
+          << "fill " << fill << " node " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, InstanceSweep,
+    ::testing::Values(InstanceCase{6, 2, 5, 2.0, 1},
+                      InstanceCase{8, 3, 8, 2.0, 2},
+                      InstanceCase{8, 2, 12, 1.5, 3},
+                      InstanceCase{10, 3, 10, 2.0, 4},
+                      InstanceCase{10, 4, 15, 1.3, 5},
+                      InstanceCase{12, 3, 12, 2.0, 6},
+                      InstanceCase{12, 4, 20, 1.5, 7},
+                      InstanceCase{9, 3, 25, 2.5, 8},
+                      InstanceCase{11, 2, 9, 1.2, 9},
+                      // Keep N small when T is large: brute force explores
+                      // up to N^T placements.
+                      InstanceCase{12, 4, 14, 2.0, 10}));
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,190 @@
+// Baseline strategies: MD5 hash placement, the paper's greedy heuristic,
+// brute force, and the evaluation report.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/placements.hpp"
+#include "hash/md5.hpp"
+
+namespace cca::core {
+namespace {
+
+TEST(RandomHash, MatchesMd5ModuloConvention) {
+  const CcaInstance inst({1, 1, 1}, {10, 10, 10}, {});
+  const Placement p = random_hash_placement(inst);
+  for (int i = 0; i < 3; ++i) {
+    const auto expected = static_cast<NodeId>(
+        hash::Md5::digest64("obj" + std::to_string(i)) % 3);
+    EXPECT_EQ(p[i], expected);
+  }
+}
+
+TEST(RandomHash, DeterministicAndNameSensitive) {
+  const CcaInstance inst({1, 1}, {5, 5, 5, 5}, {});
+  const Placement a = random_hash_placement(inst);
+  const Placement b = random_hash_placement(inst);
+  EXPECT_EQ(a, b);
+  const Placement c = random_hash_placement(
+      inst, [](ObjectId i) { return "other" + std::to_string(i); });
+  // Different namespaces generally hash differently (not guaranteed per
+  // object, but across a namespace change at least one should move).
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomHash, HonoursPins) {
+  CcaInstance inst({1, 1}, {5, 5}, {});
+  inst.pin(0, 1);
+  EXPECT_EQ(random_hash_placement(inst)[0], 1);
+}
+
+TEST(RandomHash, SpreadsLoadRoughlyEvenly) {
+  const int kObjects = 5000, kNodes = 10;
+  const CcaInstance inst(std::vector<double>(kObjects, 1.0),
+                         std::vector<double>(kNodes, 1000.0), {});
+  const Placement p = random_hash_placement(inst);
+  const auto loads = inst.node_loads(p);
+  for (double load : loads) EXPECT_NEAR(load, 500.0, 75.0);
+}
+
+TEST(Greedy, CoLocatesMostCorrelatedPairFirst) {
+  // Capacity for exactly one pair per node.
+  const CcaInstance inst({1, 1, 1, 1}, {2, 2},
+                         {{0, 1, 0.9, 1.0},
+                          {2, 3, 0.8, 1.0},
+                          {1, 2, 0.1, 1.0}});
+  const Placement p = greedy_placement(inst);
+  EXPECT_EQ(p[0], p[1]);  // strongest pair together
+  EXPECT_EQ(p[2], p[3]);  // second pair together
+  EXPECT_NE(p[0], p[2]);  // capacity forces the groups apart
+  EXPECT_TRUE(inst.is_feasible(p));
+  EXPECT_DOUBLE_EQ(inst.communication_cost(p), 0.1);
+}
+
+TEST(Greedy, AttachesToExistingClusterWhenCapacityPermits) {
+  const CcaInstance inst({1, 1, 1}, {3, 3},
+                         {{0, 1, 0.9, 1.0}, {1, 2, 0.5, 1.0}});
+  const Placement p = greedy_placement(inst);
+  EXPECT_EQ(p[0], p[1]);
+  EXPECT_EQ(p[1], p[2]);  // room for all three
+  EXPECT_DOUBLE_EQ(inst.communication_cost(p), 0.0);
+}
+
+TEST(Greedy, SkipsPairThatWouldOverflowNode) {
+  // Cluster {0,1} fills node capacity; the (1,2) pair cannot join.
+  const CcaInstance inst({2, 2, 2}, {4, 4},
+                         {{0, 1, 0.9, 1.0}, {1, 2, 0.8, 1.0}});
+  const Placement p = greedy_placement(inst);
+  EXPECT_EQ(p[0], p[1]);
+  EXPECT_NE(p[1], p[2]);
+  EXPECT_TRUE(inst.is_feasible(p));
+}
+
+TEST(Greedy, NeverExceedsCapacityWhenAvoidable) {
+  const CcaInstance inst({3, 3, 2, 2, 1, 1}, {6, 6},
+                         {{0, 1, 0.9, 1.0},
+                          {2, 3, 0.8, 1.0},
+                          {4, 5, 0.7, 1.0}});
+  const Placement p = greedy_placement(inst);
+  EXPECT_TRUE(inst.is_feasible(p));
+}
+
+TEST(Greedy, OrderByCostVariantUsesRw) {
+  // Pair A: r=0.9, w=1 (cost 0.9); pair B: r=0.5, w=10 (cost 5).
+  // Capacity fits only one pair on the "good" node with most room.
+  const CcaInstance inst({1, 1, 1, 1}, {2, 2},
+                         {{0, 1, 0.9, 1.0}, {2, 3, 0.5, 10.0}});
+  // Both orderings co-locate both pairs here; distinguish via a 3-object
+  // conflict: objects 1 and 2 shared.
+  const CcaInstance conflict({1, 1, 1}, {2, 10},
+                             {{0, 1, 0.9, 1.0}, {1, 2, 0.5, 10.0}});
+  const Placement by_r = greedy_placement(conflict, GreedyOptions{false});
+  const Placement by_cost = greedy_placement(conflict, GreedyOptions{true});
+  // by r: (0,1) first -> 0,1 on the roomiest node (node 1, cap 10), then
+  // (1,2) joins them. Both orders co-locate everything here, but the
+  // *first* pair processed differs; verify via deterministic equality of
+  // outcome costs instead.
+  EXPECT_DOUBLE_EQ(conflict.communication_cost(by_r), 0.0);
+  EXPECT_DOUBLE_EQ(conflict.communication_cost(by_cost), 0.0);
+  (void)inst;
+}
+
+TEST(Greedy, HonoursPins) {
+  CcaInstance inst({1, 1}, {5, 5}, {{0, 1, 0.9, 1.0}});
+  inst.pin(0, 1);
+  const Placement p = greedy_placement(inst);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[1], 1);  // pair joins the pinned node
+}
+
+TEST(Greedy, PlacesUncorrelatedLeftovers) {
+  const CcaInstance inst({4, 3, 2}, {5, 5}, {});
+  const Placement p = greedy_placement(inst);
+  EXPECT_TRUE(inst.is_feasible(p));
+}
+
+TEST(BruteForce, FindsKnownOptimum) {
+  // Two tight pairs and capacity 2 per node: optimum separates the cheap
+  // pair (cost 0.2).
+  const CcaInstance inst({1, 1, 1, 1}, {2, 2},
+                         {{0, 1, 1.0, 1.0},
+                          {2, 3, 1.0, 1.0},
+                          {0, 2, 0.2, 1.0}});
+  const auto result = brute_force_optimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->cost, 0.2);
+  EXPECT_EQ(result->placement[0], result->placement[1]);
+  EXPECT_EQ(result->placement[2], result->placement[3]);
+}
+
+TEST(BruteForce, RespectsPinsAndCapacity) {
+  CcaInstance inst({1, 1}, {1, 1}, {{0, 1, 1.0, 4.0}});
+  inst.pin(0, 0);
+  const auto result = brute_force_optimal(inst);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->placement[0], 0);
+  EXPECT_EQ(result->placement[1], 1);  // capacity forces separation
+  EXPECT_DOUBLE_EQ(result->cost, 4.0);
+}
+
+TEST(BruteForce, ReturnsNulloptWhenInfeasible) {
+  const CcaInstance inst({3, 3}, {2, 2}, {});
+  EXPECT_FALSE(brute_force_optimal(inst).has_value());
+}
+
+TEST(BruteForce, RejectsLargeInstances) {
+  const CcaInstance inst(std::vector<double>(17, 1.0), {100.0}, {});
+  EXPECT_THROW(brute_force_optimal(inst), common::Error);
+}
+
+TEST(BruteForce, GreedyIsNeverBetterThanOptimal) {
+  // Property check across several small random-ish instances.
+  for (int seed = 0; seed < 8; ++seed) {
+    std::vector<double> sizes{1, 2, 1, 2, 1};
+    std::vector<PairWeight> pairs{
+        {0, 1, 0.5, static_cast<double>(1 + seed % 3)},
+        {1, 2, 0.4, static_cast<double>(2 + seed % 2)},
+        {2, 3, 0.6, 1.0},
+        {3, 4, 0.3, 2.0},
+        {0, 4, 0.2, static_cast<double>(seed % 4)}};
+    const CcaInstance inst(sizes, {5, 5}, pairs);
+    const auto exact = brute_force_optimal(inst);
+    ASSERT_TRUE(exact.has_value());
+    const Placement greedy = greedy_placement(inst);
+    EXPECT_GE(inst.communication_cost(greedy), exact->cost - 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(EvaluatePlacement, ReportsNormalizedCostAndFeasibility) {
+  const CcaInstance inst({1, 1}, {2, 2}, {{0, 1, 0.5, 4.0}});
+  const PlacementReport together = evaluate_placement(inst, {0, 0});
+  EXPECT_DOUBLE_EQ(together.cost, 0.0);
+  EXPECT_DOUBLE_EQ(together.normalized_cost, 0.0);
+  EXPECT_TRUE(together.feasible);
+  const PlacementReport apart = evaluate_placement(inst, {0, 1});
+  EXPECT_DOUBLE_EQ(apart.cost, 2.0);
+  EXPECT_DOUBLE_EQ(apart.normalized_cost, 1.0);
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,103 @@
+// Fully replicated keywords (PlacementFn returning kEverywhere): transfer
+// exemptions in all three execution paths.
+#include <gtest/gtest.h>
+
+#include "search/inverted_index.hpp"
+#include "search/query_engine.hpp"
+#include "trace/documents.hpp"
+
+namespace cca::search {
+namespace {
+
+/// kw0 48 B, kw1 16 B, kw2 24 B, kw3 8 B.
+InvertedIndex hand_index() {
+  std::vector<trace::Document> docs = {
+      {1, {0}}, {2, {0, 1}}, {3, {0, 1, 2}}, {4, {0, 2}},
+      {5, {0}}, {6, {0}},    {9, {2, 3}},
+  };
+  return InvertedIndex::build(trace::Corpus(4, std::move(docs)));
+}
+
+/// Keyword k lives on node k, except those in `replicated`.
+PlacementFn spread_except(std::vector<trace::KeywordId> replicated) {
+  return [replicated](trace::KeywordId k) {
+    for (trace::KeywordId r : replicated)
+      if (r == k) return kEverywhere;
+    return static_cast<int>(k);
+  };
+}
+
+TEST(Replication, ReplicatedSmallerKeywordShipsNothing) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  // kw1 (smaller) replicated: the pair intersects at kw0's node for free.
+  const QueryCost cost =
+      engine.execute_intersection(trace::Query{{0, 1}}, spread_except({1}));
+  EXPECT_EQ(cost.bytes_transferred, 0u);
+  EXPECT_TRUE(cost.local);
+  EXPECT_EQ(cost.result_size, 2u);
+}
+
+TEST(Replication, ReplicatedLargerKeywordShipsNothing) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  const QueryCost cost =
+      engine.execute_intersection(trace::Query{{0, 1}}, spread_except({0}));
+  EXPECT_EQ(cost.bytes_transferred, 0u);
+  EXPECT_EQ(cost.result_size, 2u);
+}
+
+TEST(Replication, ThirdKeywordReplicationSavesResidualShipment) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  // {0,1,2} spread: classic cost 16 + 8 = 24. Replicating kw0 (the
+  // LARGEST, processed last) saves the 8-byte residual hop.
+  const QueryCost cost = engine.execute_intersection(
+      trace::Query{{0, 1, 2}}, spread_except({0}));
+  EXPECT_EQ(cost.bytes_transferred, 16u);
+  EXPECT_EQ(cost.result_size, 1u);
+}
+
+TEST(Replication, EverythingReplicatedIsFree) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  const QueryCost cost = engine.execute_intersection(
+      trace::Query{{0, 1, 2, 3}}, spread_except({0, 1, 2, 3}));
+  EXPECT_EQ(cost.bytes_transferred, 0u);
+  EXPECT_TRUE(cost.local);
+}
+
+TEST(Replication, BloomPathHonoursReplication) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  const QueryCost cost = engine.execute_intersection_bloom(
+      trace::Query{{0, 1}}, spread_except({1}));
+  EXPECT_EQ(cost.bytes_transferred, 0u);
+  const QueryCost classic = engine.execute_intersection_bloom(
+      trace::Query{{0, 1}}, spread_except({}));
+  EXPECT_GT(classic.bytes_transferred, 0u);  // sanity: replication mattered
+}
+
+TEST(Replication, UnionSkipsReplicatedKeywords) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  // kw0 (largest) replicated: destination falls to kw2 (next largest
+  // placed keyword, 24 B); kw1 (16 B) and kw3 (8 B) ship to node 2.
+  const QueryCost cost =
+      engine.execute_union(trace::Query{{0, 1, 2, 3}}, spread_except({0}));
+  EXPECT_EQ(cost.bytes_transferred, 16u + 8u);
+  EXPECT_EQ(cost.messages, 2u);
+  EXPECT_EQ(cost.result_size, 7u);
+}
+
+TEST(Replication, UnionAllReplicatedIsFree) {
+  const InvertedIndex index = hand_index();
+  const QueryEngine engine(index);
+  const QueryCost cost = engine.execute_union(trace::Query{{1, 2}},
+                                              spread_except({1, 2}));
+  EXPECT_EQ(cost.bytes_transferred, 0u);
+  EXPECT_EQ(cost.result_size, 4u);
+}
+
+}  // namespace
+}  // namespace cca::search

@@ -1,0 +1,171 @@
+// Cluster accounting and trace replay.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/cluster.hpp"
+#include "sim/replay.hpp"
+#include "trace/documents.hpp"
+
+namespace cca::sim {
+namespace {
+
+/// Same hand corpus as the search tests: kw0 48 B, kw1 16 B, kw2 24 B,
+/// kw3 8 B.
+search::InvertedIndex hand_index() {
+  std::vector<trace::Document> docs = {
+      {1, {0}}, {2, {0, 1}}, {3, {0, 1, 2}}, {4, {0, 2}},
+      {5, {0}}, {6, {0}},    {9, {2, 3}},
+  };
+  return search::InvertedIndex::build(trace::Corpus(4, std::move(docs)));
+}
+
+TEST(Cluster, InstallAccountsStorage) {
+  Cluster cluster(2, 100.0);
+  cluster.install_placement({0, 1, 0, 1}, {48, 16, 24, 8});
+  EXPECT_DOUBLE_EQ(cluster.node(0).stored_bytes, 72.0);
+  EXPECT_DOUBLE_EQ(cluster.node(1).stored_bytes, 24.0);
+  EXPECT_EQ(cluster.node_of(2), 0);
+  EXPECT_NEAR(cluster.max_storage_factor(), 0.72, 1e-12);
+  EXPECT_NEAR(cluster.storage_imbalance(), 72.0 / 48.0, 1e-12);
+}
+
+TEST(Cluster, TransfersAreDirectionalAndTotalled) {
+  Cluster cluster(3, 100.0);
+  cluster.install_placement({0, 1, 2}, {8, 8, 8});
+  cluster.record_transfer(0, 1, 100);
+  cluster.record_transfer(1, 2, 50);
+  cluster.record_transfer(2, 2, 999);  // local: ignored
+  EXPECT_EQ(cluster.node(0).bytes_sent, 100u);
+  EXPECT_EQ(cluster.node(1).bytes_received, 100u);
+  EXPECT_EQ(cluster.node(1).bytes_sent, 50u);
+  EXPECT_EQ(cluster.total_network_bytes(), 150u);
+}
+
+TEST(Cluster, ReinstallResetsStats) {
+  Cluster cluster(2, 100.0);
+  cluster.install_placement({0, 1}, {8, 8});
+  cluster.record_transfer(0, 1, 10);
+  cluster.install_placement({1, 1}, {8, 8});
+  EXPECT_EQ(cluster.total_network_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(cluster.node(0).stored_bytes, 0.0);
+}
+
+TEST(Cluster, RejectsBadInputs) {
+  Cluster cluster(2, 100.0);
+  EXPECT_THROW(cluster.install_placement({0, 5}, {8, 8}), common::Error);
+  EXPECT_THROW(cluster.install_placement({0}, {8, 8}), common::Error);
+  cluster.install_placement({0, 1}, {8, 8});
+  EXPECT_THROW(cluster.node_of(2), common::Error);
+  EXPECT_THROW(cluster.record_transfer(0, 9, 1), common::Error);
+}
+
+TEST(Replay, CoLocatedPlacementIsFree) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1000.0);
+  cluster.install_placement({0, 0, 0, 0}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1});
+  t.add_query({0, 1, 2});
+  t.add_query({3});
+  const ReplayStats stats = replay_trace(cluster, index, t);
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.multi_keyword_queries, 2u);
+  EXPECT_EQ(stats.local_queries, 2u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_EQ(cluster.total_network_bytes(), 0u);
+}
+
+TEST(Replay, MeasuredBytesMatchHandComputation) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  // Every keyword on its own node.
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1});     // ship kw1 (16 B)
+  t.add_query({0, 1, 2});  // ship kw1 (16 B) + running {3} (8 B)
+  const ReplayStats stats = replay_trace(cluster, index, t);
+  EXPECT_EQ(stats.total_bytes, 16u + 24u);
+  EXPECT_EQ(stats.total_messages, 3u);
+  EXPECT_EQ(stats.local_queries, 0u);
+  EXPECT_EQ(cluster.total_network_bytes(), stats.total_bytes);
+  EXPECT_NEAR(stats.mean_bytes_per_query, (16.0 + 24.0) / 2.0, 1e-12);
+}
+
+TEST(Replay, UnionModeChargesFullLists) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2, 3});  // union: everything to kw0's node: 16+24+8
+  const ReplayStats stats =
+      replay_trace(cluster, index, t, OperationKind::kUnion);
+  EXPECT_EQ(stats.total_bytes, 48u);
+  EXPECT_EQ(stats.total_messages, 3u);
+}
+
+TEST(Latency, TransferTimeCombinesFixedAndBandwidthCosts) {
+  LatencyModel model;
+  model.per_message_ms = 1.0;
+  model.bandwidth_mbps = 8.0;  // 1 KB/ms
+  EXPECT_DOUBLE_EQ(model.transfer_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.transfer_ms(1000), 2.0);
+  EXPECT_DOUBLE_EQ(model.transfer_ms(4000), 5.0);
+}
+
+TEST(Latency, SequentialIntersectionSumsTransferTimes) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});  // two transfers: 16 B then 8 B
+  LatencyModel model;
+  model.per_message_ms = 1.0;
+  model.bandwidth_mbps = 0.008;  // 1 B/ms: latency ~ bytes
+  const ReplayStats stats = replay_trace(
+      cluster, index, t, OperationKind::kIntersection, {}, model);
+  // (1 + 16) + (1 + 8) = 26 ms.
+  EXPECT_NEAR(stats.mean_latency_ms, 26.0, 1e-9);
+}
+
+TEST(Latency, UnionFanOutTakesTheMaximum) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(4, 1000.0);
+  cluster.install_placement({0, 1, 2, 3}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2, 3});  // parallel transfers of 16, 24, 8 B to kw0
+  LatencyModel model;
+  model.per_message_ms = 1.0;
+  model.bandwidth_mbps = 0.008;
+  const ReplayStats stats =
+      replay_trace(cluster, index, t, OperationKind::kUnion, {}, model);
+  EXPECT_NEAR(stats.mean_latency_ms, 1.0 + 24.0, 1e-9);  // the 24 B transfer
+}
+
+TEST(Latency, LocalQueriesHaveZeroLatency) {
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1000.0);
+  cluster.install_placement({0, 0, 0, 0}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1, 2});
+  const ReplayStats stats = replay_trace(cluster, index, t);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_ms, 0.0);
+}
+
+TEST(Replay, BetterPlacementMeasurablyCheaper) {
+  const search::InvertedIndex index = hand_index();
+  trace::QueryTrace t(4);
+  for (int i = 0; i < 10; ++i) t.add_query({1, 2});
+  Cluster together(2, 1000.0);
+  together.install_placement({0, 1, 1, 0}, index.index_sizes());
+  Cluster apart(2, 1000.0);
+  apart.install_placement({0, 1, 0, 1}, index.index_sizes());
+  const ReplayStats good = replay_trace(together, index, t);
+  const ReplayStats bad = replay_trace(apart, index, t);
+  EXPECT_EQ(good.total_bytes, 0u);
+  EXPECT_EQ(bad.total_bytes, 10u * 16u);  // kw1 ships each time
+}
+
+}  // namespace
+}  // namespace cca::sim

@@ -1,0 +1,37 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "cca.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  // Touch one symbol from each layer through the umbrella include only.
+  cca::common::Rng rng(1);
+  (void)rng();
+  EXPECT_EQ(cca::hash::Md5::to_hex(cca::hash::Md5::digest("abc")).size(),
+            32u);
+
+  cca::lp::Model model;
+  const int x = model.add_variable(0.0, cca::lp::kInfinity, 1.0);
+  model.add_constraint(cca::lp::Relation::kGreaterEqual, 2.0, {{x, 1.0}});
+  EXPECT_TRUE(cca::lp::Solver().solve(model).optimal());
+
+  cca::trace::QueryTrace trace(4);
+  trace.add_query({0, 1});
+  const cca::core::CcaInstance instance({1.0, 1.0}, {2.0, 2.0},
+                                        {{0, 1, 0.5, 1.0}});
+  const cca::core::FractionalPlacement fractional =
+      cca::core::ComponentLpSolver(1).solve(instance);
+  cca::common::Rng round_rng(2);
+  const cca::core::Placement placement =
+      cca::core::round_once(fractional, round_rng);
+  EXPECT_EQ(placement.size(), 2u);
+  EXPECT_EQ(placement[0], placement[1]);  // correlated pair co-rounded
+
+  cca::sim::Cluster cluster(2, 10.0);
+  cluster.install_placement({0, 0}, {8, 8});
+  EXPECT_EQ(cluster.node_of(1), 0);
+}
+
+}  // namespace

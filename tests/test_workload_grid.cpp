@@ -1,0 +1,96 @@
+// Cross-regime property sweep: the pipeline's invariants must hold on
+// every workload regime (overlapping vs disjoint topics, high vs low
+// coherence, small vs large vocabularies), not just the tuned default.
+#include <gtest/gtest.h>
+
+#include "core/partial_optimizer.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::core {
+namespace {
+
+struct RegimeCase {
+  std::size_t vocab;
+  std::size_t topics;
+  double coherence;
+  bool disjoint;
+  std::size_t scope;
+  int nodes;
+  std::uint64_t seed;
+};
+
+void PrintTo(const RegimeCase& c, std::ostream* os) {
+  *os << "v" << c.vocab << "_t" << c.topics << "_c" << c.coherence
+      << (c.disjoint ? "_disjoint" : "_overlap") << "_s" << c.scope << "_n"
+      << c.nodes;
+}
+
+class RegimeSweep : public ::testing::TestWithParam<RegimeCase> {
+ protected:
+  static PartialOptimizer make(const RegimeCase& c,
+                               std::vector<std::uint64_t>& sizes) {
+    trace::WorkloadConfig cfg;
+    cfg.vocabulary_size = c.vocab;
+    cfg.num_topics = c.topics;
+    cfg.topic_size = 8;
+    cfg.topic_coherence = c.coherence;
+    cfg.disjoint_topics = c.disjoint;
+    cfg.seed = c.seed;
+    const trace::QueryTrace t =
+        trace::WorkloadModel(cfg).generate(15000, c.seed + 7);
+    sizes.resize(c.vocab);
+    for (std::size_t k = 0; k < c.vocab; ++k)
+      sizes[k] = 8 * (1 + c.vocab / (k + 1));
+
+    PartialOptimizerConfig opt_cfg;
+    opt_cfg.num_nodes = c.nodes;
+    opt_cfg.scope = c.scope;
+    opt_cfg.seed = c.seed;
+    opt_cfg.rounding.trials = 8;
+    return PartialOptimizer(t, sizes, opt_cfg);
+  }
+};
+
+TEST_P(RegimeSweep, LprrNeverWorseThanRandomOnModeledCost) {
+  std::vector<std::uint64_t> sizes;
+  const PartialOptimizer opt = make(GetParam(), sizes);
+  const double random = opt.run(Strategy::kRandom).scoped_report.cost;
+  const double lprr = opt.run(Strategy::kLprr).scoped_report.cost;
+  EXPECT_LE(lprr, random + 1e-9);
+}
+
+TEST_P(RegimeSweep, EveryStrategyCoversAllBytes) {
+  std::vector<std::uint64_t> sizes;
+  const PartialOptimizer opt = make(GetParam(), sizes);
+  double total = 0.0;
+  for (std::uint64_t s : sizes) total += static_cast<double>(s);
+  for (Strategy s : {Strategy::kRandom, Strategy::kGreedy,
+                     Strategy::kMultilevel, Strategy::kLprr}) {
+    const PlacementPlan plan = opt.run(s);
+    double loads = 0.0;
+    for (double load : plan.node_loads) loads += load;
+    EXPECT_NEAR(loads, total, 1e-6) << to_string(s);
+  }
+}
+
+TEST_P(RegimeSweep, GreedyAndMultilevelRespectScopedCapacity) {
+  std::vector<std::uint64_t> sizes;
+  const PartialOptimizer opt = make(GetParam(), sizes);
+  // These two strategies promise strict feasibility whenever feasible
+  // packing exists; with 2x slack it always does.
+  EXPECT_TRUE(opt.run(Strategy::kGreedy).scoped_report.feasible);
+  EXPECT_TRUE(opt.run(Strategy::kMultilevel).scoped_report.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, RegimeSweep,
+    ::testing::Values(
+        RegimeCase{800, 40, 0.85, false, 200, 4, 1},
+        RegimeCase{800, 40, 0.95, false, 200, 4, 2},
+        RegimeCase{800, 90, 0.9, true, 200, 4, 3},
+        RegimeCase{2000, 100, 0.9, false, 100, 10, 4},
+        RegimeCase{2000, 240, 0.85, true, 500, 10, 5},
+        RegimeCase{500, 25, 0.7, false, 500, 3, 6}));
+
+}  // namespace
+}  // namespace cca::core
