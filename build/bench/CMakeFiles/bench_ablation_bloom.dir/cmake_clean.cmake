@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bloom.dir/bench_ablation_bloom.cpp.o"
+  "CMakeFiles/bench_ablation_bloom.dir/bench_ablation_bloom.cpp.o.d"
+  "bench_ablation_bloom"
+  "bench_ablation_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_replication.cpp" "bench/CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_replication.dir/bench_ablation_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cca_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cca_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cca_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doc_vs_keyword.dir/bench_doc_vs_keyword.cpp.o"
+  "CMakeFiles/bench_doc_vs_keyword.dir/bench_doc_vs_keyword.cpp.o.d"
+  "bench_doc_vs_keyword"
+  "bench_doc_vs_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doc_vs_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

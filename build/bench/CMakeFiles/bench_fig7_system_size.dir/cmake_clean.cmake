@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_system_size.dir/bench_fig7_system_size.cpp.o"
+  "CMakeFiles/bench_fig7_system_size.dir/bench_fig7_system_size.cpp.o.d"
+  "bench_fig7_system_size"
+  "bench_fig7_system_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_system_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

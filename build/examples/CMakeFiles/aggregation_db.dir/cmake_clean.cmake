@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_db.dir/aggregation_db.cpp.o"
+  "CMakeFiles/aggregation_db.dir/aggregation_db.cpp.o.d"
+  "aggregation_db"
+  "aggregation_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_replanner.dir/drift_replanner.cpp.o"
+  "CMakeFiles/drift_replanner.dir/drift_replanner.cpp.o.d"
+  "drift_replanner"
+  "drift_replanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_replanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_common.dir/cli.cpp.o"
+  "CMakeFiles/cca_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cca_common.dir/rng.cpp.o"
+  "CMakeFiles/cca_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cca_common.dir/stats.cpp.o"
+  "CMakeFiles/cca_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cca_common.dir/table.cpp.o"
+  "CMakeFiles/cca_common.dir/table.cpp.o.d"
+  "CMakeFiles/cca_common.dir/zipf.cpp.o"
+  "CMakeFiles/cca_common.dir/zipf.cpp.o.d"
+  "libcca_common.a"
+  "libcca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

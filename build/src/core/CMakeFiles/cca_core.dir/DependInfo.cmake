@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/component_solver.cpp" "src/core/CMakeFiles/cca_core.dir/component_solver.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/component_solver.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/cca_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/cca_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/lp_formulation.cpp" "src/core/CMakeFiles/cca_core.dir/lp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/lp_formulation.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/cca_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/core/CMakeFiles/cca_core.dir/multilevel.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/multilevel.cpp.o.d"
+  "/root/repo/src/core/partial_optimizer.cpp" "src/core/CMakeFiles/cca_core.dir/partial_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/partial_optimizer.cpp.o.d"
+  "/root/repo/src/core/placements.cpp" "src/core/CMakeFiles/cca_core.dir/placements.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/placements.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/cca_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/cca_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/cca_core.dir/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cca_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cca_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

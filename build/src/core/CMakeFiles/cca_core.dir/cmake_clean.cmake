@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_core.dir/component_solver.cpp.o"
+  "CMakeFiles/cca_core.dir/component_solver.cpp.o.d"
+  "CMakeFiles/cca_core.dir/correlation.cpp.o"
+  "CMakeFiles/cca_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/cca_core.dir/instance.cpp.o"
+  "CMakeFiles/cca_core.dir/instance.cpp.o.d"
+  "CMakeFiles/cca_core.dir/lp_formulation.cpp.o"
+  "CMakeFiles/cca_core.dir/lp_formulation.cpp.o.d"
+  "CMakeFiles/cca_core.dir/migration.cpp.o"
+  "CMakeFiles/cca_core.dir/migration.cpp.o.d"
+  "CMakeFiles/cca_core.dir/multilevel.cpp.o"
+  "CMakeFiles/cca_core.dir/multilevel.cpp.o.d"
+  "CMakeFiles/cca_core.dir/partial_optimizer.cpp.o"
+  "CMakeFiles/cca_core.dir/partial_optimizer.cpp.o.d"
+  "CMakeFiles/cca_core.dir/placements.cpp.o"
+  "CMakeFiles/cca_core.dir/placements.cpp.o.d"
+  "CMakeFiles/cca_core.dir/plan_io.cpp.o"
+  "CMakeFiles/cca_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/cca_core.dir/rounding.cpp.o"
+  "CMakeFiles/cca_core.dir/rounding.cpp.o.d"
+  "libcca_core.a"
+  "libcca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_hash.dir/md5.cpp.o"
+  "CMakeFiles/cca_hash.dir/md5.cpp.o.d"
+  "libcca_hash.a"
+  "libcca_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

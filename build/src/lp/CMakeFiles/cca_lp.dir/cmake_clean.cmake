@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_lp.dir/canonical.cpp.o"
+  "CMakeFiles/cca_lp.dir/canonical.cpp.o.d"
+  "CMakeFiles/cca_lp.dir/dense_simplex.cpp.o"
+  "CMakeFiles/cca_lp.dir/dense_simplex.cpp.o.d"
+  "CMakeFiles/cca_lp.dir/model.cpp.o"
+  "CMakeFiles/cca_lp.dir/model.cpp.o.d"
+  "CMakeFiles/cca_lp.dir/revised_simplex.cpp.o"
+  "CMakeFiles/cca_lp.dir/revised_simplex.cpp.o.d"
+  "CMakeFiles/cca_lp.dir/solver.cpp.o"
+  "CMakeFiles/cca_lp.dir/solver.cpp.o.d"
+  "libcca_lp.a"
+  "libcca_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bloom.cpp" "src/search/CMakeFiles/cca_search.dir/bloom.cpp.o" "gcc" "src/search/CMakeFiles/cca_search.dir/bloom.cpp.o.d"
+  "/root/repo/src/search/compression.cpp" "src/search/CMakeFiles/cca_search.dir/compression.cpp.o" "gcc" "src/search/CMakeFiles/cca_search.dir/compression.cpp.o.d"
+  "/root/repo/src/search/inverted_index.cpp" "src/search/CMakeFiles/cca_search.dir/inverted_index.cpp.o" "gcc" "src/search/CMakeFiles/cca_search.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/search/query_engine.cpp" "src/search/CMakeFiles/cca_search.dir/query_engine.cpp.o" "gcc" "src/search/CMakeFiles/cca_search.dir/query_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cca_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

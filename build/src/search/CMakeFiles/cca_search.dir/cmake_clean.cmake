@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_search.dir/bloom.cpp.o"
+  "CMakeFiles/cca_search.dir/bloom.cpp.o.d"
+  "CMakeFiles/cca_search.dir/compression.cpp.o"
+  "CMakeFiles/cca_search.dir/compression.cpp.o.d"
+  "CMakeFiles/cca_search.dir/inverted_index.cpp.o"
+  "CMakeFiles/cca_search.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/cca_search.dir/query_engine.cpp.o"
+  "CMakeFiles/cca_search.dir/query_engine.cpp.o.d"
+  "libcca_search.a"
+  "libcca_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/cca_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/cca_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/doc_partition.cpp" "src/sim/CMakeFiles/cca_sim.dir/doc_partition.cpp.o" "gcc" "src/sim/CMakeFiles/cca_sim.dir/doc_partition.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/cca_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/cca_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/lookup_table.cpp" "src/sim/CMakeFiles/cca_sim.dir/lookup_table.cpp.o" "gcc" "src/sim/CMakeFiles/cca_sim.dir/lookup_table.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/cca_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/cca_sim.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cca_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cca_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

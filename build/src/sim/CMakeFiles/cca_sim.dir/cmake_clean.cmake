@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_sim.dir/cluster.cpp.o"
+  "CMakeFiles/cca_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/cca_sim.dir/doc_partition.cpp.o"
+  "CMakeFiles/cca_sim.dir/doc_partition.cpp.o.d"
+  "CMakeFiles/cca_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/cca_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/cca_sim.dir/lookup_table.cpp.o"
+  "CMakeFiles/cca_sim.dir/lookup_table.cpp.o.d"
+  "CMakeFiles/cca_sim.dir/replay.cpp.o"
+  "CMakeFiles/cca_sim.dir/replay.cpp.o.d"
+  "libcca_sim.a"
+  "libcca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/documents.cpp" "src/trace/CMakeFiles/cca_trace.dir/documents.cpp.o" "gcc" "src/trace/CMakeFiles/cca_trace.dir/documents.cpp.o.d"
+  "/root/repo/src/trace/pair_stats.cpp" "src/trace/CMakeFiles/cca_trace.dir/pair_stats.cpp.o" "gcc" "src/trace/CMakeFiles/cca_trace.dir/pair_stats.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/cca_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/cca_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/cca_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/cca_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/cca_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/cca_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_trace.dir/documents.cpp.o"
+  "CMakeFiles/cca_trace.dir/documents.cpp.o.d"
+  "CMakeFiles/cca_trace.dir/pair_stats.cpp.o"
+  "CMakeFiles/cca_trace.dir/pair_stats.cpp.o.d"
+  "CMakeFiles/cca_trace.dir/trace.cpp.o"
+  "CMakeFiles/cca_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/cca_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/cca_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/cca_trace.dir/workload.cpp.o"
+  "CMakeFiles/cca_trace.dir/workload.cpp.o.d"
+  "libcca_trace.a"
+  "libcca_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

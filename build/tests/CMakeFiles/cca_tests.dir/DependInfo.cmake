@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bloom.cpp" "tests/CMakeFiles/cca_tests.dir/test_bloom.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_bloom.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/cca_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_component_solver.cpp" "tests/CMakeFiles/cca_tests.dir/test_component_solver.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_component_solver.cpp.o.d"
+  "/root/repo/tests/test_compression.cpp" "tests/CMakeFiles/cca_tests.dir/test_compression.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_compression.cpp.o.d"
+  "/root/repo/tests/test_core_instance.cpp" "tests/CMakeFiles/cca_tests.dir/test_core_instance.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_core_instance.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/cca_tests.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_dense_simplex.cpp" "tests/CMakeFiles/cca_tests.dir/test_dense_simplex.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_dense_simplex.cpp.o.d"
+  "/root/repo/tests/test_doc_partition.cpp" "tests/CMakeFiles/cca_tests.dir/test_doc_partition.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_doc_partition.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/cca_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/cca_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_groups.cpp" "tests/CMakeFiles/cca_tests.dir/test_groups.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_groups.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cca_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/cca_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lookup_table.cpp" "tests/CMakeFiles/cca_tests.dir/test_lookup_table.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_lookup_table.cpp.o.d"
+  "/root/repo/tests/test_lp_formulation.cpp" "tests/CMakeFiles/cca_tests.dir/test_lp_formulation.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_lp_formulation.cpp.o.d"
+  "/root/repo/tests/test_lp_model.cpp" "tests/CMakeFiles/cca_tests.dir/test_lp_model.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_lp_model.cpp.o.d"
+  "/root/repo/tests/test_md5.cpp" "tests/CMakeFiles/cca_tests.dir/test_md5.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_md5.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/cca_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/cca_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_multiresource.cpp" "tests/CMakeFiles/cca_tests.dir/test_multiresource.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_multiresource.cpp.o.d"
+  "/root/repo/tests/test_partial_optimizer.cpp" "tests/CMakeFiles/cca_tests.dir/test_partial_optimizer.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_partial_optimizer.cpp.o.d"
+  "/root/repo/tests/test_pipeline_properties.cpp" "tests/CMakeFiles/cca_tests.dir/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/test_placements.cpp" "tests/CMakeFiles/cca_tests.dir/test_placements.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_placements.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/cca_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_revised_simplex.cpp" "tests/CMakeFiles/cca_tests.dir/test_revised_simplex.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_revised_simplex.cpp.o.d"
+  "/root/repo/tests/test_rounding.cpp" "tests/CMakeFiles/cca_tests.dir/test_rounding.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_rounding.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/cca_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cca_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/cca_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_theorem1.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/cca_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/cca_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_workload_grid.cpp" "tests/CMakeFiles/cca_tests.dir/test_workload_grid.cpp.o" "gcc" "tests/CMakeFiles/cca_tests.dir/test_workload_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cca_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/cca_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cca_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cca_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
