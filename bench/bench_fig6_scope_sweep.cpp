@@ -7,7 +7,8 @@
 // scope-to-vocabulary regime at reproduction scale (see EXPERIMENTS.md).
 //
 //   ./bench_fig6_scope_sweep [--nodes=10] [--min-scope=25]
-//                            [--max-scope=3200] [--seeds=3] [testbed flags]
+//                            [--max-scope=3200] [--seeds=3] [--threads=N]
+//                            [--json=path] [testbed flags]
 //
 // With --seeds=K each row averages K independent testbeds (corpus, trace,
 // and optimizer seeds all vary); the +- column is the 95% CI half-width.
@@ -16,7 +17,12 @@
 // linear 1000..10000 range spans cost coverages of roughly 20%..60% on
 // its 253k-keyword vocabulary, and on our scaled-down testbed the same
 // coverage span lives at much smaller scopes (see bench_fig5_importance).
+//
+// The (seed x scope) grid cells are independent and evaluate concurrently;
+// per-seed normalized costs accumulate into the row statistics in fixed
+// seed order after the join, so output is identical for any --threads.
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/stats.hpp"
@@ -44,31 +50,64 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> scopes;
   for (std::size_t scope = min_scope; scope <= max_scope; scope *= 2)
     scopes.push_back(scope);
+
+  // Phase 1 — one testbed + random-hash baseline per seed, concurrently.
+  // (unique_ptr because Testbed is not default-constructible, which
+  // parallel_map's index-ordered result vector requires.)
+  struct SeedBase {
+    bench::Testbed tb;
+    bench::CellResult random;
+  };
+  const auto bases = common::parallel_map(
+      static_cast<std::size_t>(seeds), [&](std::size_t s) {
+        bench::TestbedConfig seeded = cfg;
+        seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
+        auto base = std::make_unique<SeedBase>(
+            SeedBase{bench::Testbed::build(seeded), {}});
+        // Random hash ignores the scope: one normalization base per seed.
+        base->random = base->tb.measure_cell(core::Strategy::kRandom, nodes, 1);
+        return base;
+      });
+  bases[0]->tb.print_banner("(first testbed)");
+
+  // Phase 2 — every (seed, scope) cell runs the three optimizing
+  // strategies; cells are independent and run concurrently.
+  struct Cell {
+    bench::CellResult greedy, multilevel, lprr;
+  };
+  const auto cells = common::parallel_map(
+      static_cast<std::size_t>(seeds) * scopes.size(), [&](std::size_t i) {
+        const bench::Testbed& tb = bases[i / scopes.size()]->tb;
+        const std::size_t scope = scopes[i % scopes.size()];
+        return Cell{tb.measure_cell(core::Strategy::kGreedy, nodes, scope),
+                    tb.measure_cell(core::Strategy::kMultilevel, nodes, scope),
+                    tb.measure_cell(core::Strategy::kLprr, nodes, scope)};
+      });
+
+  // Reduction in fixed seed-major order: the accumulated doubles see the
+  // same addition order as a sequential sweep.
   std::vector<common::RunningStats> greedy_norm(scopes.size()),
       multilevel_norm(scopes.size()), lprr_norm(scopes.size()),
       lprr_imbalance(scopes.size());
-
+  bench::JsonLog json(cfg.json_path);
   for (int s = 0; s < seeds; ++s) {
+    const SeedBase& base = *bases[s];
     bench::TestbedConfig seeded = cfg;
     seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
-    const bench::Testbed tb = bench::Testbed::build(seeded);
-    if (s == 0) tb.print_banner("(first testbed)");
-    // Random hash ignores the scope: one normalization base per seed.
-    const sim::ReplayStats random =
-        tb.measure(core::Strategy::kRandom, nodes, 1);
+    json.add(seeded, "random-hash", nodes, 1, base.random);
     for (std::size_t i = 0; i < scopes.size(); ++i) {
+      const Cell& cell = cells[static_cast<std::size_t>(s) * scopes.size() + i];
       const auto norm = [&](const sim::ReplayStats& stats) {
         return static_cast<double>(stats.total_bytes) /
-               static_cast<double>(random.total_bytes);
+               static_cast<double>(base.random.stats.total_bytes);
       };
-      greedy_norm[i].add(
-          norm(tb.measure(core::Strategy::kGreedy, nodes, scopes[i])));
-      multilevel_norm[i].add(
-          norm(tb.measure(core::Strategy::kMultilevel, nodes, scopes[i])));
-      const sim::ReplayStats lprr =
-          tb.measure(core::Strategy::kLprr, nodes, scopes[i]);
-      lprr_norm[i].add(norm(lprr));
-      lprr_imbalance[i].add(lprr.storage_imbalance);
+      greedy_norm[i].add(norm(cell.greedy.stats));
+      multilevel_norm[i].add(norm(cell.multilevel.stats));
+      lprr_norm[i].add(norm(cell.lprr.stats));
+      lprr_imbalance[i].add(cell.lprr.stats.storage_imbalance);
+      json.add(seeded, "greedy", nodes, scopes[i], cell.greedy);
+      json.add(seeded, "multilevel", nodes, scopes[i], cell.multilevel);
+      json.add(seeded, "lprr", nodes, scopes[i], cell.lprr);
     }
   }
 
@@ -92,5 +131,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(normalized to random hash = 1.0; paper Fig. 6 shows the"
                " same monotone-improving curves with LPRR below greedy;"
                " multilevel partitioning is our added modern comparator)\n";
+  json.write();
   return 0;
 }

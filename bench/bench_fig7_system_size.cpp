@@ -6,11 +6,17 @@
 // greedy only helps while per-node capacity is large (few nodes).
 //
 //   ./bench_fig7_system_size [--scope=1500] [--max-nodes=100]
-//                            [--node-step=10] [--seeds=3] [testbed flags]
+//                            [--node-step=10] [--seeds=3] [--threads=N]
+//                            [--json=path] [testbed flags]
 //
 // With --seeds=K each row averages K independent testbeds; the +- column
 // is the 95% CI half-width on the LPRR normalized cost.
+//
+// The (seed x nodes) grid cells are independent and evaluate concurrently;
+// accumulation happens in fixed seed order after the join, so output is
+// identical for any --threads.
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/stats.hpp"
@@ -36,30 +42,55 @@ int main(int argc, char** argv) {
   std::vector<int> node_counts;
   for (int nodes = node_step; nodes <= max_nodes; nodes += node_step)
     node_counts.push_back(nodes);
+
+  // Phase 1 — one testbed per seed, concurrently (unique_ptr because
+  // Testbed is not default-constructible, which parallel_map's
+  // index-ordered result vector requires).
+  const auto testbeds = common::parallel_map(
+      static_cast<std::size_t>(seeds), [&](std::size_t s) {
+        bench::TestbedConfig seeded = cfg;
+        seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
+        return std::make_unique<bench::Testbed>(bench::Testbed::build(seeded));
+      });
+  testbeds[0]->print_banner("(first testbed)");
+
+  // Phase 2 — every (seed, node-count) cell measures its three
+  // strategies. The random baseline depends on the node count, so it is
+  // part of the cell.
+  struct Cell {
+    bench::CellResult random, greedy, lprr;
+  };
+  const auto cells = common::parallel_map(
+      static_cast<std::size_t>(seeds) * node_counts.size(),
+      [&](std::size_t i) {
+        const bench::Testbed& tb = *testbeds[i / node_counts.size()];
+        const int nodes = node_counts[i % node_counts.size()];
+        return Cell{tb.measure_cell(core::Strategy::kRandom, nodes, 1),
+                    tb.measure_cell(core::Strategy::kGreedy, nodes, scope),
+                    tb.measure_cell(core::Strategy::kLprr, nodes, scope)};
+      });
+
   std::vector<common::RunningStats> random_kib(node_counts.size()),
       greedy_norm(node_counts.size()), lprr_norm(node_counts.size()),
       lprr_imbalance(node_counts.size());
-
+  bench::JsonLog json(cfg.json_path);
   for (int s = 0; s < seeds; ++s) {
     bench::TestbedConfig seeded = cfg;
     seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
-    const bench::Testbed tb = bench::Testbed::build(seeded);
-    if (s == 0) tb.print_banner("(first testbed)");
     for (std::size_t i = 0; i < node_counts.size(); ++i) {
-      const int nodes = node_counts[i];
-      // The random baseline depends on the node count: re-measure.
-      const sim::ReplayStats random =
-          tb.measure(core::Strategy::kRandom, nodes, 1);
-      const sim::ReplayStats greedy =
-          tb.measure(core::Strategy::kGreedy, nodes, scope);
-      const sim::ReplayStats lprr =
-          tb.measure(core::Strategy::kLprr, nodes, scope);
-      random_kib[i].add(static_cast<double>(random.total_bytes) / 1024);
-      greedy_norm[i].add(static_cast<double>(greedy.total_bytes) /
-                         static_cast<double>(random.total_bytes));
-      lprr_norm[i].add(static_cast<double>(lprr.total_bytes) /
-                       static_cast<double>(random.total_bytes));
-      lprr_imbalance[i].add(lprr.storage_imbalance);
+      const Cell& cell =
+          cells[static_cast<std::size_t>(s) * node_counts.size() + i];
+      const double random_bytes =
+          static_cast<double>(cell.random.stats.total_bytes);
+      random_kib[i].add(random_bytes / 1024);
+      greedy_norm[i].add(
+          static_cast<double>(cell.greedy.stats.total_bytes) / random_bytes);
+      lprr_norm[i].add(
+          static_cast<double>(cell.lprr.stats.total_bytes) / random_bytes);
+      lprr_imbalance[i].add(cell.lprr.stats.storage_imbalance);
+      json.add(seeded, "random-hash", node_counts[i], 1, cell.random);
+      json.add(seeded, "greedy", node_counts[i], scope, cell.greedy);
+      json.add(seeded, "lprr", node_counts[i], scope, cell.lprr);
     }
   }
 
@@ -83,5 +114,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(normalized to random hash at the same node count;"
                " paper Fig. 7: LPRR 73-86% savings, greedy fading as nodes"
                " grow)\n";
+  json.write();
   return 0;
 }

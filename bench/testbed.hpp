@@ -8,15 +8,27 @@
 //
 // Scale note (EXPERIMENTS.md): the paper ran 3.7M pages / 6.8M queries /
 // 253k keywords with 48-hour LP solves; the defaults here are chosen so
-// every bench finishes in about a minute on one core while keeping the
-// same scope:vocabulary and capacity regimes. Flags let you scale up.
+// every bench finishes quickly while keeping the same scope:vocabulary
+// and capacity regimes. Flags let you scale up.
+//
+// Parallelism: every bench accepts --threads=N (or the CCA_THREADS env
+// var; default hardware_concurrency) for the common::parallel pool. The
+// grid benches additionally evaluate independent grid cells concurrently.
+// All table output is bit-identical for any thread count (the substrate's
+// determinism contract — see src/common/parallel.hpp).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "core/partial_optimizer.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
@@ -36,6 +48,8 @@ struct TestbedConfig {
   double coherence = 0.9;
   bool disjoint_topics = false;
   std::uint64_t seed = 1;
+  int threads = 0;        // resolved pool size (after --threads/CCA_THREADS)
+  std::string json_path;  // --json=<path>: machine-readable per-cell dump
 
   static TestbedConfig from_cli(const common::CliArgs& args) {
     TestbedConfig cfg;
@@ -49,8 +63,63 @@ struct TestbedConfig {
     cfg.coherence = args.get_double("coherence", cfg.coherence);
     cfg.disjoint_topics = args.get_bool("disjoint", cfg.disjoint_topics);
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", cfg.seed));
+    cfg.json_path = args.get_string("json", "");
+    // The thread knob takes effect immediately: every bench parses its
+    // flags before doing any work, so the pool is sized before first use.
+    const int threads = static_cast<int>(args.get_int("threads", 0));
+    if (threads > 0) common::set_global_threads(threads);
+    cfg.threads = common::configured_threads();
     return cfg;
   }
+};
+
+/// One measured grid cell with its wall-clock, for tables and --json.
+struct CellResult {
+  sim::ReplayStats stats;
+  double wall_ms = 0.0;
+};
+
+/// Collects per-cell records and dumps them as a JSON array so the perf
+/// trajectory (BENCH_*.json) can be tracked across PRs. Append rows in
+/// deterministic (grid) order after the parallel join; the writer itself
+/// is not thread-safe.
+class JsonLog {
+ public:
+  /// `path` empty disables the log (add/write become no-ops).
+  explicit JsonLog(std::string path) : path_(std::move(path)) {}
+
+  void add(const TestbedConfig& cfg, const char* strategy, int nodes,
+           std::size_t scope, const CellResult& cell) {
+    if (path_.empty()) return;
+    std::ostringstream row;
+    row << "  {\"seed\": " << cfg.seed << ", \"threads\": " << cfg.threads
+        << ", \"scope\": " << scope << ", \"nodes\": " << nodes
+        << ", \"strategy\": \"" << strategy << "\""
+        << ", \"total_bytes\": " << cell.stats.total_bytes
+        << ", \"mean_bytes_per_query\": " << cell.stats.mean_bytes_per_query
+        << ", \"p99_bytes_per_query\": " << cell.stats.p99_bytes_per_query
+        << ", \"mean_latency_ms\": " << cell.stats.mean_latency_ms
+        << ", \"p99_latency_ms\": " << cell.stats.p99_latency_ms
+        << ", \"storage_imbalance\": " << cell.stats.storage_imbalance
+        << ", \"wall_ms\": " << cell.wall_ms << "}";
+    rows_.push_back(row.str());
+  }
+
+  /// Writes the collected array; call once, after all adds.
+  void write() const {
+    if (path_.empty() || rows_.empty()) return;
+    std::ofstream out(path_);
+    CCA_CHECK_MSG(out.good(), "cannot write JSON log to " << path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    out << "]\n";
+    std::cout << "\nwrote " << rows_.size() << " cells to " << path_ << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
 };
 
 struct Testbed {
@@ -101,6 +170,7 @@ struct Testbed {
               << " topics=" << config.topics
               << (config.disjoint_topics ? " (disjoint)" : " (overlapping)")
               << " coherence=" << config.coherence << " seed=" << config.seed
+              << " threads=" << config.threads
               << " index=" << static_cast<long>(total_index_bytes / 1024)
               << "KiB\n\n";
   }
@@ -124,6 +194,18 @@ struct Testbed {
                          capacity_slack * total_index_bytes / nodes);
     cluster.install_placement(plan.keyword_to_node, sizes);
     return sim::replay_trace(cluster, index, february);
+  }
+
+  /// measure() plus wall-clock, for grid cells and the --json dump.
+  CellResult measure_cell(core::Strategy strategy, int nodes,
+                          std::size_t scope) const {
+    const auto start = std::chrono::steady_clock::now();
+    CellResult cell;
+    cell.stats = measure(strategy, nodes, scope);
+    cell.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return cell;
   }
 };
 

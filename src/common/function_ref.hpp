@@ -1,0 +1,54 @@
+// Non-owning callable reference — the hot-path alternative to
+// std::function.
+//
+// The query engine and the trace replay invoke a placement lookup and a
+// transfer observer per query step; taking them as `const std::function&`
+// parameters forced a type-erasing (allocating) conversion at EVERY call
+// when the argument was a lambda. FunctionRef erases through two raw
+// pointers instead: no allocation, trivially copyable, safe for the
+// duration of the call it is passed to. It must never be stored beyond the
+// callee's scope — use std::function for owning storage.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace cca::common {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// A default-constructed (or nullptr) FunctionRef is empty: testable via
+  /// operator bool, invoking it is undefined — mirrors std::function's
+  /// "check before calling an optional callback" idiom.
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(
+              object))(std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace cca::common

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cca::core {
 
@@ -48,35 +49,60 @@ RoundingResult round_best_of(const FractionalPlacement& x,
                              const CcaInstance& instance,
                              const RoundingPolicy& policy, common::Rng& rng) {
   CCA_CHECK_MSG(policy.trials >= 1, "need at least one rounding trial");
-  RoundingResult best;
-  for (int t = 0; t < policy.trials; ++t) {
-    Placement candidate = round_once(x, rng);
+
+  // The K trials are independent, so they run concurrently. Determinism
+  // contract: one base value is drawn from the caller's stream (advancing
+  // it by exactly one step regardless of K or thread count), and trial t
+  // uses its own Rng seeded with the t-th output of a SplitMix64 sequence
+  // started at that base — bit-identical for every thread count.
+  const std::uint64_t base = rng();
+  struct Trial {
+    Placement placement;
+    double cost = 0.0;
+    double load = 0.0;
+    bool feasible = false;
+  };
+  const auto trials = static_cast<std::size_t>(policy.trials);
+  std::vector<Trial> results(trials);
+  common::parallel_for(0, trials, 1, [&](std::size_t t) {
+    common::SplitMix64 derive(base +
+                              0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(t));
+    common::Rng trial_rng(derive());
+    Trial& out = results[t];
+    out.placement = round_once(x, trial_rng);
     // Rounding cannot see pins (they are encoded in x as 0/1 rows), but
     // verify the contract held.
-    const double cost = instance.communication_cost(candidate);
-    const double load = instance.max_load_factor(candidate);
-    const bool feasible = instance.is_feasible(candidate);
+    out.cost = instance.communication_cost(out.placement);
+    out.load = instance.max_load_factor(out.placement);
+    out.feasible = instance.is_feasible(out.placement);
+  });
 
+  // Sequential reduction in trial order with strict "better" comparisons:
+  // ties keep the lowest trial index, matching the order of evaluation a
+  // sequential loop would have used.
+  RoundingResult best;
+  for (std::size_t t = 0; t < trials; ++t) {
+    Trial& candidate = results[t];
     bool better;
     if (best.placement.empty()) {
       better = true;
-    } else if (policy.prefer_feasible && feasible != best.feasible) {
-      better = feasible;
-    } else if (policy.prefer_feasible && !feasible && !best.feasible &&
-               load != best.max_load_factor) {
+    } else if (policy.prefer_feasible && candidate.feasible != best.feasible) {
+      better = candidate.feasible;
+    } else if (policy.prefer_feasible && !candidate.feasible &&
+               !best.feasible && candidate.load != best.max_load_factor) {
       // No feasible draw yet: drive the overload down first; a lower cost
       // on a badly overloaded node is not a better placement.
-      better = load < best.max_load_factor;
-    } else if (cost != best.cost) {
-      better = cost < best.cost;
+      better = candidate.load < best.max_load_factor;
+    } else if (candidate.cost != best.cost) {
+      better = candidate.cost < best.cost;
     } else {
-      better = load < best.max_load_factor;
+      better = candidate.load < best.max_load_factor;
     }
     if (better) {
-      best.placement = std::move(candidate);
-      best.cost = cost;
-      best.max_load_factor = load;
-      best.feasible = feasible;
+      best.placement = std::move(candidate.placement);
+      best.cost = candidate.cost;
+      best.max_load_factor = candidate.load;
+      best.feasible = candidate.feasible;
     }
   }
   best.trials = policy.trials;

@@ -41,7 +41,12 @@ struct RoundingResult {
   int trials = 0;
 };
 
-/// Best-of-K rounding of `x` for `instance`.
+/// Best-of-K rounding of `x` for `instance`. The K trials execute
+/// concurrently on the common::parallel pool, each with an independent Rng
+/// derived via SplitMix64 from one draw of `rng` (which therefore advances
+/// by exactly one step) and the trial index. Selection reduces in trial
+/// order with lowest-trial-index tie-breaking, so the result is
+/// bit-identical for every thread count.
 RoundingResult round_best_of(const FractionalPlacement& x,
                              const CcaInstance& instance,
                              const RoundingPolicy& policy, common::Rng& rng);

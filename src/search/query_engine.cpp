@@ -7,6 +7,52 @@
 
 namespace cca::search {
 
+namespace {
+
+/// Hot-path execution order: (bytes, keyword) pairs, ascending by size
+/// with ties by keyword ID — the paper's smallest-two-first scheme.
+/// Queries average ~2.5 keywords, so the order lives in a stack buffer
+/// (no per-call allocation) with sizes computed once, not re-derived
+/// inside the sort comparator.
+struct SizedKeyword {
+  std::uint64_t bytes = 0;
+  trace::KeywordId id = 0;
+};
+
+constexpr std::size_t kInlineKeywords = 16;
+
+class ExecutionOrder {
+ public:
+  template <typename BytesOf>
+  ExecutionOrder(const std::vector<trace::KeywordId>& keywords,
+                 const BytesOf& bytes_of) {
+    size_ = keywords.size();
+    SizedKeyword* order = inline_buffer_;
+    if (size_ > kInlineKeywords) {
+      heap_buffer_.resize(size_);
+      order = heap_buffer_.data();
+    }
+    for (std::size_t i = 0; i < size_; ++i)
+      order[i] = SizedKeyword{bytes_of(keywords[i]), keywords[i]};
+    std::sort(order, order + size_,
+              [](const SizedKeyword& a, const SizedKeyword& b) {
+                return a.bytes != b.bytes ? a.bytes < b.bytes : a.id < b.id;
+              });
+    order_ = order;
+  }
+
+  const SizedKeyword& operator[](std::size_t i) const { return order_[i]; }
+  std::size_t size() const { return size_; }
+
+ private:
+  SizedKeyword inline_buffer_[kInlineKeywords];
+  std::vector<SizedKeyword> heap_buffer_;
+  const SizedKeyword* order_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
 QueryEngine::QueryEngine(const InvertedIndex& index,
                          std::vector<std::uint64_t> keyword_bytes)
     : index_(&index), keyword_bytes_(std::move(keyword_bytes)) {
@@ -14,9 +60,9 @@ QueryEngine::QueryEngine(const InvertedIndex& index,
                 "keyword_bytes must cover the whole vocabulary");
 }
 
-QueryCost QueryEngine::execute_intersection(
-    const trace::Query& query, const PlacementFn& placement,
-    const TransferObserver& observer) const {
+QueryCost QueryEngine::execute_intersection(const trace::Query& query,
+                                            PlacementRef placement,
+                                            TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
 
@@ -25,23 +71,17 @@ QueryCost QueryEngine::execute_intersection(
     return cost;
   }
 
-  // Ascending posting-size execution order (ties by keyword ID), per the
-  // paper's smallest-two-first intersection scheme.
-  std::vector<trace::KeywordId> order = query.keywords;
-  std::sort(order.begin(), order.end(),
-            [&](trace::KeywordId a, trace::KeywordId b) {
-              const auto sa = bytes_of(a);
-              const auto sb = bytes_of(b);
-              return sa != sb ? sa < sb : a < b;
-            });
+  const ExecutionOrder order(query.keywords, [this](trace::KeywordId k) {
+    return bytes_of(k);
+  });
 
   // Step 1: the two smallest lists. The smaller ships to the larger's
   // node — unless either is replicated everywhere, in which case the step
   // is free and executes at the other's node.
-  const PostingList& first = index_->postings(order[0]);
-  const PostingList& second = index_->postings(order[1]);
-  const int node0 = placement(order[0]);
-  const int node1 = placement(order[1]);
+  const PostingList& first = index_->postings(order[0].id);
+  const PostingList& second = index_->postings(order[1].id);
+  const int node0 = placement(order[0].id);
+  const int node1 = placement(order[1].id);
   int current_node;
   if (node1 == kEverywhere) {
     current_node = node0 == kEverywhere ? 0 : node0;
@@ -50,7 +90,7 @@ QueryCost QueryEngine::execute_intersection(
   } else {
     current_node = node1;
     if (node0 != current_node) {
-      const std::uint64_t shipped = bytes_of(order[0]);
+      const std::uint64_t shipped = order[0].bytes;
       cost.bytes_transferred += shipped;
       ++cost.messages;
       cost.local = false;
@@ -63,7 +103,7 @@ QueryCost QueryEngine::execute_intersection(
   // only shrinks) travels to each keyword's node when needed. Replicated
   // keywords are present locally and never force a move.
   for (std::size_t t = 2; t < order.size(); ++t) {
-    const int node = placement(order[t]);
+    const int node = placement(order[t].id);
     if (node != current_node && node != kEverywhere) {
       cost.bytes_transferred += running.size_bytes();
       ++cost.messages;
@@ -71,7 +111,7 @@ QueryCost QueryEngine::execute_intersection(
       if (observer) observer(current_node, node, running.size_bytes());
       current_node = node;
     }
-    running = intersect(running, index_->postings(order[t]));
+    running = intersect(running, index_->postings(order[t].id));
   }
 
   cost.result_size = running.size();
@@ -79,8 +119,8 @@ QueryCost QueryEngine::execute_intersection(
 }
 
 QueryCost QueryEngine::execute_intersection_bloom(
-    const trace::Query& query, const PlacementFn& placement,
-    double bits_per_key, const TransferObserver& observer) const {
+    const trace::Query& query, PlacementRef placement, double bits_per_key,
+    TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
 
@@ -89,18 +129,14 @@ QueryCost QueryEngine::execute_intersection_bloom(
     return cost;
   }
 
-  std::vector<trace::KeywordId> order = query.keywords;
-  std::sort(order.begin(), order.end(),
-            [&](trace::KeywordId a, trace::KeywordId b) {
-              const auto sa = bytes_of(a);
-              const auto sb = bytes_of(b);
-              return sa != sb ? sa < sb : a < b;
-            });
+  const ExecutionOrder order(query.keywords, [this](trace::KeywordId k) {
+    return bytes_of(k);
+  });
 
-  const PostingList& small = index_->postings(order[0]);
-  const PostingList& large = index_->postings(order[1]);
-  const int small_node = placement(order[0]);
-  const int large_node = placement(order[1]);
+  const PostingList& small = index_->postings(order[0].id);
+  const PostingList& large = index_->postings(order[1].id);
+  const int small_node = placement(order[0].id);
+  const int large_node = placement(order[1].id);
   PostingList running = intersect(small, large);
   int current_node;
   if (large_node == kEverywhere) {
@@ -113,7 +149,7 @@ QueryCost QueryEngine::execute_intersection_bloom(
       large_node != kEverywhere) {
     cost.local = false;
     // Option A (classic): ship the small list to the large list's node.
-    const std::uint64_t ship_bytes = bytes_of(order[0]);
+    const std::uint64_t ship_bytes = order[0].bytes;
     // Option B (Bloom): filter over the small list travels out; the large
     // list's survivors travel back (8 B each). Exact survivor count from
     // the actual filter, not the textbook estimate.
@@ -142,7 +178,7 @@ QueryCost QueryEngine::execute_intersection_bloom(
   // classic ship-the-running-result step is used (a Bloom round trip
   // cannot beat shipping a list that is at most the filter's size).
   for (std::size_t t = 2; t < order.size(); ++t) {
-    const int node = placement(order[t]);
+    const int node = placement(order[t].id);
     if (node != current_node && node != kEverywhere) {
       cost.bytes_transferred += running.size_bytes();
       ++cost.messages;
@@ -150,7 +186,7 @@ QueryCost QueryEngine::execute_intersection_bloom(
       if (observer) observer(current_node, node, running.size_bytes());
       current_node = node;
     }
-    running = intersect(running, index_->postings(order[t]));
+    running = intersect(running, index_->postings(order[t].id));
   }
 
   cost.result_size = running.size();
@@ -158,8 +194,8 @@ QueryCost QueryEngine::execute_intersection_bloom(
 }
 
 QueryCost QueryEngine::execute_union(const trace::Query& query,
-                                     const PlacementFn& placement,
-                                     const TransferObserver& observer) const {
+                                     PlacementRef placement,
+                                     TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
 

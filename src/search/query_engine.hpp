@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "search/inverted_index.hpp"
 #include "trace/trace.hpp"
 
@@ -25,7 +26,13 @@ namespace cca::search {
 /// companion work on replication-degree customization): such a keyword is
 /// co-located with every node, so it never causes a transfer and any
 /// intersection step involving it executes wherever its partner lives.
+///
+/// PlacementFn/TransferObserver are the OWNING types, for callers that
+/// store a callback. The execute_* hot paths take the non-owning *Ref
+/// forms below, so passing a lambda (or a stored PlacementFn) costs two
+/// pointers per call instead of a std::function conversion per query.
 using PlacementFn = std::function<int(trace::KeywordId)>;
+using PlacementRef = common::FunctionRef<int(trace::KeywordId)>;
 
 /// PlacementFn sentinel: the keyword has a replica on every node.
 inline constexpr int kEverywhere = -1;
@@ -33,6 +40,7 @@ inline constexpr int kEverywhere = -1;
 /// Optional per-transfer observer (from-node, to-node, bytes); lets a
 /// cluster simulator attribute traffic to node pairs.
 using TransferObserver = std::function<void(int, int, std::uint64_t)>;
+using TransferObserverRef = common::FunctionRef<void(int, int, std::uint64_t)>;
 
 struct QueryCost {
   std::uint64_t bytes_transferred = 0;
@@ -58,14 +66,13 @@ class QueryEngine {
 
   /// Intersection-like execution (multi-keyword AND search).
   QueryCost execute_intersection(const trace::Query& query,
-                                 const PlacementFn& placement,
-                                 const TransferObserver& observer = {}) const;
+                                 PlacementRef placement,
+                                 TransferObserverRef observer = {}) const;
 
   /// Union-like execution (result aggregation across datasets): all lists
   /// move to the largest object's node.
-  QueryCost execute_union(const trace::Query& query,
-                          const PlacementFn& placement,
-                          const TransferObserver& observer = {}) const;
+  QueryCost execute_union(const trace::Query& query, PlacementRef placement,
+                          TransferObserverRef observer = {}) const;
 
   /// Intersection with Bloom-assisted remote steps (cf. the paper's
   /// companion work [13]): when the two smallest lists are apart, the
@@ -76,8 +83,8 @@ class QueryEngine {
   /// this never costs more than execute_intersection. Results are exact —
   /// false positives are eliminated in the final local intersection.
   QueryCost execute_intersection_bloom(
-      const trace::Query& query, const PlacementFn& placement,
-      double bits_per_key = 8.0, const TransferObserver& observer = {}) const;
+      const trace::Query& query, PlacementRef placement,
+      double bits_per_key = 8.0, TransferObserverRef observer = {}) const;
 
  private:
   std::uint64_t bytes_of(trace::KeywordId k) const {

@@ -44,6 +44,25 @@ void Cluster::record_transfer(int from, int to, std::uint64_t bytes) {
   total_network_bytes_ += bytes;
 }
 
+void ClusterDelta::record_transfer(int from, int to, std::uint64_t bytes) {
+  CCA_CHECK(from >= 0 && from < num_nodes());
+  CCA_CHECK(to >= 0 && to < num_nodes());
+  if (from == to) return;
+  sent_[from] += bytes;
+  received_[to] += bytes;
+  total_network_bytes_ += bytes;
+}
+
+void Cluster::apply(const ClusterDelta& delta) {
+  CCA_CHECK_MSG(delta.num_nodes() == num_nodes(),
+                "delta and cluster disagree on node count");
+  for (int k = 0; k < num_nodes(); ++k) {
+    nodes_[k].bytes_sent += delta.sent_[k];
+    nodes_[k].bytes_received += delta.received_[k];
+  }
+  total_network_bytes_ += delta.total_network_bytes_;
+}
+
 double Cluster::max_storage_factor() const {
   if (capacity_bytes_ <= 0.0) return 0.0;
   double factor = 0.0;

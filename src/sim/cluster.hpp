@@ -20,6 +20,32 @@ struct NodeStats {
   std::uint64_t bytes_received = 0;
 };
 
+/// Thread-local transfer accumulator for parallel replay: each replay
+/// shard records its transfers into a private delta, and the deltas are
+/// merged into the Cluster after the parallel join. All fields are exact
+/// integer sums, so the merged totals are identical in any merge order
+/// and for any shard count.
+class ClusterDelta {
+ public:
+  ClusterDelta() = default;
+  explicit ClusterDelta(int num_nodes)
+      : sent_(static_cast<std::size_t>(num_nodes), 0),
+        received_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  /// Charges `bytes` moving from node `from` to node `to` (same contract
+  /// as Cluster::record_transfer; self-transfers are free).
+  void record_transfer(int from, int to, std::uint64_t bytes);
+
+  int num_nodes() const { return static_cast<int>(sent_.size()); }
+  std::uint64_t total_network_bytes() const { return total_network_bytes_; }
+
+ private:
+  friend class Cluster;
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> received_;
+  std::uint64_t total_network_bytes_ = 0;
+};
+
 class Cluster {
  public:
   /// `capacity_bytes` is the nominal per-node storage capacity (the
@@ -38,6 +64,10 @@ class Cluster {
 
   /// Charges `bytes` moving from node `from` to node `to`.
   void record_transfer(int from, int to, std::uint64_t bytes);
+
+  /// Merges a per-shard transfer accumulator (parallel replay) into the
+  /// cluster's statistics.
+  void apply(const ClusterDelta& delta);
 
   const NodeStats& node(int k) const { return nodes_[k]; }
   double capacity_bytes() const { return capacity_bytes_; }

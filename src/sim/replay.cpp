@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace cca::sim {
+
+namespace {
+
+/// Queries per replay shard. Chunk boundaries do not affect results (every
+/// merged quantity is either an exact integer sum or a per-query value
+/// concatenated back into trace order), so the grain is purely a
+/// throughput knob: large enough to amortize dispatch, small enough to
+/// load-balance a 40k-query default trace across a pool.
+constexpr std::size_t kShardGrain = 1024;
+
+struct Shard {
+  ClusterDelta delta;
+  ReplayStats partial;  // counter fields only; aggregates filled later
+  std::vector<double> per_query_bytes;
+  std::vector<double> per_query_latency;
+};
+
+}  // namespace
 
 ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
                          const trace::QueryTrace& trace, OperationKind kind,
@@ -15,52 +34,86 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
       keyword_bytes.empty()
           ? search::QueryEngine(index)
           : search::QueryEngine(index, std::move(keyword_bytes));
-  const auto placement = [&cluster](trace::KeywordId k) {
-    return cluster.node_of(k);
-  };
-  // Per-query latency accumulates through the observer: transfers arrive
-  // in plan order, summed for sequential intersection steps and maxed for
-  // the union fan-out.
-  double query_latency = 0.0;
+  const std::vector<trace::Query>& queries = trace.queries();
   const bool parallel_fanout = kind == OperationKind::kUnion;
-  const auto observer = [&](int from, int to, std::uint64_t bytes) {
-    cluster.record_transfer(from, to, bytes);
-    const double ms = latency.transfer_ms(bytes);
-    query_latency =
-        parallel_fanout ? std::max(query_latency, ms) : query_latency + ms;
-  };
+
+  // The trace is sharded across the pool. Each shard replays its query
+  // range with a private ClusterDelta and private per-query vectors; the
+  // cluster is only read (node_of) during the parallel phase and mutated
+  // by merging the deltas in shard order after the join. Per-query values
+  // concatenate back into trace order, so means and percentiles are
+  // bit-identical to a sequential replay for any thread count.
+  const auto chunks = common::chunk_ranges(queries.size(), kShardGrain);
+  std::vector<Shard> shards(chunks.size());
+  common::parallel_for(0, chunks.size(), 1, [&](std::size_t c) {
+    const auto [begin, end] = chunks[c];
+    Shard& shard = shards[c];
+    shard.delta = ClusterDelta(cluster.num_nodes());
+    shard.per_query_bytes.reserve(end - begin);
+    shard.per_query_latency.reserve(end - begin);
+
+    const auto placement = [&cluster](trace::KeywordId k) {
+      return cluster.node_of(k);
+    };
+    // Per-query latency accumulates through the observer: transfers
+    // arrive in plan order, summed for sequential intersection steps and
+    // maxed for the union fan-out.
+    double query_latency = 0.0;
+    const auto observer = [&](int from, int to, std::uint64_t bytes) {
+      shard.delta.record_transfer(from, to, bytes);
+      const double ms = latency.transfer_ms(bytes);
+      query_latency =
+          parallel_fanout ? std::max(query_latency, ms) : query_latency + ms;
+    };
+
+    for (std::size_t q = begin; q < end; ++q) {
+      const trace::Query& query = queries[q];
+      query_latency = 0.0;
+      search::QueryCost cost;
+      switch (kind) {
+        case OperationKind::kIntersection:
+          cost = engine.execute_intersection(query, placement, observer);
+          break;
+        case OperationKind::kIntersectionBloom:
+          cost = engine.execute_intersection_bloom(query, placement,
+                                                   /*bits_per_key=*/8.0,
+                                                   observer);
+          break;
+        case OperationKind::kUnion:
+          cost = engine.execute_union(query, placement, observer);
+          break;
+      }
+      ++shard.partial.queries;
+      if (query.size() >= 2) {
+        ++shard.partial.multi_keyword_queries;
+        if (cost.local) ++shard.partial.local_queries;
+      }
+      shard.partial.total_bytes += cost.bytes_transferred;
+      shard.partial.total_messages += cost.messages;
+      shard.per_query_bytes.push_back(
+          static_cast<double>(cost.bytes_transferred));
+      shard.per_query_latency.push_back(query_latency);
+    }
+  });
 
   ReplayStats stats;
   std::vector<double> per_query_bytes;
   std::vector<double> per_query_latency;
-  per_query_bytes.reserve(trace.size());
-  per_query_latency.reserve(trace.size());
-
-  for (const trace::Query& query : trace.queries()) {
-    query_latency = 0.0;
-    search::QueryCost cost;
-    switch (kind) {
-      case OperationKind::kIntersection:
-        cost = engine.execute_intersection(query, placement, observer);
-        break;
-      case OperationKind::kIntersectionBloom:
-        cost = engine.execute_intersection_bloom(query, placement,
-                                                 /*bits_per_key=*/8.0,
-                                                 observer);
-        break;
-      case OperationKind::kUnion:
-        cost = engine.execute_union(query, placement, observer);
-        break;
-    }
-    ++stats.queries;
-    if (query.size() >= 2) {
-      ++stats.multi_keyword_queries;
-      if (cost.local) ++stats.local_queries;
-    }
-    stats.total_bytes += cost.bytes_transferred;
-    stats.total_messages += cost.messages;
-    per_query_bytes.push_back(static_cast<double>(cost.bytes_transferred));
-    per_query_latency.push_back(query_latency);
+  per_query_bytes.reserve(queries.size());
+  per_query_latency.reserve(queries.size());
+  for (Shard& shard : shards) {
+    stats.queries += shard.partial.queries;
+    stats.multi_keyword_queries += shard.partial.multi_keyword_queries;
+    stats.local_queries += shard.partial.local_queries;
+    stats.total_bytes += shard.partial.total_bytes;
+    stats.total_messages += shard.partial.total_messages;
+    per_query_bytes.insert(per_query_bytes.end(),
+                           shard.per_query_bytes.begin(),
+                           shard.per_query_bytes.end());
+    per_query_latency.insert(per_query_latency.end(),
+                             shard.per_query_latency.begin(),
+                             shard.per_query_latency.end());
+    cluster.apply(shard.delta);
   }
 
   if (!per_query_bytes.empty()) {

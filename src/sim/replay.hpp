@@ -41,6 +41,11 @@ struct ReplayStats {
 /// transfer accounting. `keyword_bytes`, when non-empty, overrides the
 /// on-the-wire posting-list sizes (e.g. compressed sizes) — see
 /// search::QueryEngine.
+///
+/// Execution shards the trace across the common::parallel pool: each shard
+/// replays with a private ClusterDelta and per-query vectors, merged in
+/// shard order after the join. Every reported statistic is bit-identical
+/// to a sequential replay for any thread count.
 ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
                          const trace::QueryTrace& trace,
                          OperationKind kind = OperationKind::kIntersection,

@@ -4,8 +4,38 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace cca::trace {
+
+namespace {
+
+/// Queries per counting shard: pair extraction is a few nanoseconds per
+/// pair, so shards are sized to keep map-merge overhead well below the
+/// counting work.
+constexpr std::size_t kCountGrain = 4096;
+
+/// Shards the trace, runs `count_chunk(query, shard_map)` over each
+/// shard's queries into a private flat map, and merges the shard maps.
+/// Counts are exact integer sums, so the merged result is identical for
+/// any thread count and shard size.
+template <typename CountQuery>
+common::FlatCounter64 sharded_count(const QueryTrace& trace,
+                                    const CountQuery& count_query) {
+  const std::vector<Query>& queries = trace.queries();
+  const auto chunks = common::chunk_ranges(queries.size(), kCountGrain);
+  std::vector<common::FlatCounter64> shards(chunks.size());
+  common::parallel_for(0, chunks.size(), 1, [&](std::size_t c) {
+    const auto [begin, end] = chunks[c];
+    for (std::size_t q = begin; q < end; ++q)
+      count_query(queries[q], shards[c]);
+  });
+  common::FlatCounter64 merged;
+  for (const common::FlatCounter64& shard : shards) merged.merge(shard);
+  return merged;
+}
+
+}  // namespace
 
 std::uint64_t pack_pair(KeywordId i, KeywordId j) {
   CCA_CHECK_MSG(i != j, "self-pair");
@@ -21,11 +51,12 @@ KeywordPair unpack_pair(std::uint64_t packed) {
 PairCounter PairCounter::count_all_pairs(const QueryTrace& trace) {
   PairCounter counter;
   counter.num_queries_ = trace.size();
-  for (const Query& q : trace.queries()) {
-    for (std::size_t a = 0; a < q.keywords.size(); ++a)
-      for (std::size_t b = a + 1; b < q.keywords.size(); ++b)
-        ++counter.counts_[pack_pair(q.keywords[a], q.keywords[b])];
-  }
+  counter.counts_ =
+      sharded_count(trace, [](const Query& q, common::FlatCounter64& counts) {
+        for (std::size_t a = 0; a < q.keywords.size(); ++a)
+          for (std::size_t b = a + 1; b < q.keywords.size(); ++b)
+            counts.add(pack_pair(q.keywords[a], q.keywords[b]));
+      });
   return counter;
 }
 
@@ -35,53 +66,73 @@ PairCounter PairCounter::count_smallest_pair(
                 "object_sizes does not cover the vocabulary");
   PairCounter counter;
   counter.num_queries_ = trace.size();
-  for (const Query& q : trace.queries()) {
-    if (q.keywords.size() < 2) continue;
-    // Find the two keywords with the smallest index sizes; ties broken by
-    // keyword ID (keywords are sorted, so the first seen wins).
-    KeywordId best = q.keywords[0], second = q.keywords[1];
-    if (object_sizes[second] < object_sizes[best]) std::swap(best, second);
-    for (std::size_t t = 2; t < q.keywords.size(); ++t) {
-      const KeywordId k = q.keywords[t];
-      if (object_sizes[k] < object_sizes[best]) {
-        second = best;
-        best = k;
-      } else if (object_sizes[k] < object_sizes[second]) {
-        second = k;
-      }
-    }
-    ++counter.counts_[pack_pair(best, second)];
-  }
+  counter.counts_ = sharded_count(
+      trace, [&object_sizes](const Query& q, common::FlatCounter64& counts) {
+        if (q.keywords.size() < 2) return;
+        // Find the two keywords with the smallest index sizes; ties broken
+        // by keyword ID (keywords are sorted, so the first seen wins).
+        KeywordId best = q.keywords[0], second = q.keywords[1];
+        if (object_sizes[second] < object_sizes[best]) std::swap(best, second);
+        for (std::size_t t = 2; t < q.keywords.size(); ++t) {
+          const KeywordId k = q.keywords[t];
+          if (object_sizes[k] < object_sizes[best]) {
+            second = best;
+            best = k;
+          } else if (object_sizes[k] < object_sizes[second]) {
+            second = k;
+          }
+        }
+        counts.add(pack_pair(best, second));
+      });
   return counter;
 }
 
 std::uint64_t PairCounter::count(KeywordId i, KeywordId j) const {
-  auto it = counts_.find(pack_pair(i, j));
-  return it == counts_.end() ? 0 : it->second;
+  return counts_.count(pack_pair(i, j));
 }
+
+namespace {
+
+bool pair_count_greater(const PairCount& a, const PairCount& b) {
+  if (a.count != b.count) return a.count > b.count;
+  if (a.pair.first != b.pair.first) return a.pair.first < b.pair.first;
+  return a.pair.second < b.pair.second;
+}
+
+}  // namespace
 
 std::vector<PairCount> PairCounter::sorted_pairs(
     std::uint64_t min_count) const {
   std::vector<PairCount> out;
   out.reserve(counts_.size());
   const double n = num_queries_ > 0 ? static_cast<double>(num_queries_) : 1.0;
-  for (const auto& [packed, count] : counts_) {
-    if (count < min_count) continue;
+  counts_.for_each([&](std::uint64_t packed, std::uint64_t count) {
+    if (count < min_count) return;
     out.push_back(PairCount{unpack_pair(packed), count,
                             static_cast<double>(count) / n});
-  }
-  std::sort(out.begin(), out.end(), [](const PairCount& a, const PairCount& b) {
-    if (a.count != b.count) return a.count > b.count;
-    if (a.pair.first != b.pair.first) return a.pair.first < b.pair.first;
-    return a.pair.second < b.pair.second;
   });
+  std::sort(out.begin(), out.end(), pair_count_greater);
   return out;
 }
 
 std::vector<PairCount> PairCounter::top_pairs(std::size_t k) const {
-  std::vector<PairCount> all = sorted_pairs();
-  if (all.size() > k) all.resize(k);
-  return all;
+  std::vector<PairCount> out;
+  out.reserve(counts_.size());
+  const double n = num_queries_ > 0 ? static_cast<double>(num_queries_) : 1.0;
+  counts_.for_each([&](std::uint64_t packed, std::uint64_t count) {
+    out.push_back(PairCount{unpack_pair(packed), count,
+                            static_cast<double>(count) / n});
+  });
+  // Top-k selection: the comparator is a total order (count, then pair),
+  // so nth_element + head sort gives the same head a full sort would, at
+  // O(n + k log k) instead of O(n log n).
+  if (out.size() > k) {
+    std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                     out.end(), pair_count_greater);
+    out.resize(k);
+  }
+  std::sort(out.begin(), out.end(), pair_count_greater);
+  return out;
 }
 
 StabilityReport compare_stability(const PairCounter& reference,

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::trace {
@@ -36,7 +36,10 @@ struct PairCount {
   double probability = 0.0;
 };
 
-/// Co-occurrence counter.
+/// Co-occurrence counter. Counting shards the trace across the
+/// common::parallel pool with one flat open-addressing map per shard,
+/// merged after the join; counts are exact integer sums, so results are
+/// identical for any thread count.
 class PairCounter {
  public:
   /// Counts every unordered keyword pair of every query — the paper's
@@ -58,11 +61,13 @@ class PairCounter {
   /// probabilities. `min_count` drops noise pairs.
   std::vector<PairCount> sorted_pairs(std::uint64_t min_count = 1) const;
 
-  /// The `k` most frequent pairs (or all, if fewer exist).
+  /// The `k` most frequent pairs (or all, if fewer exist). Top-k
+  /// selection (nth_element + sort of the head), not a full sort — this
+  /// runs per compare_stability call.
   std::vector<PairCount> top_pairs(std::size_t k) const;
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  common::FlatCounter64 counts_;
   std::size_t num_queries_ = 0;
 };
 
