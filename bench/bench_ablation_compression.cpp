@@ -75,11 +75,11 @@ int main(int argc, char** argv) {
       total_bytes += static_cast<double>(s);
 
     std::uint64_t random_bytes = 0;
-    for (const core::Strategy strategy :
-         {core::Strategy::kRandom, core::Strategy::kGreedy,
-          core::Strategy::kLprr}) {
+    for (const std::string_view strategy :
+         {"random-hash", "greedy",
+          "lprr"}) {
       const core::PlacementPlan plan = optimizer.run(strategy);
-      if (strategy == core::Strategy::kLprr)
+      if (strategy == "lprr")
         scopes.emplace_back(plan.scope.begin(), plan.scope.end());
       sim::Cluster cluster(nodes,
                            opt_cfg.capacity_slack * total_bytes / nodes);
@@ -87,10 +87,10 @@ int main(int argc, char** argv) {
       const sim::ReplayStats stats =
           sim::replay_trace(cluster, tb.index, tb.february,
                             sim::OperationKind::kIntersection, model.sizes);
-      if (strategy == core::Strategy::kRandom)
+      if (strategy == "random-hash")
         random_bytes = stats.total_bytes;
       table.add_row(
-          {model.name, core::to_string(strategy),
+          {model.name, std::string(strategy),
            common::Table::num(static_cast<double>(stats.total_bytes) / 1024,
                               1),
            common::Table::num(static_cast<double>(stats.total_bytes) /
@@ -117,5 +117,6 @@ int main(int argc, char** argv) {
                " baseline; compression shrinks w(i,j) asymmetrically — big"
                " lists compress better — which reshuffles the importance"
                " ranking's tail)\n";
+  bench::write_metrics(cfg);
   return 0;
 }

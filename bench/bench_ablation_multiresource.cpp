@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   opt_cfg.scope = scope;
   opt_cfg.seed = cfg.seed;
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
-  const core::PlacementPlan plan = optimizer.run(core::Strategy::kLprr);
+  const core::PlacementPlan plan = optimizer.run("lprr");
 
   // Bandwidth demand per scoped keyword: query frequency x index bytes.
   const std::vector<std::size_t> freq = tb.january.keyword_frequencies();
@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(bw imbalance = max node bandwidth demand / mean; tighter"
                " slack spreads hot keywords at the price of more"
                " communication)\n";
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
                " literal LP optimum always rounds to cost 0 but collapses"
                " whole components onto single nodes; the split-group input"
                " pays cut cost to keep realized loads near capacity.)\n";
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   opt_cfg.seed = cfg.seed;
   opt_cfg.rounding.trials = 16;
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
-  const core::PlacementPlan plan = optimizer.run(core::Strategy::kLprr);
+  const core::PlacementPlan plan = optimizer.run("lprr");
 
   // The fixed object space: January's scope.
   const core::CcaInstance january_instance = scoped_instance(
@@ -124,5 +124,6 @@ int main(int argc, char** argv) {
                " normalized to random hash; budgeted = incremental"
                " re-optimization at a "
             << common::Table::pct(budget) << " migration byte budget)\n";
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -25,7 +25,6 @@ int main(int argc, char** argv) {
   if (!args.has("queries")) cfg.queries = 300000;
   const auto top_k = static_cast<std::size_t>(args.get_int("top", 1000));
   const double drift = args.get_double("drift", 0.01);
-  const bool csv = args.get_bool("csv", false);
   args.reject_unused();
 
   // Fig. 2 needs only traces (no corpus); generate the "February" trace
@@ -73,11 +72,7 @@ int main(int argc, char** argv) {
                                          ? feb_p / pc.probability
                                          : 0.0, 2)});
   }
-  if (csv) {
-    skew.print_csv(std::cout);
-  } else {
-    skew.print(std::cout);
-  }
+  bench::print_table(skew, cfg);
   if (top.size() >= top_k) {
     const double ratio = top.front().probability / top[top_k - 1].probability;
     std::cout << "\nskew summary: top pair is "
@@ -95,5 +90,6 @@ int main(int argc, char** argv) {
             << "; paper: ~1.2%)\n"
             << "  mean |log2(Feb/Jan)|: "
             << common::Table::num(stability.mean_abs_log2_ratio, 3) << "\n";
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -18,7 +18,6 @@ using namespace cca;
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const bench::TestbedConfig cfg = bench::TestbedConfig::from_cli(args);
-  const bool csv = args.get_bool("csv", false);
   args.reject_unused();
 
   const bench::Testbed tb = bench::Testbed::build(cfg);
@@ -39,11 +38,7 @@ int main(int argc, char** argv) {
          common::Table::pct(pt.cumulative_cost_fraction),
          common::Table::pct(pt.cumulative_size_fraction)});
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::print_table(table, cfg);
 
   // Paper's qualitative claim: a small prefix covers most of the cost.
   for (const core::DominancePoint& pt : curve) {
@@ -59,5 +54,6 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  bench::write_metrics(cfg);
   return 0;
 }

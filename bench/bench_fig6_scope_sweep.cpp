@@ -39,8 +39,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("min-scope", 25));
   const auto max_scope =
       static_cast<std::size_t>(args.get_int("max-scope", 3200));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
-  const bool csv = args.get_bool("csv", false);
+  const int seeds = cfg.seeds;
   args.reject_unused();
 
   std::cout << "Figure 6 — communication vs optimization scope\n"
@@ -60,12 +59,11 @@ int main(int argc, char** argv) {
   };
   const auto bases = common::parallel_map(
       static_cast<std::size_t>(seeds), [&](std::size_t s) {
-        bench::TestbedConfig seeded = cfg;
-        seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
+        const bench::TestbedConfig seeded = cfg.with_seed_offset(s);
         auto base = std::make_unique<SeedBase>(
             SeedBase{bench::Testbed::build(seeded), {}});
         // Random hash ignores the scope: one normalization base per seed.
-        base->random = base->tb.measure_cell(core::Strategy::kRandom, nodes, 1);
+        base->random = base->tb.measure_cell("random-hash", nodes, 1);
         return base;
       });
   bases[0]->tb.print_banner("(first testbed)");
@@ -79,9 +77,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(seeds) * scopes.size(), [&](std::size_t i) {
         const bench::Testbed& tb = bases[i / scopes.size()]->tb;
         const std::size_t scope = scopes[i % scopes.size()];
-        return Cell{tb.measure_cell(core::Strategy::kGreedy, nodes, scope),
-                    tb.measure_cell(core::Strategy::kMultilevel, nodes, scope),
-                    tb.measure_cell(core::Strategy::kLprr, nodes, scope)};
+        return Cell{tb.measure_cell("greedy", nodes, scope),
+                    tb.measure_cell("multilevel", nodes, scope),
+                    tb.measure_cell("lprr", nodes, scope)};
       });
 
   // Reduction in fixed seed-major order: the accumulated doubles see the
@@ -92,8 +90,8 @@ int main(int argc, char** argv) {
   bench::JsonLog json(cfg.json_path);
   for (int s = 0; s < seeds; ++s) {
     const SeedBase& base = *bases[s];
-    bench::TestbedConfig seeded = cfg;
-    seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
+    const bench::TestbedConfig seeded =
+        cfg.with_seed_offset(static_cast<std::uint64_t>(s));
     json.add(seeded, "random-hash", nodes, 1, base.random);
     for (std::size_t i = 0; i < scopes.size(); ++i) {
       const Cell& cell = cells[static_cast<std::size_t>(s) * scopes.size() + i];
@@ -123,14 +121,11 @@ int main(int argc, char** argv) {
                    common::Table::pct(1.0 - lprr_norm[i].mean()),
                    common::Table::num(lprr_imbalance[i].mean(), 2)});
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::print_table(table, cfg);
   std::cout << "\n(normalized to random hash = 1.0; paper Fig. 6 shows the"
                " same monotone-improving curves with LPRR below greedy;"
                " multilevel partitioning is our added modern comparator)\n";
   json.write();
+  bench::write_metrics(cfg);
   return 0;
 }

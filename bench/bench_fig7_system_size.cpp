@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
   const auto scope = static_cast<std::size_t>(args.get_int("scope", 1500));
   const int max_nodes = static_cast<int>(args.get_int("max-nodes", 100));
   const int node_step = static_cast<int>(args.get_int("node-step", 10));
-  const int seeds = static_cast<int>(args.get_int("seeds", 3));
-  const bool csv = args.get_bool("csv", false);
+  const int seeds = cfg.seeds;
   args.reject_unused();
 
   std::cout << "Figure 7 — communication vs system size\n"
@@ -48,9 +47,8 @@ int main(int argc, char** argv) {
   // index-ordered result vector requires).
   const auto testbeds = common::parallel_map(
       static_cast<std::size_t>(seeds), [&](std::size_t s) {
-        bench::TestbedConfig seeded = cfg;
-        seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
-        return std::make_unique<bench::Testbed>(bench::Testbed::build(seeded));
+        return std::make_unique<bench::Testbed>(
+            bench::Testbed::build(cfg.with_seed_offset(s)));
       });
   testbeds[0]->print_banner("(first testbed)");
 
@@ -65,9 +63,9 @@ int main(int argc, char** argv) {
       [&](std::size_t i) {
         const bench::Testbed& tb = *testbeds[i / node_counts.size()];
         const int nodes = node_counts[i % node_counts.size()];
-        return Cell{tb.measure_cell(core::Strategy::kRandom, nodes, 1),
-                    tb.measure_cell(core::Strategy::kGreedy, nodes, scope),
-                    tb.measure_cell(core::Strategy::kLprr, nodes, scope)};
+        return Cell{tb.measure_cell("random-hash", nodes, 1),
+                    tb.measure_cell("greedy", nodes, scope),
+                    tb.measure_cell("lprr", nodes, scope)};
       });
 
   std::vector<common::RunningStats> random_kib(node_counts.size()),
@@ -75,8 +73,8 @@ int main(int argc, char** argv) {
       lprr_imbalance(node_counts.size());
   bench::JsonLog json(cfg.json_path);
   for (int s = 0; s < seeds; ++s) {
-    bench::TestbedConfig seeded = cfg;
-    seeded.seed = cfg.seed + static_cast<std::uint64_t>(s);
+    const bench::TestbedConfig seeded =
+        cfg.with_seed_offset(static_cast<std::uint64_t>(s));
     for (std::size_t i = 0; i < node_counts.size(); ++i) {
       const Cell& cell =
           cells[static_cast<std::size_t>(s) * node_counts.size() + i];
@@ -106,14 +104,11 @@ int main(int argc, char** argv) {
                    common::Table::pct(1.0 - lprr_norm[i].mean()),
                    common::Table::num(lprr_imbalance[i].mean(), 2)});
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::print_table(table, cfg);
   std::cout << "\n(normalized to random hash at the same node count;"
                " paper Fig. 7: LPRR 73-86% savings, greedy fading as nodes"
                " grow)\n";
   json.write();
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -23,7 +23,6 @@ using namespace cca;
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const bench::TestbedConfig cfg = bench::TestbedConfig::from_cli(args);
-  const bool csv = args.get_bool("csv", false);
   args.reject_unused();
 
   const bench::Testbed tb = bench::Testbed::build(cfg);
@@ -31,9 +30,9 @@ int main(int argc, char** argv) {
 
   const std::vector<std::size_t> scopes{250, 500, 1000, 2000};
   const std::vector<int> node_counts{10, 20, 50, 100};
-  const std::vector<core::Strategy> strategies{
-      core::Strategy::kRandom, core::Strategy::kGreedy,
-      core::Strategy::kMultilevel, core::Strategy::kLprr};
+  const std::vector<std::string> strategies{
+      "random-hash", "greedy",
+      "multilevel", "lprr"};
 
   // One task per (scope, nodes, strategy) for load balance; results land
   // in a strategy-major-indexed vector, so assembly below is in fixed
@@ -42,9 +41,9 @@ int main(int argc, char** argv) {
   const auto cells =
       common::parallel_map(grid * strategies.size(), [&](std::size_t i) {
         const std::size_t cell = i / strategies.size();
-        const core::Strategy strategy = strategies[i % strategies.size()];
+        const std::string_view strategy = strategies[i % strategies.size()];
         const std::size_t scope_for_strategy =
-            strategy == core::Strategy::kRandom
+            strategy == "random-hash"
                 ? 1  // random hash ignores the scope
                 : scopes[cell / node_counts.size()];
         const int nodes = node_counts[cell % node_counts.size()];
@@ -94,11 +93,7 @@ int main(int argc, char** argv) {
                      common::Table::pct(vs_multilevel)});
     }
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  bench::print_table(table, cfg);
   std::cout << "\nLPRR saving vs random hash: "
             << common::Table::pct(min_vs_random) << " – "
             << common::Table::pct(max_vs_random)
@@ -108,5 +103,6 @@ int main(int argc, char** argv) {
             << common::Table::pct(max_vs_greedy)
             << "   (paper: 30% – 78%)\n";
   json.write();
+  bench::write_metrics(cfg);
   return 0;
 }

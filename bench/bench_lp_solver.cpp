@@ -96,5 +96,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(full-LP = literal Fig. 4 program via our simplex —"
                " the paper's LPsolve route; component = exact contraction"
                " described in component_solver.hpp)\n";
+  bench::write_metrics(cfg);
   return 0;
 }

@@ -1,0 +1,38 @@
+# Smoke contract: --metrics and --json emit valid JSON, and the metrics
+# dump carries the headline instrumentation (LP iterations, rounding
+# trials, replayed bytes). Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DPYTHON=... -DOUT_DIR=... -P <this>
+set(metrics_file ${OUT_DIR}/smoke_contract_metrics.json)
+set(cells_file ${OUT_DIR}/smoke_contract_cells.json)
+
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --threads=2
+    --metrics=${metrics_file} --json=${cells_file}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench failed with exit code ${rc}")
+endif()
+
+foreach(file ${metrics_file} ${cells_file})
+  execute_process(
+    COMMAND ${PYTHON} -m json.tool ${file}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${file} is not valid JSON: ${err}")
+  endif()
+endforeach()
+
+file(READ ${metrics_file} metrics)
+foreach(key
+    lp.solves
+    lp.iterations.phase1
+    lp.iterations.phase2
+    core.rounding.trials
+    core.rounding.winning_trial
+    sim.replay.bytes.intersection
+    search.postings.fetched
+    core.optimizer.strategy)
+  if(NOT metrics MATCHES "\"${key}\"")
+    message(FATAL_ERROR "metrics dump is missing \"${key}\"")
+  endif()
+endforeach()

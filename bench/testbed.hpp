@@ -28,7 +28,9 @@
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/table.hpp"
 #include "core/partial_optimizer.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
@@ -49,7 +51,13 @@ struct TestbedConfig {
   bool disjoint_topics = false;
   std::uint64_t seed = 1;
   int threads = 0;        // resolved pool size (after --threads/CCA_THREADS)
+  int seeds = 3;          // --seeds=K: independent testbeds per grid row
+  bool csv = false;       // --csv: machine-readable table output
   std::string json_path;  // --json=<path>: machine-readable per-cell dump
+  /// --metrics=<path>: enables the process-wide MetricsRegistry and names
+  /// the JSON file write_metrics() dumps at exit. Enabling metrics never
+  /// changes bench stdout (the contract tested by the smoke suite).
+  std::string metrics_path;
 
   static TestbedConfig from_cli(const common::CliArgs& args) {
     TestbedConfig cfg;
@@ -63,7 +71,12 @@ struct TestbedConfig {
     cfg.coherence = args.get_double("coherence", cfg.coherence);
     cfg.disjoint_topics = args.get_bool("disjoint", cfg.disjoint_topics);
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", cfg.seed));
+    cfg.seeds = static_cast<int>(args.get_int("seeds", cfg.seeds));
+    cfg.csv = args.get_bool("csv", cfg.csv);
     cfg.json_path = args.get_string("json", "");
+    cfg.metrics_path = args.get_string("metrics", "");
+    if (!cfg.metrics_path.empty())
+      common::MetricsRegistry::global().set_enabled(true);
     // The thread knob takes effect immediately: every bench parses its
     // flags before doing any work, so the pool is sized before first use.
     const int threads = static_cast<int>(args.get_int("threads", 0));
@@ -71,7 +84,36 @@ struct TestbedConfig {
     cfg.threads = common::configured_threads();
     return cfg;
   }
+
+  /// A copy with the seed advanced by `offset` — the per-seed config of a
+  /// multi-seed grid row.
+  TestbedConfig with_seed_offset(std::uint64_t offset) const {
+    TestbedConfig copy = *this;
+    copy.seed = seed + offset;
+    return copy;
+  }
 };
+
+/// Prints `table` honouring --csv. Shared by every bench so the flag
+/// behaves identically everywhere.
+inline void print_table(const common::Table& table, const TestbedConfig& cfg) {
+  if (cfg.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Dumps the process-wide metrics registry as JSON to --metrics=<path>
+/// (no-op when the flag was not passed). The confirmation note goes to
+/// stderr: stdout must stay byte-identical with metrics on or off.
+inline void write_metrics(const TestbedConfig& cfg) {
+  if (cfg.metrics_path.empty()) return;
+  std::ofstream out(cfg.metrics_path);
+  CCA_CHECK_MSG(out.good(), "cannot write metrics to " << cfg.metrics_path);
+  common::MetricsRegistry::global().write_json(out);
+  std::cerr << "wrote metrics to " << cfg.metrics_path << "\n";
+}
 
 /// One measured grid cell with its wall-clock, for tables and --json.
 struct CellResult {
@@ -176,7 +218,7 @@ struct Testbed {
   }
 
   /// Runs one strategy end-to-end and replays the February trace.
-  sim::ReplayStats measure(core::Strategy strategy, int nodes,
+  sim::ReplayStats measure(std::string_view strategy, int nodes,
                            std::size_t scope,
                            core::PlacementPlan* plan_out = nullptr,
                            double capacity_slack = 2.0) const {
@@ -197,7 +239,7 @@ struct Testbed {
   }
 
   /// measure() plus wall-clock, for grid cells and the --json dump.
-  CellResult measure_cell(core::Strategy strategy, int nodes,
+  CellResult measure_cell(std::string_view strategy, int nodes,
                           std::size_t scope) const {
     const auto start = std::chrono::steady_clock::now();
     CellResult cell;

@@ -77,16 +77,16 @@ int main(int argc, char** argv) {
 
   common::Table table({"strategy", "KiB moved", "bytes/query",
                        "p99 bytes/query", "storage imbalance"});
-  for (core::Strategy strategy :
-       {core::Strategy::kRandom, core::Strategy::kGreedy,
-        core::Strategy::kLprr}) {
+  for (std::string_view strategy :
+       {"random-hash", "greedy",
+        "lprr"}) {
     const core::PlacementPlan plan = optimizer.run(strategy);
     sim::Cluster cluster(nodes, capacity);
     cluster.install_placement(plan.keyword_to_node, sizes);
     const sim::ReplayStats stats = sim::replay_trace(
         cluster, shard_index, live, sim::OperationKind::kUnion);
     table.add_row(
-        {core::to_string(strategy),
+        {std::string(strategy),
          common::Table::num(static_cast<double>(stats.total_bytes) / 1024, 1),
          common::Table::num(stats.mean_bytes_per_query, 1),
          common::Table::num(stats.p99_bytes_per_query, 0),

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
   opt_cfg.seed = 2;
   opt_cfg.rounding.trials = 16;
   const core::PartialOptimizer optimizer(month0, sizes, opt_cfg);
-  const core::PlacementPlan base_plan = optimizer.run(core::Strategy::kLprr);
+  const core::PlacementPlan base_plan = optimizer.run("lprr");
 
   double total_bytes = 0.0;
   for (std::uint64_t s : sizes) total_bytes += static_cast<double>(s);

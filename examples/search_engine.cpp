@@ -7,6 +7,11 @@
 //
 //   ./search_engine [--nodes=10] [--scope=500] [--docs=4000]
 //                   [--vocab=2000] [--queries=30000] [--seed=1]
+//                   [--strategies=random-hash,greedy,lprr]
+//
+// --strategies is resolved by name through core::StrategyRegistry; any
+// strategy registered at startup can be compared without editing this
+// example.
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -30,6 +35,8 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<std::size_t>(args.get_int("queries", 30000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::vector<std::string> strategies = core::parse_strategy_list(
+      args.get_string("strategies", "random-hash,greedy,lprr"));
   args.reject_unused();
 
   std::cout << "Building corpus (" << docs << " pages, vocabulary " << vocab
@@ -74,17 +81,15 @@ int main(int argc, char** argv) {
                        "p99 latency ms", "storage imbalance",
                        "lookup entries"});
   std::uint64_t random_bytes = 0;
-  for (core::Strategy strategy :
-       {core::Strategy::kRandom, core::Strategy::kGreedy,
-        core::Strategy::kLprr}) {
+  for (const std::string& strategy : strategies) {
     const core::PlacementPlan plan = optimizer.run(strategy);
     sim::Cluster cluster(nodes, capacity);
     cluster.install_placement(plan.keyword_to_node, sizes);
     const sim::ReplayStats stats =
         sim::replay_trace(cluster, index, february);
-    if (strategy == core::Strategy::kRandom) random_bytes = stats.total_bytes;
+    if (strategy == "random-hash") random_bytes = stats.total_bytes;
     table.add_row(
-        {core::to_string(strategy),
+        {strategy,
          common::Table::num(static_cast<double>(stats.total_bytes) / 1024, 1),
          common::Table::num(stats.mean_bytes_per_query, 1),
          common::Table::pct(
@@ -96,7 +101,7 @@ int main(int argc, char** argv) {
          common::Table::num(stats.storage_imbalance, 2),
          std::to_string(
              sim::LookupTable::build(plan.keyword_to_node, nodes).entries())});
-    if (strategy == core::Strategy::kLprr && random_bytes > 0) {
+    if (strategy == "lprr" && random_bytes > 0) {
       const double saving =
           1.0 - static_cast<double>(stats.total_bytes) /
                     static_cast<double>(random_bytes);

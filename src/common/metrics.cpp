@@ -1,0 +1,277 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace cca::common {
+
+namespace metrics_detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+int shard_slot() {
+  static std::atomic<int> next_slot{0};
+  thread_local const int slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+}  // namespace metrics_detail
+
+std::int64_t Counter::total() const {
+  std::int64_t sum = 0;
+  for (int s = 0; s < kMetricShards; ++s)
+    sum += cells_[s].value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (int s = 0; s < kMetricShards; ++s)
+    cells_[s].value.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::bucket_of(std::uint64_t value) {
+  const int width = std::bit_width(value);
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(int b) {
+  if (b >= 63) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t sum = 0;
+  for (int s = 0; s < kMetricShards; ++s)
+    sum += shards_[s].count.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::int64_t Histogram::sum() const {
+  std::int64_t sum = 0;
+  for (int s = 0; s < kMetricShards; ++s)
+    sum += shards_[s].sum.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::int64_t Histogram::bucket_count(int b) const {
+  std::int64_t sum = 0;
+  for (int s = 0; s < kMetricShards; ++s)
+    sum += shards_[s].buckets[b].load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::reset() {
+  for (int s = 0; s < kMetricShards; ++s) {
+    shards_[s].count.store(0, std::memory_order_relaxed);
+    shards_[s].sum.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b)
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+enum class MetricKind { kCounter, kGauge, kHistogram, kTimer };
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kTimer: return "timer";
+  }
+  return "unknown";
+}
+
+struct Entry {
+  MetricKind kind;
+  // Exactly one of these is set, matching `kind`. unique_ptr keeps the
+  // handle addresses stable across map rehash/rebalance.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<Timer> timer;
+};
+
+/// Doubles in JSON: shortest round-trip representation is overkill here;
+/// default ostream precision is stable and plenty for observability.
+std::string json_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map: sorted iteration gives the sinks their deterministic order.
+  std::map<std::string, Entry> entries;
+
+  Entry& find_or_create(const std::string& name, MetricKind kind) {
+    CCA_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it != entries.end()) {
+      CCA_CHECK_MSG(it->second.kind == kind,
+                    "metric '" << name << "' already registered as "
+                               << kind_name(it->second.kind)
+                               << ", requested as " << kind_name(kind));
+      return it->second;
+    }
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+      case MetricKind::kTimer:
+        entry.timer = std::make_unique<Timer>();
+        break;
+    }
+    return entries.emplace(name, std::move(entry)).first->second;
+  }
+};
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instrumentation handles (function-local statics all over the
+  // library) must outlive any static destructor that might still record.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *impl().find_or_create(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *impl().find_or_create(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *impl().find_or_create(name, MetricKind::kHistogram).histogram;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  return *impl().find_or_create(name, MetricKind::kTimer).timer;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<std::string> out;
+  out.reserve(i.entries.size());
+  for (const auto& [name, entry] : i.entries) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, entry] : i.entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter: entry.counter->reset(); break;
+      case MetricKind::kGauge: entry.gauge->reset(); break;
+      case MetricKind::kHistogram: entry.histogram->reset(); break;
+      case MetricKind::kTimer: entry.timer->reset(); break;
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  out << "{\n";
+  std::size_t emitted = 0;
+  for (const auto& [name, entry] : i.entries) {
+    out << "  \"" << name << "\": {\"type\": \"" << kind_name(entry.kind)
+        << "\"";
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        out << ", \"value\": " << entry.counter->total();
+        break;
+      case MetricKind::kGauge:
+        out << ", \"value\": " << json_double(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+            << ", \"buckets\": [";
+        bool first = true;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          const std::int64_t c = h.bucket_count(b);
+          if (c == 0) continue;
+          if (!first) out << ", ";
+          first = false;
+          out << "{\"le\": " << Histogram::bucket_upper_bound(b)
+              << ", \"count\": " << c << "}";
+        }
+        out << "]";
+        break;
+      }
+      case MetricKind::kTimer: {
+        const Timer& t = *entry.timer;
+        out << ", \"count\": " << t.calls()
+            << ", \"total_ns\": " << t.total_ns();
+        if (t.calls() > 0)
+          out << ", \"mean_ns\": "
+              << json_double(static_cast<double>(t.total_ns()) /
+                             static_cast<double>(t.calls()));
+        break;
+      }
+    }
+    out << "}" << (++emitted < i.entries.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+void MetricsRegistry::write_table(std::ostream& out) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  Table table({"metric", "type", "value"});
+  for (const auto& [name, entry] : i.entries) {
+    std::string value;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        value = std::to_string(entry.counter->total());
+        break;
+      case MetricKind::kGauge:
+        value = json_double(entry.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        value = "n=" + std::to_string(entry.histogram->count()) +
+                " sum=" + std::to_string(entry.histogram->sum());
+        break;
+      case MetricKind::kTimer:
+        value = std::to_string(entry.timer->calls()) + " x, " +
+                json_double(static_cast<double>(entry.timer->total_ns()) /
+                            1e6) +
+                " ms total";
+        break;
+    }
+    table.add_row({name, kind_name(entry.kind), value});
+  }
+  table.print(out);
+}
+
+}  // namespace cca::common

@@ -1,0 +1,228 @@
+// Process-wide observability substrate: a registry of named counters,
+// gauges, log-bucketed histograms, and wall-clock timers, with JSON and
+// table sinks.
+//
+// Contract with common::parallel — instrumentation must never perturb the
+// bit-identical-results guarantee, and it does not: metrics only observe
+// (no RNG draws, no output interleaving, no scheduling influence). Hot
+// paths record into PER-SHARD storage: each thread owns a cache-line-
+// padded slot (assigned on first touch), so concurrent add() calls are
+// relaxed atomic adds with no cross-thread contention in the common case.
+// Readers merge the shards in fixed slot order; because every sharded
+// quantity is an exact integer sum, the merged value is independent of
+// which thread landed in which slot — deterministic for any thread count.
+// (Timer VALUES are wall-clock and thus vary run to run; their counts are
+// exact. Gauges are last-write-wins and must be set from sequential code.)
+//
+// Cost model: the registry is DISABLED by default. Every record path
+// starts with a relaxed atomic load of the global enabled flag and
+// returns immediately when off, so an un-instrumented-feeling < 2 %
+// overhead survives even in per-query loops (see EXPERIMENTS.md for the
+// measured bench_micro numbers). Instrumentation in per-pivot/per-round
+// inner loops still accumulates locally and records once per call.
+//
+// Usage:
+//   static common::Counter& solves =
+//       common::MetricsRegistry::global().counter("lp.solves");
+//   solves.add();
+//   { common::ScopedTimer t(timer); hot_work(); }
+//   common::MetricsRegistry::global().write_json(out);
+//
+// Handles returned by the registry are valid for the process lifetime.
+// Enable via MetricsRegistry::set_enabled(true) (the benches do this when
+// --metrics=<path> is passed; see bench/testbed.hpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cca::common {
+
+namespace metrics_detail {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Stable per-thread shard slot in [0, kMetricShards). Slots are assigned
+/// on first touch and may be shared by threads once more than
+/// kMetricShards have recorded — correctness does not depend on
+/// exclusivity (cells are atomic), only the contention profile does.
+int shard_slot();
+
+}  // namespace metrics_detail
+
+/// Number of thread-slot shards per metric. Covers the pool sizes the
+/// substrate targets (caller + workers) with headroom; larger pools wrap.
+inline constexpr int kMetricShards = 32;
+
+/// Fast global check compiled into every record path.
+inline bool metrics_enabled() {
+  return metrics_detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing integer sum (events, bytes, iterations).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    if (!metrics_enabled()) return;
+    cells_[metrics_detail::shard_slot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value: shard cells summed in slot order. Exact integer sum,
+  /// so the result is independent of thread-to-slot assignment.
+  std::int64_t total() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> value{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Last-write-wins double (a level, a ratio). Set from sequential code
+/// (after parallel joins); concurrent writers would race on "last".
+class Gauge {
+ public:
+  void set(double value) {
+    if (!metrics_enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative integer observations. Bucket b
+/// holds values whose bit width is b (bucket 0 = {0}, bucket 1 = {1},
+/// bucket 2 = {2,3}, ... ), i.e. upper bound 2^b - 1.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::uint64_t value) {
+    if (!metrics_enabled()) return;
+    Shard& shard = shards_[metrics_detail::shard_slot()];
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(static_cast<std::int64_t>(value),
+                        std::memory_order_relaxed);
+    shard.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bucket index a value lands in (its bit width).
+  static int bucket_of(std::uint64_t value);
+  /// Inclusive upper bound of bucket b (2^b - 1; saturates at the top).
+  static std::uint64_t bucket_upper_bound(int b);
+
+  std::int64_t count() const;
+  std::int64_t sum() const;
+  std::int64_t bucket_count(int b) const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> sum{0};
+    std::atomic<std::int64_t> buckets[kBuckets]{};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Accumulated wall-clock time (total ns + number of timed sections).
+class Timer {
+ public:
+  void add_ns(std::int64_t ns) {
+    total_ns_.add(ns);
+    calls_.add(1);
+  }
+
+  std::int64_t total_ns() const { return total_ns_.total(); }
+  std::int64_t calls() const { return calls_.total(); }
+
+  void reset() {
+    total_ns_.reset();
+    calls_.reset();
+  }
+
+ private:
+  Counter total_ns_;
+  Counter calls_;
+};
+
+/// RAII section timer: reads the clock only when the registry is enabled
+/// at construction, so a disabled timer costs one relaxed load.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), enabled_(metrics_enabled()) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (enabled_)
+      timer_->add_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide registry of named metrics. Lookup is mutex-guarded (cache
+/// the returned reference — it is stable for the process lifetime);
+/// recording through a handle is lock-free.
+class MetricsRegistry {
+ public:
+  /// The shared registry (leaked singleton: handles stay valid through
+  /// static destruction).
+  static MetricsRegistry& global();
+
+  /// Turns recording on/off process-wide. Off (the default) makes every
+  /// record path a relaxed-load-and-return.
+  void set_enabled(bool enabled) {
+    metrics_detail::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+  }
+  bool enabled() const { return metrics_enabled(); }
+
+  /// Finds or creates the named metric. Throws common::Error if the name
+  /// is already registered as a different kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Registered names in sorted order.
+  std::vector<std::string> names() const;
+
+  /// Zeroes every metric's value (registrations and handles survive).
+  void reset();
+
+  /// Sinks. Metrics are emitted in sorted name order; histograms include
+  /// only their non-empty buckets. write_json emits a single JSON object
+  /// keyed by metric name.
+  void write_json(std::ostream& out) const;
+  void write_table(std::ostream& out) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace cca::common

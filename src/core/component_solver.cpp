@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "lp/model.hpp"
 #include "lp/solver.hpp"
@@ -300,6 +301,25 @@ FractionalPlacement ComponentLpSolver::solve(
   const int C = static_cast<int>(groups.members.size());
   const int N = instance.num_nodes();
 
+  // Group-size distribution per solve: how the union-find components (and
+  // their peeled pieces) shape the transportation LP.
+  if (common::metrics_enabled()) {
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& solves = reg.counter("core.components.solves");
+    static common::Counter& group_count =
+        reg.counter("core.components.groups");
+    static common::Histogram& group_objects =
+        reg.histogram("core.components.group_objects");
+    static common::Histogram& group_bytes =
+        reg.histogram("core.components.group_bytes");
+    solves.add();
+    group_count.add(C);
+    for (int c = 0; c < C; ++c) {
+      group_objects.observe(groups.members[c].size());
+      group_bytes.observe(static_cast<std::uint64_t>(groups.sizes[c]));
+    }
+  }
+
   // Transportation LP over q_{c,k} >= 0:
   //   sum_k q_ck = 1                 (group fully placed)
   //   sum_c size_c q_ck <= cap_k     (node capacity; ditto per resource)
@@ -361,7 +381,7 @@ FractionalPlacement ComponentLpSolver::solve(
     }
   }
 
-  const lp::Solution solution = lp::Solver().solve(model);
+  const lp::Solution solution = lp::Solver().solve(model).solution;
   CCA_CHECK_MSG(solution.optimal(),
                 "group transportation LP: "
                     << lp::to_string(solution.status)

@@ -104,7 +104,8 @@ FractionalPlacement solve_cca_lp(const CcaInstance& instance,
                                  lp::SolverOptions options) {
   const LpFormulation formulation(instance);
   const lp::Solution solution =
-      lp::Solver(lp::SolverKind::kAuto, options).solve(formulation.model());
+      lp::Solver(lp::SolverKind::kAuto, options).solve(formulation.model())
+          .solution;
   CCA_CHECK_MSG(solution.optimal(),
                 "CCA LP not solved to optimality: status "
                     << lp::to_string(solution.status));

@@ -2,23 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/check.hpp"
-#include "core/component_solver.hpp"
-#include "core/lp_formulation.hpp"
+#include "common/metrics.hpp"
 #include "hash/md5.hpp"
 
 namespace cca::core {
-
-const char* to_string(Strategy s) {
-  switch (s) {
-    case Strategy::kRandom: return "random-hash";
-    case Strategy::kGreedy: return "greedy";
-    case Strategy::kLprr: return "lprr";
-    case Strategy::kMultilevel: return "multilevel";
-  }
-  return "unknown";
-}
 
 PartialOptimizer::PartialOptimizer(
     const trace::QueryTrace& trace,
@@ -81,45 +71,37 @@ PartialOptimizer::PartialOptimizer(
       std::move(sizes), std::move(capacities), std::move(scoped_pairs));
 }
 
-PlacementPlan PartialOptimizer::run(Strategy strategy) const {
-  switch (strategy) {
-    case Strategy::kRandom: {
-      // Pure hash for everything: the scoped placement is just the hash
-      // nodes of the scope keywords.
-      Placement scope_placement(scope_.size());
-      for (std::size_t pos = 0; pos < scope_.size(); ++pos)
-        scope_placement[pos] = tail_nodes_[scope_[pos]];
-      return assemble(strategy, scope_placement);
-    }
-    case Strategy::kGreedy:
-      return assemble(strategy, greedy_placement(*instance_, config_.greedy));
-    case Strategy::kMultilevel: {
-      MultilevelOptions options = config_.multilevel;
-      options.seed = config_.seed;
-      return assemble(strategy, multilevel_placement(*instance_, options));
-    }
-    case Strategy::kLprr: {
-      const ComponentSolverOptions solver_options{config_.seed,
-                                                  config_.component_fill};
-      FractionalPlacement fractional =
-          config_.use_full_lp
-              ? solve_cca_lp(*instance_)
-              : ComponentLpSolver(solver_options).solve(*instance_);
-      common::Rng rng(config_.seed ^ 0xC0FFEE1234ULL);
-      RoundingResult rounded =
-          round_best_of(fractional, *instance_, config_.rounding, rng);
-      return assemble(strategy, rounded.placement);
-    }
+PlacementPlan PartialOptimizer::run(std::string_view strategy) const {
+  const StrategyFn& fn = StrategyRegistry::global().at(strategy);
+  auto& reg = common::MetricsRegistry::global();
+  static common::Counter& runs = reg.counter("core.optimizer.runs");
+  static common::Timer& strategy_timer = reg.timer("core.optimizer.strategy");
+  static common::Timer& assemble_timer = reg.timer("core.optimizer.assemble");
+  runs.add();
+
+  Placement scope_placement;
+  {
+    const common::ScopedTimer timer(strategy_timer);
+    scope_placement = fn(*this);
   }
-  CCA_CHECK_MSG(false, "unknown strategy");
-  return {};
+  const common::ScopedTimer timer(assemble_timer);
+  return assemble(strategy, scope_placement);
+}
+
+Placement PartialOptimizer::hash_scope_placement() const {
+  // Pure hash for everything: the scoped placement is just the hash nodes
+  // of the scope keywords.
+  Placement scope_placement(scope_.size());
+  for (std::size_t pos = 0; pos < scope_.size(); ++pos)
+    scope_placement[pos] = tail_nodes_[scope_[pos]];
+  return scope_placement;
 }
 
 PlacementPlan PartialOptimizer::assemble(
-    Strategy strategy, const Placement& scope_placement) const {
+    std::string_view strategy, const Placement& scope_placement) const {
   CCA_CHECK(scope_placement.size() == scope_.size());
   PlacementPlan plan;
-  plan.strategy = strategy;
+  plan.strategy = std::string(strategy);
   plan.scope = scope_;
   plan.scoped_report = evaluate_placement(*instance_, scope_placement);
 
@@ -137,6 +119,17 @@ PlacementPlan PartialOptimizer::assemble(
     plan.max_load_factor =
         std::max(plan.max_load_factor,
                  base_capacity > 0.0 ? load / base_capacity : 0.0);
+
+  // Per-node realized load factors, in percent (histogram rather than a
+  // gauge: benches assemble plans from parallel grid cells).
+  if (common::metrics_enabled()) {
+    static common::Histogram& load_pct =
+        common::MetricsRegistry::global().histogram(
+            "core.plan.node_load_factor_pct");
+    for (double load : plan.node_loads)
+      load_pct.observe(static_cast<std::uint64_t>(
+          base_capacity > 0.0 ? 100.0 * load / base_capacity : 0.0));
+  }
   return plan;
 }
 

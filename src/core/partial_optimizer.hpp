@@ -7,15 +7,20 @@
 // in the paper) times the average per-node index size; the optimizer sees
 // that capacity minus the load the hashed tail already put on the node.
 //
-// Three strategies share the pipeline so comparisons are apples-to-apples:
-//   kLprr   — Fig. 4 LP relaxation + Algorithm 2.1 rounding (the paper's
-//             contribution),
-//   kGreedy — the correlation-aware greedy heuristic,
-//   kRandom — hash placement for every keyword (scope ignored).
+// Strategies share the pipeline so comparisons are apples-to-apples. They
+// are resolved by name through core::StrategyRegistry (see strategy.hpp);
+// the built-ins are:
+//   "lprr"        — Fig. 4 LP relaxation + Algorithm 2.1 rounding (the
+//                   paper's contribution),
+//   "greedy"      — the correlation-aware greedy heuristic,
+//   "multilevel"  — the multilevel partitioner,
+//   "random-hash" — hash placement for every keyword (scope ignored).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/correlation.hpp"
@@ -23,13 +28,10 @@
 #include "core/multilevel.hpp"
 #include "core/placements.hpp"
 #include "core/rounding.hpp"
+#include "core/strategy.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::core {
-
-enum class Strategy { kRandom, kGreedy, kLprr, kMultilevel };
-
-const char* to_string(Strategy s);
 
 struct PartialOptimizerConfig {
   int num_nodes = 10;
@@ -64,7 +66,8 @@ struct PlacementPlan {
   std::vector<double> node_loads;
   /// max node load / (slack * average load) over all keywords.
   double max_load_factor = 0.0;
-  Strategy strategy = Strategy::kRandom;
+  /// Registry name of the strategy that produced this plan.
+  std::string strategy;
 };
 
 class PartialOptimizer {
@@ -75,7 +78,9 @@ class PartialOptimizer {
                    PartialOptimizerConfig config);
 
   /// Runs one strategy end-to-end and returns the full placement plan.
-  PlacementPlan run(Strategy strategy) const;
+  /// `strategy` is resolved through StrategyRegistry::global(); unknown
+  /// names throw common::Error listing what is registered.
+  PlacementPlan run(std::string_view strategy) const;
 
   /// The scoped CCA instance a strategy optimizes (capacities already
   /// reduced by the hashed tail's load). Useful for diagnostics/benches.
@@ -83,8 +88,12 @@ class PartialOptimizer {
   const PartialOptimizerConfig& config() const { return config_; }
   const std::vector<KeywordPairWeight>& all_pairs() const { return pairs_; }
 
+  /// The hash (production-baseline) placement of the scope keywords: what
+  /// "random-hash" uses, and the fallback every tail keyword gets.
+  Placement hash_scope_placement() const;
+
  private:
-  PlacementPlan assemble(Strategy strategy,
+  PlacementPlan assemble(std::string_view strategy,
                          const Placement& scope_placement) const;
 
   PartialOptimizerConfig config_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 
 namespace cca::core {
@@ -41,6 +42,13 @@ Placement round_once(const FractionalPlacement& x, common::Rng& rng) {
       }
     }
     unplaced.resize(kept);
+  }
+  // One record per call (`rounds` accumulated locally above); sharded, so
+  // safe from the parallel trial loop in round_best_of.
+  if (common::metrics_enabled()) {
+    static common::Histogram& rounds_hist =
+        common::MetricsRegistry::global().histogram("core.rounding.rounds");
+    rounds_hist.observe(static_cast<std::uint64_t>(rounds));
   }
   return placement;
 }
@@ -81,6 +89,8 @@ RoundingResult round_best_of(const FractionalPlacement& x,
   // ties keep the lowest trial index, matching the order of evaluation a
   // sequential loop would have used.
   RoundingResult best;
+  std::size_t winning_trial = 0;
+  std::int64_t improvements = 0;
   for (std::size_t t = 0; t < trials; ++t) {
     Trial& candidate = results[t];
     bool better;
@@ -103,9 +113,33 @@ RoundingResult round_best_of(const FractionalPlacement& x,
       best.cost = candidate.cost;
       best.max_load_factor = candidate.load;
       best.feasible = candidate.feasible;
+      winning_trial = t;
+      if (t > 0) ++improvements;
     }
   }
   best.trials = policy.trials;
+
+  // Best-of-K accounting: trials attempted/feasible, how often a later
+  // trial beat the incumbent, and where the winner sat in the sequence
+  // (a flat winning-trial histogram means K is still paying for itself).
+  if (common::metrics_enabled()) {
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& calls = reg.counter("core.rounding.calls");
+    static common::Counter& attempted = reg.counter("core.rounding.trials");
+    static common::Counter& feasible =
+        reg.counter("core.rounding.trials.feasible");
+    static common::Counter& improved =
+        reg.counter("core.rounding.improvements");
+    static common::Histogram& winner =
+        reg.histogram("core.rounding.winning_trial");
+    calls.add();
+    attempted.add(static_cast<std::int64_t>(trials));
+    std::int64_t feasible_count = 0;
+    for (const Trial& t : results) feasible_count += t.feasible ? 1 : 0;
+    feasible.add(feasible_count);
+    improved.add(improvements);
+    winner.observe(winning_trial);
+  }
   return best;
 }
 

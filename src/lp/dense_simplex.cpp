@@ -1,6 +1,7 @@
 #include "lp/dense_simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -206,7 +207,26 @@ class Tableau {
 
 }  // namespace
 
-Solution DenseSimplex::solve(const Model& model) const {
+Solution DenseSimplex::solve(const Model& model, SolveStats* stats) const {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  SolveStats local_stats;
+  if (!stats) stats = &local_stats;
+  stats->backend = "dense";
+  // total_ms covers canonicalization + both phases, on every return path.
+  struct TotalTimer {
+    SolveStats* stats;
+    Clock::time_point start = Clock::now();
+    ~TotalTimer() {
+      stats->total_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+    }
+  } total_timer{stats};
+
   Solution sol;
   const CanonicalForm canon(model);
   Tableau tab(canon, options_);
@@ -214,7 +234,10 @@ Solution DenseSimplex::solve(const Model& model) const {
   // Phase 1: minimize the sum of artificials.
   const std::vector<double> zero_cost(
       static_cast<std::size_t>(canon.num_cols()), 0.0);
+  const auto phase1_start = Clock::now();
   SolveStatus status = tab.run_phase(zero_cost, 1.0, &sol.iterations);
+  stats->phase1_iterations = sol.iterations;
+  stats->phase1_ms = ms_since(phase1_start);
   if (status != SolveStatus::kOptimal) {
     // Phase 1 is always bounded below by 0, so non-optimal here can only be
     // an iteration limit.
@@ -228,7 +251,10 @@ Solution DenseSimplex::solve(const Model& model) const {
   tab.retire_artificials();
 
   // Phase 2: the real objective.
+  const auto phase2_start = Clock::now();
   status = tab.run_phase(canon.cost(), 0.0, &sol.iterations);
+  stats->phase2_iterations = sol.iterations - stats->phase1_iterations;
+  stats->phase2_ms = ms_since(phase2_start);
   sol.status = status;
   if (status != SolveStatus::kOptimal) return sol;
 

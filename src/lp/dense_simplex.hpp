@@ -17,8 +17,9 @@ class DenseSimplex {
   explicit DenseSimplex(SolverOptions options = {}) : options_(options) {}
 
   /// Solves `model` (minimization). The returned Solution::x is in the
-  /// model's variable space.
-  Solution solve(const Model& model) const;
+  /// model's variable space. When `stats` is non-null it is filled with
+  /// per-phase iteration counts and wall times (backend "dense").
+  Solution solve(const Model& model, SolveStats* stats = nullptr) const;
 
  private:
   SolverOptions options_;

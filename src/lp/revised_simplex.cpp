@@ -1,6 +1,7 @@
 #include "lp/revised_simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -72,7 +73,6 @@ class RevisedState {
 
     long since_improvement = 0;
     double best_obj = objective(cost);
-    long pivots_since_refactor = 0;
 
     while (true) {
       if (costs_nonnegative && objective(cost) <= tol)
@@ -123,9 +123,10 @@ class RevisedState {
 
       pivot(leave_row, enter, w);
       ++*iterations;
-      if (++pivots_since_refactor >= options_.refactor_interval) {
+      if (eta_length_ >= options_.refactor_interval) {
         reinvert();
-        pivots_since_refactor = 0;
+        ++reinversions_;
+        eta_length_ = 0;
       }
 
       const double obj = objective(cost);
@@ -137,6 +138,11 @@ class RevisedState {
       }
     }
   }
+
+  /// Basis-inverse rebuilds so far / product-form updates pending since
+  /// the last rebuild. Persist across phases, for SolveStats.
+  long reinversions() const { return reinversions_; }
+  long eta_length() const { return eta_length_; }
 
   double artificial_sum() const {
     double s = 0.0;
@@ -293,10 +299,13 @@ class RevisedState {
     in_basis_[basis_[r]] = false;
     basis_[r] = enter;
     in_basis_[enter] = true;
+    ++eta_length_;  // one more product-form update pending reinversion
   }
 
   SolverOptions options_;
   int m_, n_struct_, n_ = 0, num_artificial_ = 0;
+  long reinversions_ = 0;
+  long eta_length_ = 0;  // product-form updates since the last reinvert
   std::vector<SparseColumn> cols_;
   std::vector<double> b_;
   std::vector<double> binv_;  // m x m row-major
@@ -308,14 +317,38 @@ class RevisedState {
 
 }  // namespace
 
-Solution RevisedSimplex::solve(const Model& model) const {
+Solution RevisedSimplex::solve(const Model& model, SolveStats* stats) const {
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  SolveStats local_stats;
+  if (!stats) stats = &local_stats;
+  stats->backend = "revised";
+  // total_ms covers canonicalization + both phases, on every return path.
+  struct TotalTimer {
+    SolveStats* stats;
+    Clock::time_point start = Clock::now();
+    ~TotalTimer() {
+      stats->total_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+    }
+  } total_timer{stats};
+
   Solution sol;
   const CanonicalForm canon(model);
   RevisedState state(canon, options_);
 
   const std::vector<double> zero_cost(
       static_cast<std::size_t>(canon.num_cols()), 0.0);
+  const auto phase1_start = Clock::now();
   SolveStatus status = state.run_phase(zero_cost, 1.0, &sol.iterations);
+  stats->phase1_iterations = sol.iterations;
+  stats->phase1_ms = ms_since(phase1_start);
+  stats->reinversions = state.reinversions();
+  stats->eta_length = state.eta_length();
   if (status != SolveStatus::kOptimal) {
     sol.status = SolveStatus::kIterationLimit;
     return sol;
@@ -326,7 +359,12 @@ Solution RevisedSimplex::solve(const Model& model) const {
   }
   state.retire_artificials();
 
+  const auto phase2_start = Clock::now();
   status = state.run_phase(canon.cost(), 0.0, &sol.iterations);
+  stats->phase2_iterations = sol.iterations - stats->phase1_iterations;
+  stats->phase2_ms = ms_since(phase2_start);
+  stats->reinversions = state.reinversions();
+  stats->eta_length = state.eta_length();
   sol.status = status;
   if (status != SolveStatus::kOptimal) return sol;
 

@@ -17,8 +17,11 @@ class RevisedSimplex {
  public:
   explicit RevisedSimplex(SolverOptions options = {}) : options_(options) {}
 
-  /// Solves `model` (minimization); Solution::x is in model variable space.
-  Solution solve(const Model& model) const;
+  /// Solves `model` (minimization); Solution::x is in model variable
+  /// space. When `stats` is non-null it is filled with per-phase iteration
+  /// counts, reinversion/eta-file accounting, and wall times (backend
+  /// "revised").
+  Solution solve(const Model& model, SolveStats* stats = nullptr) const;
 
  private:
   SolverOptions options_;

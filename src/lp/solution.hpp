@@ -35,6 +35,40 @@ struct Solution {
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };
 
+/// Per-solve statistics, populated by both simplex backends (a production
+/// solver's iteration/timing report; cf. HiGHS per-solve logs). All fields
+/// except the wall times are deterministic for a given model and backend.
+struct SolveStats {
+  /// Which implementation ran: "dense" or "revised".
+  const char* backend = "";
+  /// Pivots per phase (phase 1 drives artificials out; phase 2 optimizes
+  /// the real objective). Their sum equals Solution::iterations.
+  long phase1_iterations = 0;
+  long phase2_iterations = 0;
+  /// Basis-inverse rebuilds (revised simplex only; dense stays 0).
+  long reinversions = 0;
+  /// Product-form updates accumulated since the last reinversion when the
+  /// solve finished — the length of the pending eta file.
+  long eta_length = 0;
+  /// Wall-clock per phase and for the whole solve, milliseconds.
+  double phase1_ms = 0.0;
+  double phase2_ms = 0.0;
+  double total_ms = 0.0;
+
+  long iterations() const { return phase1_iterations + phase2_iterations; }
+};
+
+/// What lp::Solver::solve returns: the solution plus the stats that
+/// explain how it was reached. The stats also feed the process-wide
+/// common::MetricsRegistry (lp.* metrics) when that is enabled.
+struct SolveResult {
+  Solution solution;
+  SolveStats stats;
+
+  bool optimal() const { return solution.optimal(); }
+  SolveStatus status() const { return solution.status; }
+};
+
 /// Options common to the simplex solvers.
 struct SolverOptions {
   long max_iterations = 200000;

@@ -1,9 +1,46 @@
 #include "lp/solver.hpp"
 
+#include <string_view>
+
+#include "common/metrics.hpp"
 #include "lp/dense_simplex.hpp"
 #include "lp/revised_simplex.hpp"
 
 namespace cca::lp {
+
+namespace {
+
+/// Feeds one solve's stats into the process-wide registry. Handles are
+/// function-local statics so repeated solves skip the name lookup.
+void record_metrics(const SolveResult& result) {
+  using common::MetricsRegistry;
+  if (!common::metrics_enabled()) return;
+  auto& reg = MetricsRegistry::global();
+  static common::Counter& solves = reg.counter("lp.solves");
+  static common::Counter& solves_dense = reg.counter("lp.solves.dense");
+  static common::Counter& solves_revised = reg.counter("lp.solves.revised");
+  static common::Counter& phase1 = reg.counter("lp.iterations.phase1");
+  static common::Counter& phase2 = reg.counter("lp.iterations.phase2");
+  static common::Counter& reinversions = reg.counter("lp.reinversions");
+  static common::Histogram& eta = reg.histogram("lp.eta_length");
+  static common::Histogram& iters = reg.histogram("lp.iterations.per_solve");
+  static common::Timer& solve_timer = reg.timer("lp.solve");
+
+  const SolveStats& s = result.stats;
+  solves.add();
+  if (s.backend == std::string_view("dense"))
+    solves_dense.add();
+  else
+    solves_revised.add();
+  phase1.add(s.phase1_iterations);
+  phase2.add(s.phase2_iterations);
+  reinversions.add(s.reinversions);
+  eta.observe(s.eta_length);
+  iters.observe(s.iterations());
+  solve_timer.add_ns(static_cast<long long>(s.total_ms * 1e6));
+}
+
+}  // namespace
 
 SolverKind Solver::choose(const Model& model) {
   // The dense tableau is m x (n + slacks + artificials) doubles and every
@@ -17,11 +54,16 @@ SolverKind Solver::choose(const Model& model) {
   return SolverKind::kRevised;
 }
 
-Solution Solver::solve(const Model& model) const {
+SolveResult Solver::solve(const Model& model) const {
   SolverKind kind = kind_;
   if (kind == SolverKind::kAuto) kind = choose(model);
-  if (kind == SolverKind::kDense) return DenseSimplex(options_).solve(model);
-  return RevisedSimplex(options_).solve(model);
+  SolveResult result;
+  if (kind == SolverKind::kDense)
+    result.solution = DenseSimplex(options_).solve(model, &result.stats);
+  else
+    result.solution = RevisedSimplex(options_).solve(model, &result.stats);
+  record_metrics(result);
+  return result;
 }
 
 }  // namespace cca::lp

@@ -21,7 +21,11 @@ class Solver {
                   SolverOptions options = {})
       : kind_(kind), options_(options) {}
 
-  Solution solve(const Model& model) const;
+  /// Solves `model` and returns the solution together with per-solve
+  /// statistics from whichever backend ran. Also records lp.* metrics
+  /// (solve counts, per-phase iterations, reinversions, wall time) in the
+  /// process-wide registry when metrics are enabled.
+  SolveResult solve(const Model& model) const;
 
   /// The implementation kAuto would dispatch to for this model.
   static SolverKind choose(const Model& model);

@@ -3,11 +3,46 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "search/bloom.hpp"
 
 namespace cca::search {
 
 namespace {
+
+/// Per-query instrumentation handles, resolved once. All counters are
+/// sharded, so recording from the parallel replay shards stays exact.
+struct SearchMetrics {
+  common::Counter& postings_fetched;
+  common::Counter& postings_bytes;
+  common::Counter& bloom_wins;
+  common::Counter& bloom_classic;
+  common::Counter& bloom_saved_bytes;
+
+  static SearchMetrics& get() {
+    static SearchMetrics* m = [] {
+      auto& reg = common::MetricsRegistry::global();
+      return new SearchMetrics{
+          reg.counter("search.postings.fetched"),
+          reg.counter("search.postings.bytes"),
+          reg.counter("search.bloom.wins"),
+          reg.counter("search.bloom.classic"),
+          reg.counter("search.bloom.saved_bytes"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Counts one query's posting-list touches (every keyword's list is read
+/// exactly once by each operator).
+inline void record_postings(const trace::Query& query,
+                            std::uint64_t total_bytes) {
+  if (!common::metrics_enabled()) return;
+  SearchMetrics& m = SearchMetrics::get();
+  m.postings_fetched.add(static_cast<std::int64_t>(query.keywords.size()));
+  m.postings_bytes.add(static_cast<std::int64_t>(total_bytes));
+}
 
 /// Hot-path execution order: (bytes, keyword) pairs, ascending by size
 /// with ties by keyword ID — the paper's smallest-two-first scheme.
@@ -65,6 +100,11 @@ QueryCost QueryEngine::execute_intersection(const trace::Query& query,
                                             TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
+  if (common::metrics_enabled()) {
+    std::uint64_t total = 0;
+    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
+    record_postings(query, total);
+  }
 
   if (query.keywords.size() == 1) {
     cost.result_size = index_->postings(query.keywords[0]).size();
@@ -123,6 +163,11 @@ QueryCost QueryEngine::execute_intersection_bloom(
     TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
+  if (common::metrics_enabled()) {
+    std::uint64_t total = 0;
+    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
+    record_postings(query, total);
+  }
 
   if (query.keywords.size() == 1) {
     cost.result_size = index_->postings(query.keywords[0]).size();
@@ -167,10 +212,17 @@ QueryCost QueryEngine::execute_intersection_bloom(
         observer(large_node, small_node, 8 * candidates);
       }
       current_node = small_node;  // candidates returned; finish locally
+      if (common::metrics_enabled()) {
+        SearchMetrics& m = SearchMetrics::get();
+        m.bloom_wins.add();
+        m.bloom_saved_bytes.add(
+            static_cast<std::int64_t>(ship_bytes - bloom_bytes));
+      }
     } else {
       cost.bytes_transferred += ship_bytes;
       ++cost.messages;
       if (observer) observer(small_node, large_node, ship_bytes);
+      if (common::metrics_enabled()) SearchMetrics::get().bloom_classic.add();
     }
   }
 
@@ -198,6 +250,11 @@ QueryCost QueryEngine::execute_union(const trace::Query& query,
                                      TransferObserverRef observer) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
+  if (common::metrics_enabled()) {
+    std::uint64_t total = 0;
+    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
+    record_postings(query, total);
+  }
 
   // Destination: the node hosting the largest NON-replicated object
   // (Sec. 3.2); replicated keywords are present everywhere and never

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "search/query_engine.hpp"
@@ -93,7 +94,11 @@ EventSimStats simulate_load(const Cluster& cluster,
   }
 
   double last_completion = 0.0;
+  std::size_t events_processed = 0;
+  std::size_t max_queue_depth = events.size();
   while (!events.empty()) {
+    max_queue_depth = std::max(max_queue_depth, events.size());
+    ++events_processed;
     const ReadyEvent ev = events.top();
     events.pop();
     const PendingQuery& query = queries[ev.query];
@@ -128,6 +133,22 @@ EventSimStats simulate_load(const Cluster& cluster,
     for (double busy : nic_busy)
       stats.max_nic_utilization =
           std::max(stats.max_nic_utilization, busy / stats.makespan_ms);
+  }
+
+  // One record per simulation run (counts accumulated locally above).
+  if (common::metrics_enabled()) {
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& runs = reg.counter("sim.eventsim.runs");
+    static common::Counter& events_count = reg.counter("sim.eventsim.events");
+    static common::Histogram& queue_depth =
+        reg.histogram("sim.eventsim.max_queue_depth");
+    static common::Histogram& nic_util_pct =
+        reg.histogram("sim.eventsim.max_nic_util_pct");
+    runs.add();
+    events_count.add(static_cast<std::int64_t>(events_processed));
+    queue_depth.observe(max_queue_depth);
+    nic_util_pct.observe(
+        static_cast<std::uint64_t>(100.0 * stats.max_nic_utilization));
   }
   return stats;
 }

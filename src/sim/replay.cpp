@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 
@@ -124,6 +125,39 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
   }
   stats.max_storage_factor = cluster.max_storage_factor();
   stats.storage_imbalance = cluster.storage_imbalance();
+
+  // Replay accounting, recorded once per trace after the join. Bytes are
+  // split by operation kind so the figure benches (intersection vs Bloom
+  // vs union) attribute traffic without re-parsing tables.
+  if (common::metrics_enabled()) {
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& replays = reg.counter("sim.replay.calls");
+    static common::Counter& queries_total = reg.counter("sim.replay.queries");
+    static common::Counter& messages = reg.counter("sim.replay.messages");
+    static common::Counter& bytes_intersection =
+        reg.counter("sim.replay.bytes.intersection");
+    static common::Counter& bytes_bloom =
+        reg.counter("sim.replay.bytes.intersection_bloom");
+    static common::Counter& bytes_union = reg.counter("sim.replay.bytes.union");
+    static common::Histogram& storage_pct =
+        reg.histogram("sim.replay.max_storage_factor_pct");
+    replays.add();
+    queries_total.add(static_cast<std::int64_t>(stats.queries));
+    messages.add(static_cast<std::int64_t>(stats.total_messages));
+    switch (kind) {
+      case OperationKind::kIntersection:
+        bytes_intersection.add(static_cast<std::int64_t>(stats.total_bytes));
+        break;
+      case OperationKind::kIntersectionBloom:
+        bytes_bloom.add(static_cast<std::int64_t>(stats.total_bytes));
+        break;
+      case OperationKind::kUnion:
+        bytes_union.add(static_cast<std::int64_t>(stats.total_bytes));
+        break;
+    }
+    storage_pct.observe(
+        static_cast<std::uint64_t>(100.0 * stats.max_storage_factor));
+  }
   return stats;
 }
 

@@ -60,7 +60,7 @@ class EndToEnd : public ::testing::Test {
 
 Pipeline* EndToEnd::pipeline_ = nullptr;
 
-sim::ReplayStats run_strategy(const Pipeline& p, core::Strategy strategy,
+sim::ReplayStats run_strategy(const Pipeline& p, std::string_view strategy,
                               int nodes, std::size_t scope) {
   core::PartialOptimizerConfig cfg;
   cfg.num_nodes = nodes;
@@ -79,9 +79,9 @@ sim::ReplayStats run_strategy(const Pipeline& p, core::Strategy strategy,
 
 TEST_F(EndToEnd, MeasuredOrderingLprrGreedyRandom) {
   const Pipeline& p = *pipeline_;
-  const auto random = run_strategy(p, core::Strategy::kRandom, 8, 400);
-  const auto greedy = run_strategy(p, core::Strategy::kGreedy, 8, 400);
-  const auto lprr = run_strategy(p, core::Strategy::kLprr, 8, 400);
+  const auto random = run_strategy(p, "random-hash", 8, 400);
+  const auto greedy = run_strategy(p, "greedy", 8, 400);
+  const auto lprr = run_strategy(p, "lprr", 8, 400);
 
   // The paper's headline: LPRR strictly cheapest, greedy in between.
   EXPECT_LT(lprr.total_bytes, greedy.total_bytes);
@@ -93,22 +93,22 @@ TEST_F(EndToEnd, MeasuredOrderingLprrGreedyRandom) {
 
 TEST_F(EndToEnd, LprrKeepsMoreQueriesLocal) {
   const Pipeline& p = *pipeline_;
-  const auto random = run_strategy(p, core::Strategy::kRandom, 8, 400);
-  const auto lprr = run_strategy(p, core::Strategy::kLprr, 8, 400);
+  const auto random = run_strategy(p, "random-hash", 8, 400);
+  const auto lprr = run_strategy(p, "lprr", 8, 400);
   EXPECT_GT(lprr.local_queries, random.local_queries);
 }
 
 TEST_F(EndToEnd, WiderScopeImprovesLprr) {
   const Pipeline& p = *pipeline_;
-  const auto narrow = run_strategy(p, core::Strategy::kLprr, 8, 100);
-  const auto wide = run_strategy(p, core::Strategy::kLprr, 8, 800);
+  const auto narrow = run_strategy(p, "lprr", 8, 100);
+  const auto wide = run_strategy(p, "lprr", 8, 800);
   EXPECT_LT(wide.total_bytes, narrow.total_bytes);
 }
 
 TEST_F(EndToEnd, StorageNeverOrphaned) {
   const Pipeline& p = *pipeline_;
-  for (core::Strategy s : {core::Strategy::kRandom, core::Strategy::kGreedy,
-                           core::Strategy::kLprr}) {
+  for (std::string_view s : {"random-hash", "greedy",
+                           "lprr"}) {
     const auto stats = run_strategy(p, s, 8, 400);
     EXPECT_GT(stats.queries, 0u);
     EXPECT_GT(stats.storage_imbalance, 0.0);
@@ -125,7 +125,7 @@ TEST_F(EndToEnd, TrainEvalGeneralizationHolds) {
   cfg.scope = 400;
   cfg.seed = 7;
   const core::PartialOptimizer opt(p.train, p.sizes, cfg);
-  const core::PlacementPlan plan = opt.run(core::Strategy::kLprr);
+  const core::PlacementPlan plan = opt.run("lprr");
 
   double total_bytes = 0.0;
   for (std::uint64_t s : p.sizes) total_bytes += static_cast<double>(s);

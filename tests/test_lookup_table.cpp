@@ -70,7 +70,7 @@ TEST(LookupTable, PartialOptimizationKeepsTableSmall) {
   opt_cfg.scope = 150;
   opt_cfg.seed = 4;
   const core::PartialOptimizer optimizer(t, sizes, opt_cfg);
-  const core::PlacementPlan plan = optimizer.run(core::Strategy::kLprr);
+  const core::PlacementPlan plan = optimizer.run("lprr");
   const LookupTable table = LookupTable::build(plan.keyword_to_node, 8);
   EXPECT_LE(table.entries(), 150u);
   // And the table must reproduce the plan.

@@ -101,13 +101,18 @@ TEST(LpFormulation, DenseAndRevisedAgreeOnPinnedInstance) {
   inst.pin(0, 0);
   inst.pin(3, 1);
   const LpFormulation f(inst);
-  const lp::Solution dense =
+  const lp::SolveResult dense =
       lp::Solver(lp::SolverKind::kDense).solve(f.model());
-  const lp::Solution revised =
+  const lp::SolveResult revised =
       lp::Solver(lp::SolverKind::kRevised).solve(f.model());
   ASSERT_TRUE(dense.optimal());
   ASSERT_TRUE(revised.optimal());
-  EXPECT_NEAR(dense.objective, revised.objective, 1e-6);
+  EXPECT_NEAR(dense.solution.objective, revised.solution.objective, 1e-6);
+  // The facade reports which backend ran and iteration counts that add up.
+  EXPECT_STREQ(dense.stats.backend, "dense");
+  EXPECT_STREQ(revised.stats.backend, "revised");
+  EXPECT_EQ(dense.stats.iterations(), dense.solution.iterations);
+  EXPECT_EQ(revised.stats.iterations(), revised.solution.iterations);
 }
 
 }  // namespace

@@ -120,14 +120,16 @@ TEST(SolverFacade, ForcedKindsAgree) {
   const int b = m.add_variable(0.0, kInfinity, -3.0);
   m.add_constraint(Relation::kLessEqual, 10.0, {{a, 1.0}, {b, 2.0}});
   m.add_constraint(Relation::kLessEqual, 8.0, {{a, 2.0}, {b, 1.0}});
-  const Solution dense = Solver(SolverKind::kDense).solve(m);
-  const Solution revised = Solver(SolverKind::kRevised).solve(m);
-  const Solution automatic = Solver().solve(m);
+  const SolveResult dense = Solver(SolverKind::kDense).solve(m);
+  const SolveResult revised = Solver(SolverKind::kRevised).solve(m);
+  const SolveResult automatic = Solver().solve(m);
   ASSERT_TRUE(dense.optimal());
   ASSERT_TRUE(revised.optimal());
   ASSERT_TRUE(automatic.optimal());
-  EXPECT_NEAR(dense.objective, revised.objective, 1e-8);
-  EXPECT_NEAR(dense.objective, automatic.objective, 1e-8);
+  EXPECT_NEAR(dense.solution.objective, revised.solution.objective, 1e-8);
+  EXPECT_NEAR(dense.solution.objective, automatic.solution.objective, 1e-8);
+  EXPECT_GT(dense.stats.iterations(), 0);
+  EXPECT_GE(dense.stats.total_ms, 0.0);
 }
 
 }  // namespace

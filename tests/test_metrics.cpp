@@ -1,0 +1,225 @@
+// MetricsRegistry semantics (counter/gauge/histogram/timer, kind
+// collisions, sinks) and its determinism contract: sharded recording from
+// the parallel pool must merge to identical values at 1, 2, and 8
+// threads, and instrumentation must never perturb instrumented results
+// (enabled vs disabled runs of round_best_of produce the same placement).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/instance.hpp"
+#include "core/rounding.hpp"
+
+namespace cca {
+namespace {
+
+/// Restores the default pool size when a test returns.
+struct ThreadsGuard {
+  ~ThreadsGuard() { common::set_global_threads(0); }
+};
+
+/// Enables metrics for one test and restores the disabled default (and a
+/// clean slate) afterwards, so tests do not leak state into each other.
+struct MetricsGuard {
+  MetricsGuard() {
+    common::MetricsRegistry::global().reset();
+    common::MetricsRegistry::global().set_enabled(true);
+  }
+  ~MetricsGuard() {
+    common::MetricsRegistry::global().set_enabled(false);
+    common::MetricsRegistry::global().reset();
+  }
+};
+
+const int kThreadCounts[] = {1, 2, 8};
+
+TEST(Metrics, DisabledByDefaultAndRecordsNothing) {
+  auto& reg = common::MetricsRegistry::global();
+  reg.reset();
+  ASSERT_FALSE(reg.enabled());
+  common::Counter& c = reg.counter("test.disabled.counter");
+  c.add(41);
+  EXPECT_EQ(c.total(), 0);
+  common::Histogram& h = reg.histogram("test.disabled.histogram");
+  h.observe(7);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  MetricsGuard guard;
+  auto& reg = common::MetricsRegistry::global();
+  common::Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.total(), 10);
+  // The registry hands back the same instance for the same name.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  reg.reset();
+  EXPECT_EQ(c.total(), 0);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsGuard guard;
+  common::Gauge& g = common::MetricsRegistry::global().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  MetricsGuard guard;
+  common::Histogram& h =
+      common::MetricsRegistry::global().histogram("test.histogram");
+  EXPECT_EQ(common::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(common::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(common::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(common::Histogram::bucket_of(3), 2);
+  EXPECT_EQ(common::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(common::Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(common::Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(common::Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(common::Histogram::bucket_upper_bound(3), 7u);
+
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull}) h.observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 106);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.bucket_count(7), 1);  // 100 has bit width 7
+}
+
+TEST(Metrics, TimerCountsCallsAndNanoseconds) {
+  MetricsGuard guard;
+  common::Timer& t = common::MetricsRegistry::global().timer("test.timer");
+  t.add_ns(500);
+  t.add_ns(1500);
+  EXPECT_EQ(t.calls(), 2);
+  EXPECT_EQ(t.total_ns(), 2000);
+  {
+    const common::ScopedTimer scoped(t);
+  }
+  EXPECT_EQ(t.calls(), 3);
+}
+
+TEST(Metrics, NameKindCollisionThrows) {
+  MetricsGuard guard;
+  auto& reg = common::MetricsRegistry::global();
+  reg.counter("test.collision");
+  EXPECT_THROW(reg.histogram("test.collision"), common::Error);
+  EXPECT_THROW(reg.gauge("test.collision"), common::Error);
+  EXPECT_THROW(reg.timer("test.collision"), common::Error);
+}
+
+TEST(Metrics, NamesAreSortedAndSinksEmitEveryMetric) {
+  MetricsGuard guard;
+  auto& reg = common::MetricsRegistry::global();
+  reg.counter("test.sink.b").add(2);
+  reg.gauge("test.sink.a").set(0.5);
+  reg.histogram("test.sink.c").observe(3);
+  reg.timer("test.sink.d").add_ns(100);
+
+  const std::vector<std::string> names = reg.names();
+  ASSERT_GE(names.size(), 4u);
+  for (std::size_t i = 1; i < names.size(); ++i)
+    EXPECT_LT(names[i - 1], names[i]);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"test.sink.a\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.sink.b\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.sink.c\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.sink.d\""), std::string::npos);
+  EXPECT_EQ(text.front(), '{');
+
+  std::ostringstream table;
+  reg.write_table(table);
+  EXPECT_NE(table.str().find("test.sink.b"), std::string::npos);
+}
+
+TEST(Metrics, ShardedCountsMergeIdenticallyForAnyThreadCount) {
+  ThreadsGuard threads_guard;
+  MetricsGuard guard;
+  auto& reg = common::MetricsRegistry::global();
+  common::Counter& counter = reg.counter("test.sharded.counter");
+  common::Histogram& hist = reg.histogram("test.sharded.histogram");
+
+  constexpr std::size_t kItems = 10'000;
+  std::int64_t expected_total = 0;
+  for (std::size_t i = 0; i < kItems; ++i)
+    expected_total += static_cast<std::int64_t>(i % 13);
+
+  for (int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    reg.reset();
+    common::parallel_for(0, kItems, 64, [&](std::size_t i) {
+      counter.add(static_cast<std::int64_t>(i % 13));
+      hist.observe(i % 1024);
+    });
+    EXPECT_EQ(counter.total(), expected_total) << "threads " << threads;
+    EXPECT_EQ(hist.count(), static_cast<std::int64_t>(kItems))
+        << "threads " << threads;
+    for (int b = 0; b < common::Histogram::kBuckets; ++b) {
+      // Exact integer sums: bucket contents cannot depend on which thread
+      // recorded which item.
+      std::int64_t expect = 0;
+      for (std::size_t i = 0; i < kItems; ++i)
+        if (common::Histogram::bucket_of(i % 1024) == b) ++expect;
+      ASSERT_EQ(hist.bucket_count(b), expect)
+          << "bucket " << b << " threads " << threads;
+    }
+  }
+}
+
+TEST(Metrics, EnablingMetricsDoesNotPerturbRounding) {
+  ThreadsGuard threads_guard;
+  // round_best_of draws from the caller's RNG stream and runs parallel
+  // trials; instrumentation must not change its result or stream use.
+  core::CcaInstance instance(
+      {1.0, 1.0, 2.0, 1.0, 3.0}, {4.0, 4.0, 4.0},
+      {{0, 1, 0.9, 2.0}, {1, 2, 0.8, 1.0}, {3, 4, 0.7, 3.0}});
+  const core::FractionalPlacement x = [&] {
+    core::FractionalPlacement frac(instance.num_objects(),
+                                   instance.num_nodes());
+    for (int i = 0; i < instance.num_objects(); ++i)
+      for (int k = 0; k < instance.num_nodes(); ++k)
+        frac.set(i, k, 1.0 / instance.num_nodes());
+    return frac;
+  }();
+  core::RoundingPolicy policy;
+  policy.trials = 8;
+
+  common::set_global_threads(4);
+  common::Rng rng_off(42);
+  const core::RoundingResult off = round_best_of(x, instance, policy, rng_off);
+  const std::uint64_t stream_off = rng_off();
+
+  core::RoundingResult on;
+  std::uint64_t stream_on = 0;
+  {
+    MetricsGuard guard;
+    common::Rng rng_on(42);
+    on = round_best_of(x, instance, policy, rng_on);
+    stream_on = rng_on();
+
+    // And the instrumentation actually fired.
+    auto& reg = common::MetricsRegistry::global();
+    EXPECT_EQ(reg.counter("core.rounding.trials").total(), 8);
+    EXPECT_EQ(reg.counter("core.rounding.calls").total(), 1);
+  }
+
+  EXPECT_EQ(on.placement, off.placement);
+  EXPECT_DOUBLE_EQ(on.cost, off.cost);
+  EXPECT_EQ(stream_on, stream_off);
+}
+
+}  // namespace
+}  // namespace cca

@@ -42,7 +42,7 @@ PartialOptimizerConfig base_config() {
 TEST(PartialOptimizer, PlanCoversWholeVocabulary) {
   const Workbench wb = make_workbench();
   const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
-  const PlacementPlan plan = opt.run(Strategy::kLprr);
+  const PlacementPlan plan = opt.run("lprr");
   ASSERT_EQ(plan.keyword_to_node.size(), wb.sizes.size());
   for (NodeId node : plan.keyword_to_node) {
     EXPECT_GE(node, 0);
@@ -54,13 +54,13 @@ TEST(PartialOptimizer, PlanCoversWholeVocabulary) {
 TEST(PartialOptimizer, NodeLoadsSumToTotalIndexBytes) {
   const Workbench wb = make_workbench();
   const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
-  for (Strategy s : {Strategy::kRandom, Strategy::kGreedy, Strategy::kLprr}) {
+  for (std::string_view s : {"random-hash", "greedy", "lprr"}) {
     const PlacementPlan plan = opt.run(s);
     double total_loads = 0.0;
     for (double load : plan.node_loads) total_loads += load;
     double total_sizes = 0.0;
     for (std::uint64_t size : wb.sizes) total_sizes += static_cast<double>(size);
-    EXPECT_NEAR(total_loads, total_sizes, 1e-6) << to_string(s);
+    EXPECT_NEAR(total_loads, total_sizes, 1e-6) << s;
   }
 }
 
@@ -68,8 +68,8 @@ TEST(PartialOptimizer, TailKeywordsFollowMd5Hash) {
   const Workbench wb = make_workbench();
   const PartialOptimizerConfig cfg = base_config();
   const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
-  const PlacementPlan lprr = opt.run(Strategy::kLprr);
-  const PlacementPlan random = opt.run(Strategy::kRandom);
+  const PlacementPlan lprr = opt.run("lprr");
+  const PlacementPlan random = opt.run("random-hash");
   // Outside the scope, both strategies place identically (hash).
   std::vector<bool> in_scope(wb.sizes.size(), false);
   for (trace::KeywordId k : lprr.scope) in_scope[k] = true;
@@ -84,18 +84,18 @@ TEST(PartialOptimizer, StrategiesAreDeterministicPerSeed) {
   const Workbench wb = make_workbench();
   const PartialOptimizer a(wb.trace, wb.sizes, base_config());
   const PartialOptimizer b(wb.trace, wb.sizes, base_config());
-  for (Strategy s : {Strategy::kRandom, Strategy::kGreedy, Strategy::kLprr})
+  for (std::string_view s : {"random-hash", "greedy", "lprr"})
     EXPECT_EQ(a.run(s).keyword_to_node, b.run(s).keyword_to_node)
-        << to_string(s);
+        << s;
 }
 
 TEST(PartialOptimizer, ModeledCostOrderingLprrBeatsGreedyBeatsRandom) {
   // The paper's Fig. 6/7 ordering on the *modeled* scoped objective.
   const Workbench wb = make_workbench();
   const PartialOptimizer opt(wb.trace, wb.sizes, base_config());
-  const double random_cost = opt.run(Strategy::kRandom).scoped_report.cost;
-  const double greedy_cost = opt.run(Strategy::kGreedy).scoped_report.cost;
-  const double lprr_cost = opt.run(Strategy::kLprr).scoped_report.cost;
+  const double random_cost = opt.run("random-hash").scoped_report.cost;
+  const double greedy_cost = opt.run("greedy").scoped_report.cost;
+  const double lprr_cost = opt.run("lprr").scoped_report.cost;
   EXPECT_LT(lprr_cost, greedy_cost + 1e-9);
   EXPECT_LT(greedy_cost, random_cost);
   // Substantial, not marginal. This workbench is deliberately a hard
@@ -147,9 +147,9 @@ TEST(PartialOptimizer, FullLpPathMatchesComponentPathObjective) {
   full_cfg.use_full_lp = true;
   const PartialOptimizer full_opt(wb.trace, wb.sizes, full_cfg);
 
-  const double component_cost = opt.run(Strategy::kLprr).scoped_report.cost;
-  const double full_cost = full_opt.run(Strategy::kLprr).scoped_report.cost;
-  const double random_cost = opt.run(Strategy::kRandom).scoped_report.cost;
+  const double component_cost = opt.run("lprr").scoped_report.cost;
+  const double full_cost = full_opt.run("lprr").scoped_report.cost;
+  const double random_cost = opt.run("random-hash").scoped_report.cost;
   EXPECT_LT(component_cost, 0.7 * random_cost);
   EXPECT_LT(full_cost, 0.7 * random_cost);
 }
@@ -170,7 +170,7 @@ TEST(PartialOptimizer, ScopeLargerThanVocabularyIsClamped) {
   cfg.scope = 10000;
   cfg.num_nodes = 4;
   const PartialOptimizer opt(wb.trace, wb.sizes, cfg);
-  const PlacementPlan plan = opt.run(Strategy::kLprr);
+  const PlacementPlan plan = opt.run("lprr");
   EXPECT_EQ(plan.scope.size(), 200u);
 }
 
