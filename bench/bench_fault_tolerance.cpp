@@ -1,0 +1,261 @@
+// Fault tolerance — availability and recovery under fail-stop faults.
+//
+// The paper's evaluation assumes a healthy cluster; its Sec. 5 pointer
+// to replication-degree customization only matters when nodes can die.
+// This harness injects a seeded fail-stop fault timeline (sim/faults.hpp)
+// into the trace replay and asks two questions:
+//
+//   Table 1 — serving under faults: fault rate x replication degree x
+//   strategy. Replicas follow the placement (sim::ReplicaTable), so
+//   failover preserves the co-location the optimizer paid for; degree 0
+//   is the replica-free baseline, degree N-1 the full-replication limit.
+//   Availability counts fully-served queries; coverage credits partial
+//   results; p99 includes the retry/timeout penalties queries paid
+//   discovering dead replicas.
+//
+//   Table 2 — recovery: at the worst instant of the timeline (most nodes
+//   down simultaneously), core::RecoveryPlanner re-places the dead-hosted
+//   scope objects onto survivors under a migration-byte budget sweep,
+//   weighting objects by query frequency. The availability column
+//   re-scores the evaluation trace against the repaired placement at
+//   that frozen instant.
+//
+// The same fault schedule is shared by every strategy and degree of a
+// sweep — comparisons see identical failure timelines.
+//
+//   ./bench_fault_tolerance [--nodes=10] [--scope=1000]
+//       [--strategies=random-hash,lprr]
+//       [--mttf=10000] [--mttr=1000] [--fault-horizon=60000]
+//       [--fault-seed=1] [--timeout-ms=5] [--max-attempts=3]
+//       [testbed flags]
+//
+// Output is bit-identical for any --threads (the determinism contract of
+// the parallel substrate extends through the fault layer; enforced by the
+// smoke suite).
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/recovery.hpp"
+#include "sim/faults.hpp"
+#include "sim/lookup_table.hpp"
+#include "testbed.hpp"
+
+using namespace cca;
+
+namespace {
+
+/// Fraction of trace queries whose every keyword's primary is alive under
+/// `keyword_to_node` at a frozen liveness snapshot (no failover — the
+/// recovery table isolates what re-placement alone restores).
+double frozen_availability(const trace::QueryTrace& trace,
+                           const std::vector<int>& keyword_to_node,
+                           const std::vector<bool>& alive) {
+  if (trace.empty()) return 1.0;
+  std::size_t served = 0;
+  for (const trace::Query& query : trace.queries()) {
+    bool all_alive = true;
+    for (const trace::KeywordId k : query.keywords)
+      if (!alive[static_cast<std::size_t>(keyword_to_node[k])]) {
+        all_alive = false;
+        break;
+      }
+    if (all_alive) ++served;
+  }
+  return static_cast<double>(served) / static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const bench::TestbedConfig cfg = bench::TestbedConfig::from_cli(args);
+  const bench::FaultFlags faults = bench::FaultFlags::from_cli(args);
+  const int nodes = static_cast<int>(args.get_int("nodes", 10));
+  const auto scope = static_cast<std::size_t>(args.get_int("scope", 1000));
+  const std::vector<std::string> strategies = core::parse_strategy_list(
+      args.get_string("strategies", "random-hash,lprr"));
+  args.reject_unused();
+
+  const bench::Testbed tb = bench::Testbed::build(cfg);
+  tb.print_banner("Fault tolerance — availability and recovery");
+
+  core::PartialOptimizerConfig opt_cfg;
+  opt_cfg.num_nodes = nodes;
+  opt_cfg.scope = scope;
+  opt_cfg.seed = cfg.seed;
+  opt_cfg.rounding.trials = 16;
+  const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
+  const double capacity =
+      opt_cfg.capacity_slack * tb.total_index_bytes / nodes;
+
+  // Arrivals paced so the replay (one arrival per evaluation query)
+  // spans the fault horizon — queries arriving after it would see an
+  // always-healthy cluster.
+  const double arrival_qps =
+      static_cast<double>(tb.february.size()) * 1000.0 / faults.horizon_ms;
+  std::cout << "fault model: mttf=" << faults.mttf_ms / 1000.0
+            << "s mttr=" << faults.mttr_ms / 1000.0
+            << "s horizon=" << faults.horizon_ms / 1000.0
+            << "s fault-seed=" << faults.fault_seed << " timeout="
+            << faults.timeout_ms << "ms attempts=" << faults.max_attempts
+            << "; " << tb.february.size() << " arrivals at "
+            << common::Table::num(arrival_qps, 0) << " qps\n\n";
+
+  // --- Table 1: fault rate x replication degree x strategy. -------------
+  std::vector<std::string> json_rows;
+  common::Table table({"mttf s", "degree", "strategy", "avail", "coverage",
+                       "p99 ms", "retries", "failovers", "KiB moved",
+                       "replica KiB"});
+  for (const double mttf_scale : {4.0, 1.0}) {
+    sim::FaultScheduleConfig sched_cfg = faults.schedule_config();
+    sched_cfg.mttf_ms = faults.mttf_ms * mttf_scale;
+    const sim::FaultSchedule schedule =
+        sim::FaultSchedule::generate(nodes, sched_cfg);
+    for (const int degree : {0, 1, nodes - 1}) {
+      for (const std::string& strategy : strategies) {
+        const core::PlacementPlan plan = optimizer.run(strategy);
+        sim::Cluster cluster(nodes, capacity);
+        cluster.install_placement(plan.keyword_to_node, tb.sizes);
+        const sim::ReplicaTable replicas =
+            sim::ReplicaTable::build(plan.keyword_to_node, nodes, degree);
+
+        sim::FaultReplayConfig replay_cfg;
+        replay_cfg.faults = &schedule;
+        replay_cfg.retry = faults.retry_policy();
+        replay_cfg.arrival_rate_qps = arrival_qps;
+        replay_cfg.arrival_seed = cfg.seed;
+        const sim::FaultReplayStats stats = sim::replay_trace_with_faults(
+            cluster, tb.index, tb.february, replicas, replay_cfg);
+
+        const double replica_kib =
+            static_cast<double>(replicas.bytes()) / 1024.0;
+        table.add_row(
+            {common::Table::num(sched_cfg.mttf_ms / 1000.0, 0),
+             std::to_string(degree), strategy,
+             common::Table::pct(stats.availability),
+             common::Table::pct(stats.mean_coverage),
+             common::Table::num(stats.base.p99_latency_ms, 2),
+             std::to_string(stats.retries), std::to_string(stats.failovers),
+             common::Table::num(
+                 static_cast<double>(stats.base.total_bytes) / 1024, 1),
+             common::Table::num(replica_kib, 1)});
+
+        std::ostringstream row;
+        row << "  {\"seed\": " << cfg.seed << ", \"threads\": " << cfg.threads
+            << ", \"mttf_ms\": " << sched_cfg.mttf_ms
+            << ", \"degree\": " << degree << ", \"strategy\": \"" << strategy
+            << "\", \"availability\": " << stats.availability
+            << ", \"mean_coverage\": " << stats.mean_coverage
+            << ", \"p99_latency_ms\": " << stats.base.p99_latency_ms
+            << ", \"retries\": " << stats.retries
+            << ", \"failovers\": " << stats.failovers
+            << ", \"unserved_keywords\": " << stats.unserved_keywords
+            << ", \"total_bytes\": " << stats.base.total_bytes
+            << ", \"replica_bytes\": " << replicas.bytes() << "}";
+        json_rows.push_back(row.str());
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(degree = replicas beyond the primary; replicas track the"
+               " placement, so failover lands on the co-location-preserving"
+               " node. Degree >= 1 should dominate degree 0 availability"
+               " for every strategy; full replication trades storage for"
+               " the transfer-free limit)\n\n";
+
+  // --- Table 2: recovery re-placement under a migration budget. ---------
+  const sim::FaultSchedule schedule =
+      sim::FaultSchedule::generate(nodes, faults.schedule_config());
+  // The worst instant: scan transitions for the maximum simultaneous
+  // death toll (ties: earliest instant).
+  double worst_time = 0.0;
+  std::size_t worst_dead = 0;
+  for (const sim::FaultEvent& ev : schedule.events()) {
+    const std::size_t dead = schedule.dead_nodes(ev.time_ms).size();
+    if (dead > worst_dead) {
+      worst_dead = dead;
+      worst_time = ev.time_ms;
+    }
+  }
+  if (worst_dead == 0) {
+    std::cout << "recovery: the fault schedule never kills a node within"
+                 " the horizon; nothing to re-place.\n";
+  } else {
+    const std::vector<bool> alive = schedule.alive_mask(worst_time);
+    std::cout << "recovery snapshot: t=" << common::Table::num(worst_time, 0)
+              << "ms, " << worst_dead << "/" << nodes << " nodes dead\n\n";
+
+    const core::PlacementPlan plan = optimizer.run("lprr");
+    const core::CcaInstance& instance = optimizer.scoped_instance();
+    core::Placement scoped(plan.scope.size());
+    for (std::size_t i = 0; i < plan.scope.size(); ++i)
+      scoped[i] = plan.keyword_to_node[plan.scope[i]];
+
+    // Restoration value = query frequency: recovering a hot keyword's
+    // index buys more availability per migrated byte than a cold one's.
+    const std::vector<std::size_t> freq = tb.january.keyword_frequencies();
+    std::vector<double> weights(plan.scope.size());
+    for (std::size_t i = 0; i < plan.scope.size(); ++i)
+      weights[i] = static_cast<double>(freq[plan.scope[i]]) + 1.0;
+
+    const double avail_before =
+        frozen_availability(tb.february, plan.keyword_to_node, alive);
+    common::Table recovery({"budget", "lost", "recovered", "coverage",
+                            "KiB migrated", "avail before", "avail after"});
+    for (const double budget : {0.0, 0.05, 0.25, 1.0}) {
+      core::RecoveryConfig rec_cfg;
+      rec_cfg.migration_budget_fraction = budget;
+      rec_cfg.seed = cfg.seed;
+      const core::RecoveryResult result =
+          core::RecoveryPlanner(rec_cfg).replan(instance, scoped, alive,
+                                                weights);
+      std::vector<int> repaired = plan.keyword_to_node;
+      for (std::size_t i = 0; i < plan.scope.size(); ++i)
+        repaired[plan.scope[i]] = result.placement[i];
+      recovery.add_row(
+          {common::Table::pct(budget), std::to_string(result.objects_lost),
+           std::to_string(result.objects_recovered),
+           common::Table::pct(result.coverage_restored),
+           common::Table::num(result.migration.bytes_moved / 1024, 1),
+           common::Table::pct(avail_before),
+           common::Table::pct(
+               frozen_availability(tb.february, repaired, alive))});
+
+      std::ostringstream row;
+      row << "  {\"seed\": " << cfg.seed << ", \"threads\": " << cfg.threads
+          << ", \"recovery_budget\": " << budget
+          << ", \"objects_lost\": " << result.objects_lost
+          << ", \"objects_recovered\": " << result.objects_recovered
+          << ", \"coverage_restored\": " << result.coverage_restored
+          << ", \"bytes_migrated\": " << result.migration.bytes_moved
+          << ", \"avail_before\": " << avail_before << ", \"avail_after\": "
+          << frozen_availability(tb.february, repaired, alive) << "}";
+      json_rows.push_back(row.str());
+    }
+    recovery.print(std::cout);
+    std::cout << "\n(budget as a fraction of total scope bytes; coverage ="
+                 " recovered / lost importance weight. Availability is the"
+                 " evaluation trace re-scored at the frozen snapshot with"
+                 " no failover — what re-placement alone restores. Tail"
+                 " keywords stay hashed, so 100% needs every node or"
+                 " replicas)\n";
+  }
+
+  if (!cfg.json_path.empty() && !json_rows.empty()) {
+    std::ofstream out(cfg.json_path);
+    CCA_CHECK_MSG(out.good(), "cannot write JSON log to " << cfg.json_path);
+    out << "[\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i)
+      out << json_rows[i] << (i + 1 < json_rows.size() ? ",\n" : "\n");
+    out << "]\n";
+    std::cout << "\nwrote " << json_rows.size() << " cells to "
+              << cfg.json_path << "\n";
+  }
+  bench::write_metrics(cfg);
+  return 0;
+}

@@ -1,0 +1,44 @@
+# Smoke contract for the fault-tolerance bench: --json and --metrics emit
+# valid JSON, and the dumps carry the availability instrumentation the
+# fault layer promises. Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DPYTHON=... -DOUT_DIR=... -P <this>
+set(metrics_file ${OUT_DIR}/smoke_fault_metrics.json)
+set(cells_file ${OUT_DIR}/smoke_fault_cells.json)
+
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --threads=2
+    --metrics=${metrics_file} --json=${cells_file}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench failed with exit code ${rc}")
+endif()
+
+foreach(file ${metrics_file} ${cells_file})
+  execute_process(
+    COMMAND ${PYTHON} -m json.tool ${file}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${file} is not valid JSON: ${err}")
+  endif()
+endforeach()
+
+file(READ ${metrics_file} metrics)
+foreach(key
+    sim.fault_replay.queries
+    sim.fault_replay.retries
+    sim.fault_replay.failovers
+    sim.fault_replay.availability_pct
+    core.recovery.plans
+    core.recovery.coverage_restored_pct)
+  if(NOT metrics MATCHES "\"${key}\"")
+    message(FATAL_ERROR "metrics dump is missing \"${key}\"")
+  endif()
+endforeach()
+
+file(READ ${cells_file} cells)
+foreach(key availability mean_coverage failovers recovery_budget
+    coverage_restored)
+  if(NOT cells MATCHES "\"${key}\"")
+    message(FATAL_ERROR "--json dump is missing \"${key}\"")
+  endif()
+endforeach()

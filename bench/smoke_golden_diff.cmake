@@ -1,0 +1,18 @@
+# Smoke contract: a bench's stdout matches a checked-in golden transcript
+# byte for byte. Guards the faults-disabled path: growing the serving
+# layer (replication, retries, fault stats) must not change what a
+# healthy run prints. Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DGOLDEN=... -P <this>
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench failed with exit code ${rc}")
+endif()
+
+file(READ ${GOLDEN} golden)
+if(NOT out STREQUAL golden)
+  message(FATAL_ERROR "stdout differs from golden transcript ${GOLDEN}; "
+    "if the change is intentional, re-capture the golden file with the "
+    "command in its sibling README")
+endif()

@@ -34,6 +34,7 @@
 #include "core/partial_optimizer.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -91,6 +92,53 @@ struct TestbedConfig {
     TestbedConfig copy = *this;
     copy.seed = seed + offset;
     return copy;
+  }
+};
+
+/// The shared fault-injection flag group (--faults, --mttf, --mttr, ...).
+/// Any bench that can simulate failures parses this next to its
+/// TestbedConfig; with --faults absent the group is inert and the bench
+/// must produce its healthy output byte for byte.
+struct FaultFlags {
+  bool enabled = false;        // --faults
+  double mttf_ms = 10000.0;    // --mttf: mean time to failure, ms
+  double mttr_ms = 1000.0;     // --mttr: mean time to repair, ms
+  double horizon_ms = 60000.0; // --fault-horizon: schedule span, ms
+  std::uint64_t fault_seed = 1;  // --fault-seed: schedule substream
+  int degree = 1;              // --degree: replicas beyond the primary
+  double timeout_ms = 5.0;     // --timeout-ms: dead-contact timeout
+  int max_attempts = 3;        // --max-attempts: contacts per fetch
+
+  static FaultFlags from_cli(const common::CliArgs& args) {
+    FaultFlags f;
+    f.enabled = args.get_bool("faults", f.enabled);
+    f.mttf_ms = args.get_double("mttf", f.mttf_ms);
+    f.mttr_ms = args.get_double("mttr", f.mttr_ms);
+    f.horizon_ms = args.get_double("fault-horizon", f.horizon_ms);
+    f.fault_seed =
+        static_cast<std::uint64_t>(args.get_int("fault-seed", f.fault_seed));
+    f.degree = static_cast<int>(args.get_int("degree", f.degree));
+    f.timeout_ms = args.get_double("timeout-ms", f.timeout_ms);
+    f.max_attempts =
+        static_cast<int>(args.get_int("max-attempts", f.max_attempts));
+    return f;
+  }
+
+  sim::FaultScheduleConfig schedule_config() const {
+    sim::FaultScheduleConfig cfg;
+    cfg.mttf_ms = mttf_ms;
+    cfg.mttr_ms = mttr_ms;
+    cfg.horizon_ms = horizon_ms;
+    cfg.seed = fault_seed;
+    return cfg;
+  }
+
+  sim::RetryPolicy retry_policy() const {
+    sim::RetryPolicy retry;
+    retry.timeout_ms = timeout_ms;
+    retry.max_attempts = max_attempts;
+    retry.seed = fault_seed;
+    return retry;
   }
 };
 

@@ -8,9 +8,10 @@
 //   search/  — inverted indices, intersection engines, Bloom, compression
 //   core/    — the paper: CCA instances, LP formulation, rounding,
 //              baselines, partial optimization; extensions: multilevel
-//              partitioning, incremental re-optimization, plan I/O
+//              partitioning, incremental re-optimization, plan I/O,
+//              recovery re-placement
 //   sim/     — cluster model, replay, lookup tables, latency, load
-//              simulation, document partitioning
+//              simulation, document partitioning, fault injection
 //
 // Most applications want core/partial_optimizer.hpp (the end-to-end
 // pipeline) plus sim/replay.hpp (measurement); see examples/.
@@ -31,6 +32,7 @@
 #include "core/partial_optimizer.hpp"
 #include "core/placements.hpp"
 #include "core/plan_io.hpp"
+#include "core/recovery.hpp"
 #include "core/rounding.hpp"
 #include "hash/md5.hpp"
 #include "lp/canonical.hpp"
@@ -46,6 +48,7 @@
 #include "sim/cluster.hpp"
 #include "sim/doc_partition.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/faults.hpp"
 #include "sim/latency.hpp"
 #include "sim/lookup_table.hpp"
 #include "sim/replay.hpp"

@@ -1,10 +1,36 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <numeric>
+#include <vector>
 
 #include "common/check.hpp"
 
 namespace cca::common {
+
+namespace {
+
+/// Levenshtein distance, for near-miss flag suggestions. Flag names are
+/// short (< 20 chars), so the quadratic DP is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next = a[i - 1] == b[j - 1]
+                                   ? diag
+                                   : 1 + std::min({diag, row[j], row[j - 1]});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -72,7 +98,27 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
 void CliArgs::reject_unused() const {
   for (const auto& [key, value] : values_) {
     (void)value;
-    CCA_CHECK_MSG(used_.count(key) > 0, "unknown flag --" << key);
+    if (used_.count(key) > 0) continue;
+    // Every flag the program fetched so far is a registered flag; the
+    // closest one (within a small edit radius) is the likely intent.
+    std::string best;
+    std::size_t best_distance = key.size() / 2 + 1;  // typo radius
+    for (const std::string& known : used_) {
+      const std::size_t d = edit_distance(key, known);
+      if (d < best_distance) {  // ties: used_ is sorted, first wins
+        best = known;
+        best_distance = d;
+      }
+    }
+    std::string known_list;
+    for (const std::string& known : used_)
+      known_list += (known_list.empty() ? "--" : ", --") + known;
+    CCA_CHECK_MSG(false, "unknown flag --"
+                             << key
+                             << (best.empty() ? ""
+                                              : " (did you mean --" + best +
+                                                    "?)")
+                             << "; known flags: " << known_list);
   }
 }
 

@@ -1,15 +1,30 @@
 #include "core/plan_io.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
 
 #include "common/check.hpp"
 
 namespace cca::core {
 
 namespace {
+
 constexpr const char* kHeaderPrefix = "# cca-placement v1 nodes=";
+
+/// Strict decimal parse: the whole of [begin, terminator) must be one
+/// in-range number. Returns false on empty input, trailing junk, or
+/// overflow (strtol's silent LONG_MAX clamp is checked via errno).
+bool parse_long(const char* begin, long* value, char terminator = '\0') {
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtol(begin, &end, 10);
+  return end != begin && end && *end == terminator && errno != ERANGE;
 }
+
+}  // namespace
 
 void write_placement(std::ostream& os,
                      const std::vector<int>& keyword_to_node, int num_nodes) {
@@ -22,43 +37,64 @@ void write_placement(std::ostream& os,
   for (int node : keyword_to_node) os << node << '\n';
 }
 
-LoadedPlacement read_placement(std::istream& is) {
+LoadedPlacement read_placement(std::istream& is, const std::string& source) {
   std::string header;
-  CCA_CHECK_MSG(std::getline(is, header), "empty placement stream");
+  CCA_CHECK_MSG(std::getline(is, header),
+                source << ":1: empty placement stream");
   CCA_CHECK_MSG(header.rfind(kHeaderPrefix, 0) == 0,
-                "bad placement header: '" << header << "'");
-  std::istringstream header_tokens(
-      header.substr(std::string(kHeaderPrefix).size()));
+                source << ":1: bad placement header: '" << header << "'");
+  // Header tail: "<nodes> keywords=<count>", both strictly numeric.
+  const std::size_t prefix_len = std::string(kHeaderPrefix).size();
   long nodes = 0;
-  std::string keywords_field;
-  header_tokens >> nodes >> keywords_field;
-  CCA_CHECK_MSG(nodes >= 1, "bad node count in placement header");
+  CCA_CHECK_MSG(parse_long(header.c_str() + prefix_len, &nodes, ' '),
+                source << ":1: bad node count in placement header: '"
+                       << header << "'");
+  CCA_CHECK_MSG(nodes >= 1 && nodes <= INT_MAX,
+                source << ":1: node count " << nodes << " out of range");
+  const std::string keywords_field =
+      header.substr(header.find(' ', prefix_len) + 1);
   CCA_CHECK_MSG(keywords_field.rfind("keywords=", 0) == 0,
-                "bad keywords field in placement header");
-  const long keywords = std::strtol(keywords_field.c_str() + 9, nullptr, 10);
-  CCA_CHECK_MSG(keywords >= 0, "bad keyword count in placement header");
+                source << ":1: bad keywords field in placement header: '"
+                       << header << "'");
+  long keywords = 0;
+  CCA_CHECK_MSG(parse_long(keywords_field.c_str() + 9, &keywords),
+                source << ":1: bad keyword count in placement header: '"
+                       << header << "'");
+  CCA_CHECK_MSG(keywords >= 0,
+                source << ":1: bad keyword count in placement header: '"
+                       << header << "'");
 
   LoadedPlacement out;
   out.num_nodes = static_cast<int>(nodes);
-  out.keyword_to_node.reserve(static_cast<std::size_t>(keywords));
+  // Reserve against the header's claim, but bounded: a corrupted count
+  // must not translate into an absurd allocation before the (cheap)
+  // entry scan can notice the file is short.
+  constexpr long kMaxReserve = 1L << 22;
+  out.keyword_to_node.reserve(
+      static_cast<std::size_t>(std::min(keywords, kMaxReserve)));
   std::string line;
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    char* end = nullptr;
-    const long node = std::strtol(line.c_str(), &end, 10);
-    CCA_CHECK_MSG(end && *end == '\0',
-                  "placement line " << line_no << ": bad node '" << line
-                                    << "'");
+    long node = 0;
+    CCA_CHECK_MSG(parse_long(line.c_str(), &node),
+                  source << ":" << line_no << ": bad node '" << line << "'");
     CCA_CHECK_MSG(node >= 0 && node < nodes,
-                  "placement line " << line_no << ": node " << node
-                                    << " out of range");
+                  source << ":" << line_no << ": node " << node
+                         << " out of range [0, " << nodes << ")");
+    CCA_CHECK_MSG(static_cast<long>(out.keyword_to_node.size()) < keywords,
+                  source << ":" << line_no << ": more entries than the "
+                         << keywords << " the header declared");
     out.keyword_to_node.push_back(static_cast<int>(node));
   }
+  // getline stops at EOF (fine: completeness is checked next) or on a
+  // hard read error (not fine: the data that followed is unknown).
+  CCA_CHECK_MSG(!is.bad(), source << ":" << line_no
+                                  << ": read failure mid-placement");
   CCA_CHECK_MSG(static_cast<long>(out.keyword_to_node.size()) == keywords,
-                "placement has " << out.keyword_to_node.size()
-                                 << " entries, header said " << keywords);
+                source << ": truncated placement: " << out.keyword_to_node.size()
+                       << " entries, header said " << keywords);
   return out;
 }
 
@@ -73,7 +109,7 @@ void save_placement(const std::string& path,
 LoadedPlacement load_placement(const std::string& path) {
   std::ifstream file(path);
   CCA_CHECK_MSG(file, "cannot open '" << path << "' for reading");
-  return read_placement(file);
+  return read_placement(file, path);
 }
 
 }  // namespace cca::core

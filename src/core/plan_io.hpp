@@ -28,12 +28,17 @@ void write_placement(std::ostream& os, const std::vector<int>& keyword_to_node,
                      int num_nodes);
 
 /// Parses a v1 placement; throws common::Error on malformed input
-/// (bad header, non-numeric or out-of-range nodes, wrong entry count).
+/// (bad or overflowing header fields, non-numeric or out-of-range nodes,
+/// truncated files, wrong entry count, stream read failures). Every
+/// message carries `source` plus the offending line number so operators
+/// can locate corruption in a deployed table (`source` is the file path
+/// when coming through load_placement).
 struct LoadedPlacement {
   std::vector<int> keyword_to_node;
   int num_nodes = 0;
 };
-LoadedPlacement read_placement(std::istream& is);
+LoadedPlacement read_placement(std::istream& is,
+                               const std::string& source = "<stream>");
 
 /// Convenience file wrappers.
 void save_placement(const std::string& path,

@@ -1,0 +1,86 @@
+// Budget-bounded recovery re-placement after fail-stop node crashes.
+//
+// When a node dies, every object whose primary lived there is unserved
+// (sim/faults.hpp): queries touching it return partial results. Waiting
+// for repair costs availability; re-placing everything at once costs a
+// migration storm. The RecoveryPlanner takes the middle road the drift
+// machinery (core/migration.hpp) already takes for correlation drift:
+// move only what buys the most, under an explicit migration-byte budget.
+//
+// The planner re-places objects hosted on dead nodes onto survivors,
+// most-valuable-per-byte first (value = caller-supplied importance
+// weight, e.g. query frequency — restoring a hot keyword's index buys
+// more availability than a cold one's). Each object lands on the
+// surviving node where it is most correlated with what already lives
+// there (preserving the co-location the placement paid for), subject to
+// a capacity-headroom ceiling. Optionally the survivor placement is then
+// re-optimized with the leftover budget through IncrementalOptimizer —
+// recovery and drift replanning compose because both speak
+// placement + budget.
+//
+// Where the moved bytes come from is out of scope here: with replication
+// (sim::ReplicaTable) the surviving replica is the source; without it,
+// re-placement models restoring from a backing store. Either way the
+// shipped bytes are the object's index size, the same unit query and
+// drift-migration traffic use.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/migration.hpp"
+
+namespace cca::core {
+
+struct RecoveryConfig {
+  /// Migration byte budget as a fraction of the instance's total object
+  /// bytes. 0 recovers nothing; >= 1 is effectively unlimited (recovery
+  /// never needs to move more than the dead nodes hosted).
+  double migration_budget_fraction = 0.25;
+  /// Survivors accept recovered objects up to headroom * capacity.
+  /// 1.0 uses full nominal capacity; > 1 permits emergency overload.
+  double capacity_headroom = 1.0;
+  /// Re-optimize the survivor placement with the leftover budget via
+  /// IncrementalOptimizer (fresh LPRR target over live nodes only).
+  /// Off by default: restoring coverage is the urgent half.
+  bool reoptimize_survivors = false;
+  /// Passed through to IncrementalOptimizer when reoptimize_survivors.
+  RoundingPolicy rounding;
+  std::uint64_t seed = 1;
+};
+
+struct RecoveryResult {
+  /// Updated placement: recovered objects moved to survivors; objects
+  /// the budget or headroom could not cover keep their dead node (still
+  /// unserved, visible to the caller via `placement[i]`).
+  Placement placement;
+  /// Churn from the pre-crash placement (recovered + rebalanced moves).
+  MigrationReport migration;
+  std::size_t objects_lost = 0;       // hosted on dead nodes
+  std::size_t objects_recovered = 0;  // re-placed onto survivors
+  double weight_lost = 0.0;           // importance mass on dead nodes
+  double weight_recovered = 0.0;
+  /// weight_recovered / weight_lost; 1.0 when nothing was lost.
+  double coverage_restored = 0.0;
+  /// Modeled communication cost of the result placement.
+  double cost = 0.0;
+};
+
+class RecoveryPlanner {
+ public:
+  explicit RecoveryPlanner(RecoveryConfig config) : config_(config) {}
+
+  /// Re-places `current`'s dead-hosted objects over `instance`.
+  /// `alive[k]` is node k's liveness; at least one node must be alive.
+  /// `weights[i]` is object i's restoration value (empty = its size, so
+  /// value density is uniform and recovery order is by object id).
+  RecoveryResult replan(const CcaInstance& instance,
+                        const Placement& current,
+                        const std::vector<bool>& alive,
+                        const std::vector<double>& weights = {}) const;
+
+ private:
+  RecoveryConfig config_;
+};
+
+}  // namespace cca::core

@@ -46,20 +46,37 @@ EventSimStats simulate_load(const Cluster& cluster,
   CCA_CHECK_MSG(config.nic_mbps > 0.0, "NIC bandwidth must be > 0");
   CCA_CHECK_MSG(!trace.empty(), "empty trace");
   CCA_CHECK(config.num_queries >= 1);
+  const bool faulty = config.faults != nullptr;
+  if (faulty) {
+    CCA_CHECK_MSG(config.replicas != nullptr,
+                  "fault injection needs a ReplicaTable (degree 0 is valid)");
+    CCA_CHECK_MSG(config.faults->num_nodes() == cluster.num_nodes(),
+                  "fault schedule covers " << config.faults->num_nodes()
+                                           << " nodes, cluster has "
+                                           << cluster.num_nodes());
+    CCA_CHECK_MSG(config.replicas->num_nodes() == cluster.num_nodes(),
+                  "replica table covers " << config.replicas->num_nodes()
+                                          << " nodes, cluster has "
+                                          << cluster.num_nodes());
+  }
 
-  // --- Extract each distinct trace query's transfer chain once. ---
+  // --- Extract each distinct trace query's transfer chain once (healthy
+  // path; under faults the chain depends on the arrival instant, so it is
+  // resolved per arrival below). ---
   const search::QueryEngine engine(index);
   const auto placement = [&cluster](trace::KeywordId k) {
     return cluster.node_of(k);
   };
-  std::vector<std::vector<Transfer>> chains(trace.size());
-  for (std::size_t q = 0; q < trace.size(); ++q) {
-    engine.execute_intersection(
-        trace[q], placement,
-        [&](int from, int to, std::uint64_t bytes) {
-          (void)to;
-          chains[q].push_back({from, bytes});
-        });
+  std::vector<std::vector<Transfer>> chains(faulty ? 0 : trace.size());
+  if (!faulty) {
+    for (std::size_t q = 0; q < trace.size(); ++q) {
+      engine.execute_intersection(
+          trace[q], placement,
+          [&](int from, int to, std::uint64_t bytes) {
+            (void)to;
+            chains[q].push_back({from, bytes});
+          });
+    }
   }
 
   // --- Poisson arrivals. ---
@@ -70,7 +87,89 @@ EventSimStats simulate_load(const Cluster& cluster,
   for (std::size_t q = 0; q < config.num_queries; ++q) {
     clock += -std::log(1.0 - rng.next_double()) * mean_gap_ms;
     queries[q].arrival_ms = clock;
-    queries[q].chain = &chains[q % trace.size()];
+    if (!faulty) queries[q].chain = &chains[q % trace.size()];
+  }
+
+  // --- Fault path: resolve each arrival's chain against the liveness
+  // snapshot at its arrival instant. Retry penalties delay the query's
+  // start (client-side time, no NIC occupancy). ---
+  EventSimStats stats;
+  std::vector<std::vector<Transfer>> fault_chains;
+  std::vector<double> penalties;
+  double coverage_sum = 0.0;
+  if (faulty) {
+    fault_chains.resize(config.num_queries);
+    penalties.assign(config.num_queries, 0.0);
+    const ReplicaTable& replicas = *config.replicas;
+    const int num_nodes = cluster.num_nodes();
+    const bool fully_replicated = replicas.degree() == num_nodes - 1;
+    std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
+    trace::Query sub;
+    std::vector<int> resolved;
+    const auto sub_placement = [&](trace::KeywordId k) {
+      for (std::size_t i = 0; i < sub.keywords.size(); ++i)
+        if (sub.keywords[i] == k) return resolved[i];
+      return 0;  // unreachable: the engine only asks about sub's keywords
+    };
+    for (std::size_t q = 0; q < config.num_queries; ++q) {
+      const trace::Query& query = trace[q % trace.size()];
+      const double now = queries[q].arrival_ms;
+      int alive_count = num_nodes;
+      for (int n = 0; n < num_nodes; ++n) {
+        alive[static_cast<std::size_t>(n)] =
+            config.faults->alive(n, now) ? 1 : 0;
+        if (!alive[static_cast<std::size_t>(n)]) --alive_count;
+      }
+      sub.keywords.clear();
+      resolved.clear();
+      for (const trace::KeywordId k : query.keywords) {
+        if (fully_replicated) {
+          if (alive_count > 0) {
+            sub.keywords.push_back(k);
+            resolved.push_back(search::kEverywhere);
+          }
+          continue;
+        }
+        int slot = -1;
+        const int node =
+            replicas.first_alive(k, alive, config.retry.max_attempts, &slot);
+        const int failed_attempts =
+            node >= 0 ? slot
+                      : std::min(config.retry.max_attempts,
+                                 replicas.degree() + 1);
+        if (failed_attempts > 0) {
+          stats.retries += static_cast<std::uint64_t>(failed_attempts);
+          penalties[q] += config.retry.penalty_ms(
+              failed_attempts,
+              static_cast<std::uint64_t>(q) * 1000003ULL +
+                  static_cast<std::uint64_t>(k));
+        }
+        if (node >= 0) {
+          if (slot > 0) ++stats.failovers;
+          sub.keywords.push_back(k);
+          resolved.push_back(node);
+        }
+      }
+      if (!sub.keywords.empty())
+        engine.execute_intersection(
+            sub, sub_placement, [&](int from, int to, std::uint64_t bytes) {
+              (void)to;
+              fault_chains[q].push_back({from, bytes});
+            });
+      const double coverage =
+          query.size() == 0
+              ? 1.0
+              : static_cast<double>(sub.keywords.size()) /
+                    static_cast<double>(query.size());
+      coverage_sum += coverage;
+      if (sub.keywords.size() == query.size())
+        ++stats.fully_served;
+      else if (!sub.keywords.empty())
+        ++stats.degraded;
+      else
+        ++stats.failed;
+      queries[q].chain = &fault_chains[q];
+    }
   }
 
   // --- Event loop: non-preemptive FIFO per sender NIC. ---
@@ -86,10 +185,14 @@ EventSimStats simulate_load(const Cluster& cluster,
   latencies.reserve(config.num_queries);
 
   for (std::size_t q = 0; q < config.num_queries; ++q) {
+    const double penalty = faulty ? penalties[q] : 0.0;
     if (queries[q].chain->empty()) {
-      latencies.push_back(0.0);  // fully local: no network time
+      // Fully local (or fully unserved): no network time, only whatever
+      // retry penalty the query burned discovering dead replicas.
+      latencies.push_back(penalty);
     } else {
-      events.push({queries[q].arrival_ms, static_cast<std::uint32_t>(q), 0});
+      events.push({queries[q].arrival_ms + penalty,
+                   static_cast<std::uint32_t>(q), 0});
     }
   }
 
@@ -119,7 +222,6 @@ EventSimStats simulate_load(const Cluster& cluster,
     }
   }
 
-  EventSimStats stats;
   stats.completed = latencies.size();
   stats.makespan_ms =
       std::max(last_completion, queries.back().arrival_ms) -
@@ -128,6 +230,19 @@ EventSimStats simulate_load(const Cluster& cluster,
     stats.mean_latency_ms = common::mean_of(latencies);
     stats.p50_latency_ms = common::percentile(latencies, 50.0);
     stats.p99_latency_ms = common::percentile(latencies, 99.0);
+  }
+  if (faulty) {
+    if (config.num_queries > 0) {
+      stats.availability = static_cast<double>(stats.fully_served) /
+                           static_cast<double>(config.num_queries);
+      stats.mean_coverage =
+          coverage_sum / static_cast<double>(config.num_queries);
+    }
+  } else {
+    // Healthy run: every query is fully served by definition.
+    stats.fully_served = config.num_queries;
+    stats.availability = 1.0;
+    stats.mean_coverage = 1.0;
   }
   if (stats.makespan_ms > 0.0) {
     for (double busy : nic_busy)
@@ -149,6 +264,21 @@ EventSimStats simulate_load(const Cluster& cluster,
     queue_depth.observe(max_queue_depth);
     nic_util_pct.observe(
         static_cast<std::uint64_t>(100.0 * stats.max_nic_utilization));
+    if (faulty) {
+      static common::Counter& retries =
+          reg.counter("sim.eventsim.retries");
+      static common::Counter& failovers =
+          reg.counter("sim.eventsim.failovers");
+      static common::Counter& degraded =
+          reg.counter("sim.eventsim.degraded_queries");
+      static common::Histogram& availability_pct =
+          reg.histogram("sim.eventsim.availability_pct");
+      retries.add(static_cast<std::int64_t>(stats.retries));
+      failovers.add(static_cast<std::int64_t>(stats.failovers));
+      degraded.add(static_cast<std::int64_t>(stats.degraded + stats.failed));
+      availability_pct.observe(
+          static_cast<std::uint64_t>(100.0 * stats.availability));
+    }
   }
   return stats;
 }

@@ -24,6 +24,8 @@
 
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
+#include "sim/lookup_table.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::sim {
@@ -38,6 +40,18 @@ struct EventSimConfig {
   /// Number of queries to inject (trace is cycled if shorter).
   std::size_t num_queries = 20000;
   std::uint64_t seed = 1;
+
+  // --- Fault injection (all optional; defaults reproduce the healthy
+  // simulation byte for byte). ---
+  /// Fault timeline; nullptr simulates a healthy cluster.
+  const FaultSchedule* faults = nullptr;
+  /// Failover order per keyword; required when `faults` is set (a
+  /// degree-0 table gives fail-stop behaviour with no failover).
+  const ReplicaTable* replicas = nullptr;
+  /// Dead-contact reaction; the per-fetch penalty delays the query's
+  /// first transfer (it does not occupy any NIC — timeouts burn client
+  /// time, not server bandwidth).
+  RetryPolicy retry;
 };
 
 struct EventSimStats {
@@ -49,6 +63,15 @@ struct EventSimStats {
   double max_nic_utilization = 0.0;
   /// Arrival-to-last-completion span, milliseconds.
   double makespan_ms = 0.0;
+
+  // --- Fault-injection outcomes (zero/1.0 on a healthy run). ---
+  std::size_t fully_served = 0;
+  std::size_t degraded = 0;  // partial coverage
+  std::size_t failed = 0;    // zero coverage
+  double availability = 0.0;
+  double mean_coverage = 0.0;
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
 };
 
 /// Simulates `config.num_queries` arrivals against the placement installed

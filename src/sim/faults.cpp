@@ -1,0 +1,181 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace cca::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+              return a.node < b.node;
+            });
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(int num_nodes) : num_nodes_(num_nodes) {
+  CCA_CHECK(num_nodes >= 0);
+  down_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+FaultSchedule FaultSchedule::generate(int num_nodes,
+                                      const FaultScheduleConfig& config) {
+  CCA_CHECK(num_nodes >= 1);
+  CCA_CHECK_MSG(config.mttf_ms > 0.0 && config.mttr_ms > 0.0,
+                "MTTF and MTTR must be positive");
+  CCA_CHECK_MSG(config.horizon_ms > 0.0, "fault horizon must be positive");
+
+  FaultSchedule schedule(num_nodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    // Dedicated substream per node: the timeline of node k is invariant
+    // under the total node count's evaluation order.
+    common::SplitMix64 stream_seed(config.seed ^
+                                   (0x9E3779B97F4A7C15ULL *
+                                    static_cast<std::uint64_t>(node + 1)));
+    common::Rng rng(stream_seed());
+    double clock = 0.0;
+    auto& intervals = schedule.down_[static_cast<std::size_t>(node)];
+    while (clock < config.horizon_ms) {
+      clock += -std::log(1.0 - rng.next_double()) * config.mttf_ms;  // up
+      if (clock >= config.horizon_ms) break;
+      const double crash = clock;
+      clock += -std::log(1.0 - rng.next_double()) * config.mttr_ms;  // down
+      const double recover = clock < config.horizon_ms ? clock : kInf;
+      intervals.emplace_back(crash, recover);
+      schedule.events_.push_back({crash, node, FaultEventKind::kCrash});
+      if (recover < kInf)
+        schedule.events_.push_back({recover, node, FaultEventKind::kRecover});
+    }
+  }
+  sort_events(schedule.events_);
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::from_events(int num_nodes,
+                                         std::vector<FaultEvent> events) {
+  CCA_CHECK(num_nodes >= 1);
+  sort_events(events);
+  FaultSchedule schedule(num_nodes);
+  // Per-node open crash time while folding the sorted stream.
+  std::vector<double> open_crash(static_cast<std::size_t>(num_nodes), -1.0);
+  std::vector<char> down(static_cast<std::size_t>(num_nodes), 0);
+  for (const FaultEvent& ev : events) {
+    CCA_CHECK_MSG(ev.node >= 0 && ev.node < num_nodes,
+                  "fault event names unknown node " << ev.node);
+    CCA_CHECK_MSG(ev.time_ms >= 0.0, "fault event before time 0");
+    auto& is_down = down[static_cast<std::size_t>(ev.node)];
+    if (ev.kind == FaultEventKind::kCrash) {
+      CCA_CHECK_MSG(!is_down, "node " << ev.node << " crashed twice at "
+                                      << ev.time_ms << "ms");
+      is_down = 1;
+      open_crash[static_cast<std::size_t>(ev.node)] = ev.time_ms;
+    } else {
+      CCA_CHECK_MSG(is_down, "node " << ev.node
+                                     << " recovered while alive at "
+                                     << ev.time_ms << "ms");
+      is_down = 0;
+      schedule.down_[static_cast<std::size_t>(ev.node)].emplace_back(
+          open_crash[static_cast<std::size_t>(ev.node)], ev.time_ms);
+    }
+  }
+  for (int node = 0; node < num_nodes; ++node)
+    if (down[static_cast<std::size_t>(node)])
+      schedule.down_[static_cast<std::size_t>(node)].emplace_back(
+          open_crash[static_cast<std::size_t>(node)], kInf);
+  schedule.events_ = std::move(events);
+  return schedule;
+}
+
+bool FaultSchedule::alive(int node, double time_ms) const {
+  CCA_CHECK_MSG(node >= 0 && node < num_nodes_,
+                "liveness query for unknown node " << node);
+  const auto& intervals = down_[static_cast<std::size_t>(node)];
+  // First interval starting after time_ms; the predecessor is the only
+  // candidate that can cover it.
+  auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), time_ms,
+      [](double t, const std::pair<double, double>& iv) { return t < iv.first; });
+  if (it == intervals.begin()) return true;
+  --it;
+  return time_ms >= it->second;  // dead on [crash, recover)
+}
+
+std::vector<int> FaultSchedule::dead_nodes(double time_ms) const {
+  std::vector<int> dead;
+  for (int node = 0; node < num_nodes_; ++node)
+    if (!alive(node, time_ms)) dead.push_back(node);
+  return dead;
+}
+
+std::vector<bool> FaultSchedule::alive_mask(double time_ms) const {
+  std::vector<bool> mask(static_cast<std::size_t>(num_nodes_));
+  for (int node = 0; node < num_nodes_; ++node)
+    mask[static_cast<std::size_t>(node)] = alive(node, time_ms);
+  return mask;
+}
+
+std::size_t FaultSchedule::crash_count() const {
+  std::size_t crashes = 0;
+  for (const FaultEvent& ev : events_)
+    if (ev.kind == FaultEventKind::kCrash) ++crashes;
+  return crashes;
+}
+
+double FaultSchedule::downtime_fraction(int node, double horizon_ms) const {
+  CCA_CHECK_MSG(node >= 0 && node < num_nodes_,
+                "downtime query for unknown node " << node);
+  CCA_CHECK(horizon_ms > 0.0);
+  double down_ms = 0.0;
+  for (const auto& [crash, recover] :
+       down_[static_cast<std::size_t>(node)]) {
+    const double begin = std::min(crash, horizon_ms);
+    const double end = std::min(recover, horizon_ms);
+    down_ms += std::max(0.0, end - begin);
+  }
+  return down_ms / horizon_ms;
+}
+
+double RetryPolicy::backoff_ms(int retry_index, std::uint64_t token) const {
+  CCA_CHECK(retry_index >= 1);
+  double backoff = base_backoff_ms;
+  for (int r = 1; r < retry_index; ++r) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_ms) break;
+  }
+  backoff = std::min(backoff, max_backoff_ms);
+  if (jitter_fraction > 0.0) {
+    // Stateless jitter: one SplitMix64 step over (seed, token, retry).
+    common::SplitMix64 mix(seed ^ (token * 0xBF58476D1CE4E5B9ULL) ^
+                           (static_cast<std::uint64_t>(retry_index)
+                            << 32));
+    const double unit =
+        static_cast<double>(mix() >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff *= 1.0 - jitter_fraction + 2.0 * jitter_fraction * unit;
+  }
+  return backoff;
+}
+
+double RetryPolicy::penalty_ms(int failed_attempts,
+                               std::uint64_t token) const {
+  CCA_CHECK(failed_attempts >= 0);
+  double penalty = 0.0;
+  for (int a = 1; a <= failed_attempts; ++a) {
+    penalty += timeout_ms;
+    // A backoff precedes the NEXT attempt; the last failed attempt backs
+    // off only if the fetch still has attempts left to spend.
+    if (a < max_attempts) penalty += backoff_ms(a, token);
+  }
+  return penalty;
+}
+
+}  // namespace cca::sim

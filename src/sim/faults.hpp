@@ -1,0 +1,140 @@
+// Fail-stop fault injection for the serving-layer simulators.
+//
+// The paper evaluates placement on a healthy cluster; its future-work
+// note on replication-degree customization only matters once nodes can
+// fail. This module supplies the failure timeline every simulator shares:
+// a FaultSchedule is a deterministic, seeded sequence of fail-stop crash
+// and recovery events per node (generated from MTTF/MTTR parameters, or
+// scripted explicitly), and a RetryPolicy describes how a client reacts
+// to a dead server (timeout, capped exponential backoff with seeded
+// jitter, bounded attempts).
+//
+// Determinism contract: both types are pure data + pure functions of
+// (config, seed, query token). Nothing here draws from shared RNG state
+// at query time, so any replay or event simulation that consults a
+// schedule produces bit-identical results for any --threads (the
+// common/parallel.hpp contract extends through the fault layer).
+//
+// Model (documented simplifications, see DESIGN.md "Failure model"):
+//   * fail-stop only — a dead node serves nothing and loses no data;
+//     its indices are intact when it recovers (crash-recovery, not
+//     catastrophic loss). Byzantine behaviour, partial degradation and
+//     network partitions are out of scope;
+//   * liveness is globally and instantly known at query planning time
+//     ONLY through contact attempts — the retry policy charges a timeout
+//     per attempt on a dead node, which is how real clients discover
+//     failures;
+//   * crash and recovery instants are independent across nodes
+//     (exponential up/down times), matching the uncorrelated-failure
+//     baseline of the hierarchical-failure-domain literature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cca::sim {
+
+enum class FaultEventKind { kCrash, kRecover };
+
+/// One fail-stop transition of one node.
+struct FaultEvent {
+  double time_ms = 0.0;
+  int node = 0;
+  FaultEventKind kind = FaultEventKind::kCrash;
+};
+
+struct FaultScheduleConfig {
+  /// Mean time to failure: each node's up-times are Exp(mttf_ms).
+  double mttf_ms = 10000.0;
+  /// Mean time to repair: each node's down-times are Exp(mttr_ms).
+  double mttr_ms = 1000.0;
+  /// Events are generated on [0, horizon_ms).
+  double horizon_ms = 60000.0;
+  std::uint64_t seed = 1;
+};
+
+/// A per-node timeline of fail-stop down intervals, queryable by time.
+///
+/// Generation draws each node's alternating up/down durations from a
+/// dedicated SplitMix64-derived substream of the seed, so the schedule
+/// is independent of node evaluation order, thread count, and any other
+/// RNG consumer in the process.
+class FaultSchedule {
+ public:
+  /// Always-alive schedule (the healthy-cluster baseline).
+  explicit FaultSchedule(int num_nodes = 0);
+
+  /// MTTF/MTTR-generated schedule over `num_nodes` nodes.
+  static FaultSchedule generate(int num_nodes,
+                                const FaultScheduleConfig& config);
+
+  /// Scripted schedule from explicit events. Events may arrive in any
+  /// order; per node they must alternate crash/recover starting from an
+  /// alive state (checked). Nodes must be in [0, num_nodes).
+  static FaultSchedule from_events(int num_nodes,
+                                   std::vector<FaultEvent> events);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// True when `node` is up at `time_ms`. A node is dead on
+  /// [crash, recover) — dead at the crash instant, alive at recovery.
+  bool alive(int node, double time_ms) const;
+
+  /// Nodes dead at `time_ms`, ascending.
+  std::vector<int> dead_nodes(double time_ms) const;
+
+  /// Per-node alive mask at `time_ms` (the RecoveryPlanner input shape).
+  std::vector<bool> alive_mask(double time_ms) const;
+
+  /// All transitions, sorted by time (ties by node).
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  std::size_t crash_count() const;
+
+  /// Fraction of [0, horizon_ms) that `node` spends dead.
+  double downtime_fraction(int node, double horizon_ms) const;
+
+  /// True when no node ever fails (the trivial schedule).
+  bool empty() const { return events_.empty(); }
+
+ private:
+  int num_nodes_ = 0;
+  /// Per node: sorted, disjoint [crash, recover) intervals. An interval
+  /// whose recovery never happened within the horizon is open-ended
+  /// (recover = +infinity).
+  std::vector<std::vector<std::pair<double, double>>> down_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Client-side reaction to a dead server: per-attempt timeout, capped
+/// exponential backoff between attempts, deterministic seeded jitter.
+///
+/// The jitter is a pure function of (seed, token, attempt) — callers pass
+/// a token identifying the retrying operation (e.g. query index * large
+/// prime + keyword), so two threads replaying different query shards
+/// compute identical penalties regardless of execution order.
+struct RetryPolicy {
+  /// Time charged for each contact attempt that hits a dead node.
+  double timeout_ms = 5.0;
+  /// Total contact attempts per object fetch (over all replicas).
+  int max_attempts = 3;
+  /// Backoff before retry r (r = 1, 2, ...): min(base * multiplier^(r-1),
+  /// max_backoff_ms), scaled by the jitter factor.
+  double base_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+  /// Jitter scales a backoff by a factor uniform in
+  /// [1 - jitter_fraction, 1 + jitter_fraction). 0 disables jitter.
+  double jitter_fraction = 0.2;
+  std::uint64_t seed = 1;
+
+  /// Backoff before retry `retry_index` (1-based; retry 0 is the first
+  /// attempt and has no backoff). Deterministic in (seed, token).
+  double backoff_ms(int retry_index, std::uint64_t token) const;
+
+  /// Total time a fetch wastes performing `failed_attempts` contacts on
+  /// dead nodes: timeouts plus the backoffs between them.
+  double penalty_ms(int failed_attempts, std::uint64_t token) const;
+};
+
+}  // namespace cca::sim

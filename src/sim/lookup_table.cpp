@@ -1,5 +1,7 @@
 #include "sim/lookup_table.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "hash/md5.hpp"
 
@@ -37,6 +39,70 @@ int LookupTable::resolve(trace::KeywordId keyword) const {
   const auto it = exceptions_.find(keyword);
   return it == exceptions_.end() ? hash_node(keyword, num_nodes_)
                                  : it->second;
+}
+
+ReplicaTable ReplicaTable::build(const std::vector<int>& keyword_to_node,
+                                 int num_nodes, int degree) {
+  CCA_CHECK(num_nodes >= 1);
+  CCA_CHECK_MSG(degree >= 0 && degree < num_nodes,
+                "replication degree " << degree << " needs more than "
+                                      << num_nodes << " nodes");
+  ReplicaTable table;
+  table.vocabulary_size_ = keyword_to_node.size();
+  table.num_nodes_ = num_nodes;
+  table.degree_ = degree;
+  table.primary_ = keyword_to_node;
+  for (std::size_t k = 0; k < keyword_to_node.size(); ++k) {
+    const int node = keyword_to_node[k];
+    CCA_CHECK_MSG(node >= 0 && node < num_nodes,
+                  "keyword " << k << " placed on unknown node " << node);
+    if (node == hash_node(static_cast<trace::KeywordId>(k), num_nodes))
+      ++table.hash_hits_;
+  }
+  return table;
+}
+
+int ReplicaTable::primary(trace::KeywordId keyword) const {
+  CCA_CHECK_MSG(keyword < vocabulary_size_,
+                "keyword " << keyword << " outside vocabulary");
+  return primary_[keyword];
+}
+
+int ReplicaTable::replica(trace::KeywordId keyword, int slot) const {
+  CCA_CHECK_MSG(slot >= 0 && slot <= degree_,
+                "replica slot " << slot << " exceeds degree " << degree_);
+  return (primary(keyword) + slot) % num_nodes_;
+}
+
+bool ReplicaTable::hosted_on(trace::KeywordId keyword, int node) const {
+  const int p = primary(keyword);
+  const int offset = ((node - p) % num_nodes_ + num_nodes_) % num_nodes_;
+  return offset <= degree_;
+}
+
+int ReplicaTable::first_alive(trace::KeywordId keyword,
+                              const std::vector<char>& alive,
+                              int max_attempts, int* slot_out) const {
+  const int p = primary(keyword);
+  const int tries = std::min(max_attempts, degree_ + 1);
+  for (int slot = 0; slot < tries; ++slot) {
+    const int node = (p + slot) % num_nodes_;
+    if (alive[static_cast<std::size_t>(node)]) {
+      if (slot_out) *slot_out = slot;
+      return node;
+    }
+  }
+  if (slot_out) *slot_out = -1;
+  return -1;
+}
+
+std::size_t ReplicaTable::bytes() const {
+  // Hash-placed keywords with no replicas need no entry; everything else
+  // costs 4 bytes of keyword ID + 2 bytes per stored node.
+  const std::size_t entries =
+      degree_ == 0 ? vocabulary_size_ - hash_hits_ : vocabulary_size_;
+  return entries *
+         (4 + 2 * static_cast<std::size_t>(degree_ + 1));
 }
 
 }  // namespace cca::sim

@@ -1,4 +1,4 @@
-// Keyword-location lookup table (Sec. 4.1).
+// Keyword-location lookup tables (Sec. 4.1), single-node and replicated.
 //
 // With hash placement a node can compute any keyword's location
 // (MD5 mod n) — no table at all. A correlation-aware placement needs a
@@ -9,6 +9,14 @@
 // scope"); this class makes that saving measurable.
 //
 // Entry cost model: 4-byte keyword ID + 2-byte node ID = 6 bytes/entry.
+//
+// ReplicaTable generalizes the keyword -> node map to keyword ->
+// replica SET (primary first), the location metadata a fault-tolerant
+// serving layer needs: when the primary is down, the failover order is
+// the rest of the set. Full replication (degree = nodes - 1) subsumes
+// the kEverywhere placement sentinel of search/query_engine.hpp that
+// Ablation J hand-rolled: a keyword with a copy on every live node never
+// causes a transfer.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +47,55 @@ class LookupTable {
   std::unordered_map<trace::KeywordId, int> exceptions_;
   std::size_t vocabulary_size_ = 0;
   int num_nodes_ = 1;
+};
+
+/// Keyword -> ordered replica set. Slot 0 is the primary (the placement
+/// the optimizer computed); replica r >= 1 of keyword k lives on
+/// (primary + r) mod N — deterministic, distinct, and placement-relative,
+/// so co-placed correlated keywords also share replica nodes (their
+/// failover preserves co-location, the property the placement paid for).
+///
+/// Entry cost model extends the 6-byte rule: 4-byte keyword ID +
+/// 2 bytes per stored node. Keywords on their hash node with degree 0
+/// still cost nothing (the hash rule needs no entry); any replication
+/// forces an entry for every keyword.
+class ReplicaTable {
+ public:
+  /// `degree` = copies per keyword BEYOND the primary, in [0, N-1].
+  /// degree = N-1 replicates everywhere (the Ablation J sweep's
+  /// kEverywhere limit).
+  static ReplicaTable build(const std::vector<int>& keyword_to_node,
+                            int num_nodes, int degree);
+
+  int num_nodes() const { return num_nodes_; }
+  int degree() const { return degree_; }
+  std::size_t vocabulary_size() const { return vocabulary_size_; }
+
+  /// The primary node (slot 0 of the set).
+  int primary(trace::KeywordId keyword) const;
+
+  /// Replica of `keyword` at failover position `slot` in [0, degree].
+  int replica(trace::KeywordId keyword, int slot) const;
+
+  /// True when some replica of `keyword` lives on `node`.
+  bool hosted_on(trace::KeywordId keyword, int node) const;
+
+  /// First alive replica in failover order, trying at most
+  /// `max_attempts` slots; returns the slot index via `slot_out`
+  /// (0 = primary) or -1 when every tried replica is dead.
+  /// `alive` is indexed by node.
+  int first_alive(trace::KeywordId keyword, const std::vector<char>& alive,
+                  int max_attempts, int* slot_out = nullptr) const;
+
+  /// Serialized size under the entry cost model above.
+  std::size_t bytes() const;
+
+ private:
+  std::vector<int> primary_;  // keyword -> primary node
+  std::size_t vocabulary_size_ = 0;
+  std::size_t hash_hits_ = 0;  // keywords on their hash node (free entries)
+  int num_nodes_ = 1;
+  int degree_ = 0;
 };
 
 }  // namespace cca::sim

@@ -1,10 +1,13 @@
 #include "sim/replay.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace cca::sim {
@@ -157,6 +160,261 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
     }
     storage_pct.observe(
         static_cast<std::uint64_t>(100.0 * stats.max_storage_factor));
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware replay.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-shard accumulator for the fault replay (counter fields of
+/// FaultReplayStats plus the per-query vectors merged in shard order).
+struct FaultShard {
+  ClusterDelta delta;
+  FaultReplayStats partial;
+  double coverage_sum = 0.0;
+  std::vector<double> per_query_bytes;
+  std::vector<double> per_query_latency;
+};
+
+/// Jitter token of one keyword fetch: unique per (query, keyword) and
+/// independent of sharding.
+std::uint64_t fetch_token(std::size_t query_index, trace::KeywordId k) {
+  return static_cast<std::uint64_t>(query_index) * 1000003ULL +
+         static_cast<std::uint64_t>(k);
+}
+
+}  // namespace
+
+FaultReplayStats replay_trace_with_faults(Cluster& cluster,
+                                          const search::InvertedIndex& index,
+                                          const trace::QueryTrace& trace,
+                                          const ReplicaTable& replicas,
+                                          const FaultReplayConfig& config) {
+  CCA_CHECK_MSG(replicas.num_nodes() == cluster.num_nodes(),
+                "replica table covers " << replicas.num_nodes()
+                                        << " nodes, cluster has "
+                                        << cluster.num_nodes());
+  CCA_CHECK_MSG(config.arrival_rate_qps > 0.0, "arrival rate must be > 0");
+  if (config.faults)
+    CCA_CHECK_MSG(config.faults->num_nodes() == cluster.num_nodes(),
+                  "fault schedule covers " << config.faults->num_nodes()
+                                           << " nodes, cluster has "
+                                           << cluster.num_nodes());
+
+  const search::QueryEngine engine(index);
+  const std::vector<trace::Query>& queries = trace.queries();
+  const int num_nodes = cluster.num_nodes();
+  const bool fully_replicated = replicas.degree() == num_nodes - 1;
+
+  // Arrival instants, drawn sequentially so the timeline is identical for
+  // any thread count (same procedure as sim/event_sim).
+  std::vector<double> arrival_ms(queries.size(), 0.0);
+  {
+    common::Rng rng(config.arrival_seed ^ 0x51ABCDEF1234ULL);
+    const double mean_gap_ms = 1000.0 / config.arrival_rate_qps;
+    double clock = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      clock += -std::log(1.0 - rng.next_double()) * mean_gap_ms;
+      arrival_ms[q] = clock;
+    }
+  }
+
+  const auto chunks = common::chunk_ranges(queries.size(), kShardGrain);
+  std::vector<FaultShard> shards(chunks.size());
+  common::parallel_for(0, chunks.size(), 1, [&](std::size_t c) {
+    const auto [begin, end] = chunks[c];
+    FaultShard& shard = shards[c];
+    shard.delta = ClusterDelta(num_nodes);
+    shard.per_query_bytes.reserve(end - begin);
+    shard.per_query_latency.reserve(end - begin);
+
+    std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
+    // Scratch per query: the served sub-query and its resolved nodes
+    // (kEverywhere for fully replicated keywords).
+    trace::Query sub;
+    std::vector<int> resolved;  // parallel to sub.keywords
+
+    double query_latency = 0.0;
+    const bool parallel_fanout = config.kind == OperationKind::kUnion;
+    const auto observer = [&](int from, int to, std::uint64_t bytes) {
+      shard.delta.record_transfer(from, to, bytes);
+      const double ms = config.latency.transfer_ms(bytes);
+      query_latency =
+          parallel_fanout ? std::max(query_latency, ms) : query_latency + ms;
+    };
+    const auto placement = [&](trace::KeywordId k) {
+      for (std::size_t i = 0; i < sub.keywords.size(); ++i)
+        if (sub.keywords[i] == k) return resolved[i];
+      return 0;  // unreachable: the engine only asks about sub's keywords
+    };
+
+    for (std::size_t q = begin; q < end; ++q) {
+      const trace::Query& query = queries[q];
+      const double now = arrival_ms[q];
+      int alive_count = num_nodes;
+      if (config.faults) {
+        for (int n = 0; n < num_nodes; ++n) {
+          alive[static_cast<std::size_t>(n)] =
+              config.faults->alive(n, now) ? 1 : 0;
+          if (!alive[static_cast<std::size_t>(n)]) --alive_count;
+        }
+      }
+
+      sub.keywords.clear();
+      resolved.clear();
+      double penalty_ms = 0.0;
+      for (const trace::KeywordId k : query.keywords) {
+        if (fully_replicated) {
+          // A copy on every node: served wherever execution lands, with
+          // no remote contact to time out — iff anything is alive.
+          if (alive_count > 0) {
+            sub.keywords.push_back(k);
+            resolved.push_back(search::kEverywhere);
+          } else {
+            ++shard.partial.unserved_keywords;
+          }
+          continue;
+        }
+        int slot = -1;
+        const int node =
+            replicas.first_alive(k, alive, config.retry.max_attempts, &slot);
+        const int failed_attempts =
+            node >= 0 ? slot
+                      : std::min(config.retry.max_attempts,
+                                 replicas.degree() + 1);
+        if (failed_attempts > 0) {
+          shard.partial.retries +=
+              static_cast<std::uint64_t>(failed_attempts);
+          penalty_ms +=
+              config.retry.penalty_ms(failed_attempts, fetch_token(q, k));
+        }
+        if (node >= 0) {
+          if (slot > 0) ++shard.partial.failovers;
+          sub.keywords.push_back(k);
+          resolved.push_back(node);
+        } else {
+          ++shard.partial.unserved_keywords;
+        }
+      }
+
+      query_latency = 0.0;
+      search::QueryCost cost;
+      if (!sub.keywords.empty()) {
+        switch (config.kind) {
+          case OperationKind::kIntersection:
+            cost = engine.execute_intersection(sub, placement, observer);
+            break;
+          case OperationKind::kIntersectionBloom:
+            cost = engine.execute_intersection_bloom(
+                sub, placement, /*bits_per_key=*/8.0, observer);
+            break;
+          case OperationKind::kUnion:
+            cost = engine.execute_union(sub, placement, observer);
+            break;
+        }
+      }
+      query_latency += penalty_ms;
+
+      const double coverage =
+          query.size() == 0
+              ? 1.0
+              : static_cast<double>(sub.keywords.size()) /
+                    static_cast<double>(query.size());
+      shard.coverage_sum += coverage;
+      ++shard.partial.base.queries;
+      if (sub.keywords.size() == query.size()) {
+        ++shard.partial.fully_served;
+        if (query.size() >= 2) {
+          ++shard.partial.base.multi_keyword_queries;
+          if (cost.local) ++shard.partial.base.local_queries;
+        }
+      } else if (!sub.keywords.empty()) {
+        ++shard.partial.degraded;
+        if (query.size() >= 2) ++shard.partial.base.multi_keyword_queries;
+      } else {
+        ++shard.partial.failed;
+        if (query.size() >= 2) ++shard.partial.base.multi_keyword_queries;
+      }
+      shard.partial.base.total_bytes += cost.bytes_transferred;
+      shard.partial.base.total_messages += cost.messages;
+      shard.per_query_bytes.push_back(
+          static_cast<double>(cost.bytes_transferred));
+      shard.per_query_latency.push_back(query_latency);
+    }
+  });
+
+  FaultReplayStats stats;
+  double coverage_sum = 0.0;
+  std::vector<double> per_query_bytes;
+  std::vector<double> per_query_latency;
+  per_query_bytes.reserve(queries.size());
+  per_query_latency.reserve(queries.size());
+  for (FaultShard& shard : shards) {
+    stats.base.queries += shard.partial.base.queries;
+    stats.base.multi_keyword_queries += shard.partial.base.multi_keyword_queries;
+    stats.base.local_queries += shard.partial.base.local_queries;
+    stats.base.total_bytes += shard.partial.base.total_bytes;
+    stats.base.total_messages += shard.partial.base.total_messages;
+    stats.fully_served += shard.partial.fully_served;
+    stats.degraded += shard.partial.degraded;
+    stats.failed += shard.partial.failed;
+    stats.retries += shard.partial.retries;
+    stats.failovers += shard.partial.failovers;
+    stats.unserved_keywords += shard.partial.unserved_keywords;
+    coverage_sum += shard.coverage_sum;
+    per_query_bytes.insert(per_query_bytes.end(),
+                           shard.per_query_bytes.begin(),
+                           shard.per_query_bytes.end());
+    per_query_latency.insert(per_query_latency.end(),
+                             shard.per_query_latency.begin(),
+                             shard.per_query_latency.end());
+    cluster.apply(shard.delta);
+  }
+
+  if (!per_query_bytes.empty()) {
+    stats.base.mean_bytes_per_query = common::mean_of(per_query_bytes);
+    stats.base.p99_bytes_per_query = common::percentile(per_query_bytes, 99.0);
+    stats.base.mean_latency_ms = common::mean_of(per_query_latency);
+    stats.base.p99_latency_ms = common::percentile(per_query_latency, 99.0);
+  }
+  if (stats.base.queries > 0) {
+    stats.availability = static_cast<double>(stats.fully_served) /
+                         static_cast<double>(stats.base.queries);
+    stats.mean_coverage =
+        coverage_sum / static_cast<double>(stats.base.queries);
+  }
+  stats.base.max_storage_factor = cluster.max_storage_factor();
+  stats.base.storage_imbalance = cluster.storage_imbalance();
+
+  if (common::metrics_enabled()) {
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& replays = reg.counter("sim.fault_replay.calls");
+    static common::Counter& queries_total =
+        reg.counter("sim.fault_replay.queries");
+    static common::Counter& retries = reg.counter("sim.fault_replay.retries");
+    static common::Counter& failovers =
+        reg.counter("sim.fault_replay.failovers");
+    static common::Counter& unserved =
+        reg.counter("sim.fault_replay.unserved_keywords");
+    static common::Counter& degraded =
+        reg.counter("sim.fault_replay.degraded_queries");
+    static common::Counter& failed =
+        reg.counter("sim.fault_replay.failed_queries");
+    static common::Histogram& availability_pct =
+        reg.histogram("sim.fault_replay.availability_pct");
+    replays.add();
+    queries_total.add(static_cast<std::int64_t>(stats.base.queries));
+    retries.add(static_cast<std::int64_t>(stats.retries));
+    failovers.add(static_cast<std::int64_t>(stats.failovers));
+    unserved.add(static_cast<std::int64_t>(stats.unserved_keywords));
+    degraded.add(static_cast<std::int64_t>(stats.degraded));
+    failed.add(static_cast<std::int64_t>(stats.failed));
+    availability_pct.observe(
+        static_cast<std::uint64_t>(100.0 * stats.availability));
   }
   return stats;
 }

@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "search/query_engine.hpp"
-#include "sim/latency.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
+#include "sim/latency.hpp"
+#include "sim/lookup_table.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::sim {
@@ -51,5 +53,66 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
                          OperationKind kind = OperationKind::kIntersection,
                          std::vector<std::uint64_t> keyword_bytes = {},
                          const LatencyModel& latency = LatencyModel{});
+
+// ---------------------------------------------------------------------------
+// Failure-aware replay.
+// ---------------------------------------------------------------------------
+
+struct FaultReplayConfig {
+  /// Fault timeline; nullptr replays against an always-healthy cluster
+  /// (useful as the availability baseline of a sweep).
+  const FaultSchedule* faults = nullptr;
+  /// How a fetch reacts to a dead replica.
+  RetryPolicy retry;
+  /// Queries arrive as a seeded open-loop Poisson stream so they
+  /// intersect the fault timeline; arrival times are precomputed
+  /// sequentially, so they are identical for any thread count.
+  double arrival_rate_qps = 1000.0;
+  std::uint64_t arrival_seed = 1;
+  OperationKind kind = OperationKind::kIntersection;
+  LatencyModel latency;
+};
+
+/// ReplayStats plus the availability axis. `base` carries the usual byte
+/// and latency accounting; latencies INCLUDE the retry penalties
+/// (timeouts + backoffs) queries paid discovering dead replicas, so
+/// base.p99_latency_ms is the p99-under-failure number.
+struct FaultReplayStats {
+  ReplayStats base;
+  /// Queries whose every keyword was served (coverage == 1).
+  std::size_t fully_served = 0;
+  /// Queries partially served (0 < coverage < 1).
+  std::size_t degraded = 0;
+  /// Queries with no keyword served at all.
+  std::size_t failed = 0;
+  /// fully_served / queries.
+  double availability = 0.0;
+  /// Mean over queries of (keywords served / keywords requested).
+  double mean_coverage = 0.0;
+  /// Contact attempts that hit a dead node.
+  std::uint64_t retries = 0;
+  /// Keyword fetches served by a non-primary replica.
+  std::uint64_t failovers = 0;
+  /// Keyword fetches abandoned (every tried replica dead).
+  std::uint64_t unserved_keywords = 0;
+};
+
+/// Replays `trace` against `cluster` under the fault timeline in
+/// `config`, failing over along `replicas` (whose primaries must match
+/// the installed placement — byte accounting assumes it). Each keyword
+/// fetch walks the replica set in failover order, charging
+/// `config.retry` for every dead contact; keywords with no reachable
+/// replica within the attempt budget are dropped from the query, which
+/// then returns a PARTIAL result over the remaining keywords. Bytes are
+/// charged for the executed sub-query only.
+///
+/// Liveness is evaluated at the query's arrival instant (transitions
+/// mid-query are not modelled). Sharded like replay_trace: bit-identical
+/// statistics for any thread count.
+FaultReplayStats replay_trace_with_faults(Cluster& cluster,
+                                          const search::InvertedIndex& index,
+                                          const trace::QueryTrace& trace,
+                                          const ReplicaTable& replicas,
+                                          const FaultReplayConfig& config);
 
 }  // namespace cca::sim

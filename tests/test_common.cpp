@@ -233,6 +233,40 @@ TEST(Cli, RejectUnusedFlagsCatchesTypos) {
   EXPECT_THROW(args.reject_unused(), Error);
 }
 
+TEST(Cli, UnknownFlagSuggestsNearMissAndListsKnownFlags) {
+  const char* argv[] = {"prog", "--thread=2"};
+  CliArgs args(2, argv);
+  args.get_int("threads", 0);
+  args.get_int("nodes", 0);
+  try {
+    args.reject_unused();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown flag --thread"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean --threads?"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("known flags:"), std::string::npos) << message;
+    EXPECT_NE(message.find("--nodes"), std::string::npos) << message;
+  }
+}
+
+TEST(Cli, UnknownFlagWithNoNearMissOmitsSuggestion) {
+  const char* argv[] = {"prog", "--zzqq=1"};
+  CliArgs args(2, argv);
+  args.get_int("threads", 0);
+  try {
+    args.reject_unused();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("known flags: --threads"), std::string::npos)
+        << message;
+  }
+}
+
 TEST(Cli, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(CliArgs(2, argv), Error);

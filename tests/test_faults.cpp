@@ -1,0 +1,516 @@
+// Fault layer: schedule determinism, failover byte-exactness, degraded
+// coverage accounting, retry/backoff goldens, recovery planning.
+//
+// Lives in the sanitize-labelled binary: the thread-identity claims here
+// (same stats for --threads=1/2/8) are exactly what TSan should watch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/instance.hpp"
+#include "core/recovery.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/cluster.hpp"
+#include "sim/faults.hpp"
+#include "sim/lookup_table.hpp"
+#include "sim/replay.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::sim {
+namespace {
+
+// ---------- FaultSchedule ----------
+
+TEST(FaultSchedule, DefaultIsAlwaysAlive) {
+  const FaultSchedule schedule(4);
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.crash_count(), 0u);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_TRUE(schedule.alive(n, 0.0));
+    EXPECT_TRUE(schedule.alive(n, 1e9));
+  }
+  EXPECT_TRUE(schedule.dead_nodes(5000.0).empty());
+}
+
+TEST(FaultSchedule, GenerationIsDeterministicAndSeedSensitive) {
+  FaultScheduleConfig cfg;
+  cfg.mttf_ms = 2000.0;
+  cfg.mttr_ms = 500.0;
+  cfg.horizon_ms = 30000.0;
+  cfg.seed = 42;
+  const FaultSchedule a = FaultSchedule::generate(8, cfg);
+  const FaultSchedule b = FaultSchedule::generate(8, cfg);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_GT(a.crash_count(), 0u);
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time_ms, b.events()[i].time_ms);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+  cfg.seed = 43;
+  const FaultSchedule c = FaultSchedule::generate(8, cfg);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+    differs = a.events()[i].time_ms != c.events()[i].time_ms;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, GenerationIgnoresThreadPoolSize) {
+  FaultScheduleConfig cfg;
+  cfg.mttf_ms = 1000.0;
+  cfg.horizon_ms = 20000.0;
+  common::set_global_threads(1);
+  const FaultSchedule t1 = FaultSchedule::generate(6, cfg);
+  common::set_global_threads(8);
+  const FaultSchedule t8 = FaultSchedule::generate(6, cfg);
+  common::set_global_threads(2);
+  ASSERT_EQ(t1.events().size(), t8.events().size());
+  for (std::size_t i = 0; i < t1.events().size(); ++i)
+    EXPECT_EQ(t1.events()[i].time_ms, t8.events()[i].time_ms);
+}
+
+TEST(FaultSchedule, DeadOnCrashAliveOnRecovery) {
+  const FaultSchedule schedule = FaultSchedule::from_events(
+      2, {{100.0, 1, FaultEventKind::kCrash},
+          {250.0, 1, FaultEventKind::kRecover}});
+  EXPECT_TRUE(schedule.alive(1, 99.9));
+  EXPECT_FALSE(schedule.alive(1, 100.0));  // dead at the crash instant
+  EXPECT_FALSE(schedule.alive(1, 249.9));
+  EXPECT_TRUE(schedule.alive(1, 250.0));  // alive at the recovery instant
+  EXPECT_TRUE(schedule.alive(0, 100.0));  // other node untouched
+  EXPECT_EQ(schedule.dead_nodes(150.0), std::vector<int>{1});
+  const std::vector<bool> mask = schedule.alive_mask(150.0);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_NEAR(schedule.downtime_fraction(1, 1000.0), 0.15, 1e-12);
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(0, 1000.0), 0.0);
+}
+
+TEST(FaultSchedule, UnrecoveredCrashIsOpenEnded) {
+  const FaultSchedule schedule =
+      FaultSchedule::from_events(1, {{500.0, 0, FaultEventKind::kCrash}});
+  EXPECT_FALSE(schedule.alive(0, 1e12));
+  EXPECT_NEAR(schedule.downtime_fraction(0, 1000.0), 0.5, 1e-12);
+}
+
+TEST(FaultSchedule, FromEventsValidates) {
+  // Recovery of a node that never crashed.
+  EXPECT_THROW(
+      FaultSchedule::from_events(1, {{10.0, 0, FaultEventKind::kRecover}}),
+      common::Error);
+  // Double crash without recovery in between.
+  EXPECT_THROW(FaultSchedule::from_events(
+                   1, {{10.0, 0, FaultEventKind::kCrash},
+                       {20.0, 0, FaultEventKind::kCrash}}),
+               common::Error);
+  // Node id out of range.
+  EXPECT_THROW(
+      FaultSchedule::from_events(1, {{10.0, 3, FaultEventKind::kCrash}}),
+      common::Error);
+}
+
+// ---------- RetryPolicy ----------
+
+TEST(RetryPolicy, BackoffGoldenWithoutJitter) {
+  RetryPolicy retry;
+  retry.timeout_ms = 5.0;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_ms = 3.0;
+  retry.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(retry.backoff_ms(1, 7), 1.0);
+  EXPECT_DOUBLE_EQ(retry.backoff_ms(2, 7), 2.0);
+  EXPECT_DOUBLE_EQ(retry.backoff_ms(3, 7), 3.0);  // capped
+  // One failed attempt: a timeout plus the backoff before the retry that
+  // follows it. Three failed attempts out of four: backoff after each of
+  // the first three (a fourth attempt still happens).
+  EXPECT_DOUBLE_EQ(retry.penalty_ms(0, 7), 0.0);
+  EXPECT_DOUBLE_EQ(retry.penalty_ms(1, 7), 5.0 + 1.0);
+  EXPECT_DOUBLE_EQ(retry.penalty_ms(3, 7), 15.0 + 1.0 + 2.0 + 3.0);
+  // All four attempts failed: no backoff after the last one.
+  EXPECT_DOUBLE_EQ(retry.penalty_ms(4, 7), 20.0 + 1.0 + 2.0 + 3.0);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicBoundedAndTokenSensitive) {
+  RetryPolicy retry;
+  retry.jitter_fraction = 0.2;
+  const double a = retry.backoff_ms(1, 1001);
+  EXPECT_DOUBLE_EQ(a, retry.backoff_ms(1, 1001));  // pure function
+  EXPECT_GE(a, retry.base_backoff_ms * 0.8);
+  EXPECT_LT(a, retry.base_backoff_ms * 1.2);
+  bool saw_difference = false;
+  for (std::uint64_t token = 0; token < 32 && !saw_difference; ++token)
+    saw_difference = retry.backoff_ms(1, token) != a;
+  EXPECT_TRUE(saw_difference);
+}
+
+// ---------- ReplicaTable ----------
+
+TEST(ReplicaTable, SlotsFollowThePlacement) {
+  const ReplicaTable table = ReplicaTable::build({2, 0, 1}, 4, 2);
+  EXPECT_EQ(table.primary(0), 2);
+  EXPECT_EQ(table.replica(0, 0), 2);
+  EXPECT_EQ(table.replica(0, 1), 3);
+  EXPECT_EQ(table.replica(0, 2), 0);
+  EXPECT_TRUE(table.hosted_on(0, 3));
+  EXPECT_FALSE(table.hosted_on(0, 1));
+  EXPECT_EQ(table.degree(), 2);
+}
+
+TEST(ReplicaTable, FirstAliveWalksFailoverOrder) {
+  const ReplicaTable table = ReplicaTable::build({0}, 3, 2);
+  std::vector<char> alive = {0, 1, 1};  // primary dead
+  int slot = -1;
+  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), 1);
+  EXPECT_EQ(slot, 1);
+  alive = {0, 0, 1};
+  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), 2);
+  EXPECT_EQ(slot, 2);
+  // Attempt budget stops the walk before the live replica.
+  EXPECT_EQ(table.first_alive(0, alive, 2, &slot), -1);
+  alive = {0, 0, 0};
+  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), -1);
+}
+
+TEST(ReplicaTable, RejectsBadDegree) {
+  EXPECT_THROW(ReplicaTable::build({0}, 2, 2), common::Error);
+  EXPECT_THROW(ReplicaTable::build({0}, 2, -1), common::Error);
+}
+
+// ---------- failure-aware replay ----------
+
+/// kw0 48 B, kw1 16 B, kw2 24 B, kw3 8 B (the sim tests' hand corpus).
+search::InvertedIndex hand_index() {
+  std::vector<trace::Document> docs = {
+      {1, {0}}, {2, {0, 1}}, {3, {0, 1, 2}}, {4, {0, 2}},
+      {5, {0}}, {6, {0}},    {9, {2, 3}},
+  };
+  return search::InvertedIndex::build(trace::Corpus(4, std::move(docs)));
+}
+
+/// A generated mid-size testbed for the statistical tests.
+struct FaultBed {
+  search::InvertedIndex index;
+  trace::QueryTrace trace{0};
+  std::vector<std::uint64_t> sizes;
+  std::vector<int> placement;
+  int nodes = 5;
+
+  FaultBed() {
+    trace::CorpusConfig corpus;
+    corpus.num_documents = 300;
+    corpus.vocabulary_size = 150;
+    corpus.mean_distinct_words = 40.0;
+    corpus.seed = 11;
+    index = search::InvertedIndex::build(trace::Corpus::generate(corpus));
+    sizes = index.index_sizes();
+    trace::WorkloadConfig workload;
+    workload.vocabulary_size = 150;
+    workload.num_topics = 15;
+    workload.seed = 11;
+    trace = trace::WorkloadModel(workload).generate(1500, 12);
+    placement.resize(sizes.size());
+    for (std::size_t k = 0; k < placement.size(); ++k)
+      placement[k] = static_cast<int>(k) % nodes;
+  }
+
+  FaultReplayStats replay(const FaultSchedule* faults, int degree,
+                          const std::vector<int>* custom = nullptr) {
+    const std::vector<int>& map = custom ? *custom : placement;
+    Cluster cluster(nodes, 1e9);
+    cluster.install_placement(map, sizes);
+    const ReplicaTable replicas = ReplicaTable::build(map, nodes, degree);
+    FaultReplayConfig cfg;
+    cfg.faults = faults;
+    cfg.arrival_rate_qps = 100.0;  // 1500 queries over ~15s
+    return replay_trace_with_faults(cluster, index, trace, replicas, cfg);
+  }
+};
+
+TEST(FaultReplay, HealthyRunMatchesPlainReplayBytes) {
+  FaultBed bed;
+  Cluster cluster(bed.nodes, 1e9);
+  cluster.install_placement(bed.placement, bed.sizes);
+  const ReplayStats plain = replay_trace(cluster, bed.index, bed.trace);
+  const FaultReplayStats healthy = bed.replay(nullptr, 0);
+  EXPECT_EQ(healthy.base.total_bytes, plain.total_bytes);
+  EXPECT_EQ(healthy.fully_served, bed.trace.size());
+  EXPECT_DOUBLE_EQ(healthy.availability, 1.0);
+  EXPECT_DOUBLE_EQ(healthy.mean_coverage, 1.0);
+  EXPECT_EQ(healthy.retries, 0u);
+  EXPECT_EQ(healthy.failovers, 0u);
+}
+
+TEST(FaultReplay, StatsAreByteIdenticalAcrossThreadCounts) {
+  FaultBed bed;
+  FaultScheduleConfig cfg;
+  cfg.mttf_ms = 3000.0;
+  cfg.mttr_ms = 1000.0;
+  cfg.horizon_ms = 15000.0;
+  const FaultSchedule schedule = FaultSchedule::generate(bed.nodes, cfg);
+
+  common::set_global_threads(1);
+  const FaultReplayStats t1 = bed.replay(&schedule, 1);
+  common::set_global_threads(2);
+  const FaultReplayStats t2 = bed.replay(&schedule, 1);
+  common::set_global_threads(8);
+  const FaultReplayStats t8 = bed.replay(&schedule, 1);
+  common::set_global_threads(2);
+
+  EXPECT_GT(t1.retries, 0u);  // the schedule actually bites
+  for (const FaultReplayStats* other : {&t2, &t8}) {
+    EXPECT_EQ(t1.base.total_bytes, other->base.total_bytes);
+    EXPECT_EQ(t1.base.total_messages, other->base.total_messages);
+    EXPECT_EQ(t1.fully_served, other->fully_served);
+    EXPECT_EQ(t1.degraded, other->degraded);
+    EXPECT_EQ(t1.failed, other->failed);
+    EXPECT_EQ(t1.retries, other->retries);
+    EXPECT_EQ(t1.failovers, other->failovers);
+    EXPECT_EQ(t1.unserved_keywords, other->unserved_keywords);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(t1.base.mean_latency_ms, other->base.mean_latency_ms);
+    EXPECT_EQ(t1.base.p99_latency_ms, other->base.p99_latency_ms);
+    EXPECT_EQ(t1.availability, other->availability);
+    EXPECT_EQ(t1.mean_coverage, other->mean_coverage);
+  }
+}
+
+TEST(FaultReplay, FailoverMovesBytesExactlyToTheReplicaPlacement) {
+  // Node 0 dead for the whole run; degree 1 sends its keywords to the
+  // replica on (0+1)%3 = 1. The faulty run must charge byte-for-byte
+  // what a healthy run charges with those keywords PLACED on node 1.
+  FaultBed bed;
+  const FaultSchedule schedule =
+      FaultSchedule::from_events(bed.nodes, {{0.0, 0, FaultEventKind::kCrash}});
+  const FaultReplayStats faulty = bed.replay(&schedule, 1);
+
+  std::vector<int> failed_over = bed.placement;
+  for (int& node : failed_over)
+    if (node == 0) node = 1;
+  const FaultReplayStats healthy = bed.replay(nullptr, 1, &failed_over);
+
+  EXPECT_EQ(faulty.base.total_bytes, healthy.base.total_bytes);
+  EXPECT_EQ(faulty.fully_served, bed.trace.size());
+  EXPECT_DOUBLE_EQ(faulty.mean_coverage, 1.0);
+  EXPECT_GT(faulty.failovers, 0u);
+  EXPECT_GT(faulty.retries, 0u);
+  // Latency is NOT identical: the faulty run paid retry penalties.
+  EXPECT_GT(faulty.base.mean_latency_ms, healthy.base.mean_latency_ms);
+}
+
+TEST(FaultReplay, AllReplicasDeadYieldsPartialCoverage) {
+  // Unreplicated, node 0 dead forever: every fetch of a node-0 keyword
+  // is unserved; queries mixing dead and alive keywords degrade.
+  FaultBed bed;
+  const FaultSchedule schedule =
+      FaultSchedule::from_events(bed.nodes, {{0.0, 0, FaultEventKind::kCrash}});
+  const FaultReplayStats stats = bed.replay(&schedule, 0);
+
+  EXPECT_GT(stats.unserved_keywords, 0u);
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_LT(stats.availability, 1.0);
+  EXPECT_GT(stats.availability, 0.0);
+  EXPECT_LT(stats.mean_coverage, 1.0);
+  EXPECT_GT(stats.mean_coverage, 0.0);
+  EXPECT_EQ(stats.failovers, 0u);  // nowhere to fail over to
+  EXPECT_EQ(stats.fully_served + stats.degraded + stats.failed,
+            bed.trace.size());
+  // Availability counts only full answers, so it lower-bounds coverage.
+  EXPECT_LE(stats.availability, stats.mean_coverage);
+}
+
+TEST(FaultReplay, FullReplicationNeverTransfersWhileAnyNodeLives) {
+  FaultBed bed;
+  const FaultSchedule schedule =
+      FaultSchedule::from_events(bed.nodes, {{0.0, 0, FaultEventKind::kCrash}});
+  const FaultReplayStats stats = bed.replay(&schedule, bed.nodes - 1);
+  EXPECT_EQ(stats.base.total_bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.availability, 1.0);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(FaultReplay, HandComputedDegradedBytes) {
+  // kw0(48B)@0, kw1(16B)@1, kw2(24B)@0, kw3(8B)@1; node 0 dead,
+  // unreplicated. Query {0,1}: kw0 unserved -> single-keyword remainder,
+  // no transfer. Query {1,3}: both on node 1, local. Query {2,3}: kw2
+  // unserved -> {3} alone, no transfer.
+  const search::InvertedIndex index = hand_index();
+  Cluster cluster(2, 1e9);
+  cluster.install_placement({0, 1, 0, 1}, index.index_sizes());
+  trace::QueryTrace t(4);
+  t.add_query({0, 1});
+  t.add_query({1, 3});
+  t.add_query({2, 3});
+  const ReplicaTable replicas = ReplicaTable::build({0, 1, 0, 1}, 2, 0);
+  const FaultSchedule schedule =
+      FaultSchedule::from_events(2, {{0.0, 0, FaultEventKind::kCrash}});
+  FaultReplayConfig cfg;
+  cfg.faults = &schedule;
+  const FaultReplayStats stats =
+      replay_trace_with_faults(cluster, index, t, replicas, cfg);
+  EXPECT_EQ(stats.base.total_bytes, 0u);
+  EXPECT_EQ(stats.unserved_keywords, 2u);
+  EXPECT_EQ(stats.fully_served, 1u);
+  EXPECT_EQ(stats.degraded, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_NEAR(stats.mean_coverage, (0.5 + 1.0 + 0.5) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.availability, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cca::sim
+
+// ---------- RecoveryPlanner ----------
+
+namespace cca::core {
+namespace {
+
+/// 4 objects of 10 B each; nodes of capacity 25 B. Objects 0+1 and 2+3
+/// are strongly correlated pairs; 0+1 live on node 0, 2+3 on node 1.
+CcaInstance pair_instance(int nodes = 3) {
+  std::vector<PairWeight> pairs = {
+      {0, 1, 1.0, 100.0}, {2, 3, 1.0, 100.0}, {1, 2, 0.1, 10.0}};
+  return CcaInstance({10.0, 10.0, 10.0, 10.0},
+                     std::vector<double>(static_cast<std::size_t>(nodes),
+                                         25.0),
+                     pairs);
+}
+
+TEST(RecoveryPlanner, BudgetZeroChangesNothing) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 0.0;
+  const RecoveryResult result =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  EXPECT_EQ(result.placement, current);
+  EXPECT_EQ(result.objects_lost, 2u);
+  EXPECT_EQ(result.objects_recovered, 0u);
+  EXPECT_DOUBLE_EQ(result.coverage_restored, 0.0);
+  EXPECT_EQ(result.migration.objects_moved, 0u);
+}
+
+TEST(RecoveryPlanner, UnlimitedBudgetRecoversEverything) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 1.0;
+  const RecoveryResult result =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  EXPECT_EQ(result.objects_recovered, 2u);
+  EXPECT_DOUBLE_EQ(result.coverage_restored, 1.0);
+  EXPECT_NE(result.placement[0], 0);
+  EXPECT_NE(result.placement[1], 0);
+  // The correlated pair lands together (affinity steering).
+  EXPECT_EQ(result.placement[0], result.placement[1]);
+  EXPECT_DOUBLE_EQ(result.migration.bytes_moved, 20.0);
+  // Survivors were never touched.
+  EXPECT_EQ(result.placement[2], 1);
+  EXPECT_EQ(result.placement[3], 1);
+}
+
+TEST(RecoveryPlanner, HealthyClusterIsANoOp) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  const RecoveryResult result = RecoveryPlanner(RecoveryConfig{}).replan(
+      instance, current, {true, true, true});
+  EXPECT_EQ(result.placement, current);
+  EXPECT_EQ(result.objects_lost, 0u);
+  EXPECT_DOUBLE_EQ(result.coverage_restored, 1.0);  // nothing was lost
+}
+
+TEST(RecoveryPlanner, BudgetBoundsMigratedBytes) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 0.25;  // 10 of 40 bytes: one object
+  const RecoveryResult result =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  EXPECT_EQ(result.objects_recovered, 1u);
+  EXPECT_LE(result.migration.bytes_moved,
+            cfg.migration_budget_fraction * instance.total_object_size());
+  EXPECT_DOUBLE_EQ(result.coverage_restored, 0.5);
+}
+
+TEST(RecoveryPlanner, WeightsPrioritizeTheValuableObject) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 0.25;  // room for one object only
+  // Object 1 is far more valuable than object 0.
+  const RecoveryResult result = RecoveryPlanner(cfg).replan(
+      instance, current, {false, true, true}, {1.0, 99.0, 1.0, 1.0});
+  EXPECT_EQ(result.objects_recovered, 1u);
+  EXPECT_EQ(result.placement[0], 0);  // still parked on the dead node
+  EXPECT_NE(result.placement[1], 0);  // the hot one was rescued
+  EXPECT_NEAR(result.coverage_restored, 0.99, 1e-12);
+}
+
+TEST(RecoveryPlanner, CapacityHeadroomIsRespected) {
+  // Single survivor with 25 B capacity already holding 20 B: only one of
+  // the two 10 B casualties fits at headroom 1.0.
+  const CcaInstance instance = pair_instance(2);
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 1.0;
+  const RecoveryResult result =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true});
+  EXPECT_EQ(result.objects_recovered, 0u);  // 20 + 10 > 25
+  cfg.capacity_headroom = 1.5;  // emergency overload: 30 of 37.5 fits
+  const RecoveryResult overloaded =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true});
+  EXPECT_EQ(overloaded.objects_recovered, 1u);
+}
+
+TEST(RecoveryPlanner, ReoptimizeSurvivorsKeepsCasualtiesPinned) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 0.25;  // recovers one, leaves budget 0
+  cfg.reoptimize_survivors = true;
+  const RecoveryResult result =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  // The unrecovered object must still be parked on its dead node — the
+  // rebalance phase may not silently "recover" beyond the budget.
+  std::size_t parked = 0;
+  for (int i = 0; i < instance.num_objects(); ++i)
+    if (result.placement[i] == 0) ++parked;
+  EXPECT_EQ(parked, 1u);
+  EXPECT_EQ(result.objects_recovered, 1u);
+}
+
+TEST(RecoveryPlanner, RejectsDegenerateInputs) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  EXPECT_THROW(RecoveryPlanner(RecoveryConfig{}).replan(
+                   instance, current, {false, false, false}),
+               common::Error);
+  EXPECT_THROW(RecoveryPlanner(RecoveryConfig{}).replan(
+                   instance, {0, 0}, {true, true, true}),
+               common::Error);
+  RecoveryConfig bad;
+  bad.migration_budget_fraction = -0.1;
+  EXPECT_THROW(
+      RecoveryPlanner(bad).replan(instance, current, {true, true, true}),
+      common::Error);
+}
+
+TEST(RecoveryPlanner, DeterministicAcrossRuns) {
+  const CcaInstance instance = pair_instance();
+  const Placement current = {0, 0, 1, 1};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 0.5;
+  const RecoveryResult a =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  const RecoveryResult b =
+      RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -2,6 +2,7 @@
 // rejection.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -109,6 +110,73 @@ TEST(PlanIo, ReadRejectsCorruptedContent) {
   {
     std::stringstream bad("garbage\n");
     EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+}
+
+TEST(PlanIo, ReadRejectsCorruptedHeaderFields) {
+  // Non-numeric node count.
+  {
+    std::stringstream bad("# cca-placement v1 nodes=two keywords=1\n0\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  // Non-numeric / garbage keyword count (previously parsed as 0).
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=abc\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  // Trailing junk glued to the keyword count.
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=1junk\n0\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  // Overflowing counts must not be clamped silently.
+  {
+    std::stringstream bad(
+        "# cca-placement v1 nodes=999999999999999999999 keywords=1\n0\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  {
+    std::stringstream bad(
+        "# cca-placement v1 nodes=2 keywords=99999999999999999999\n0\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  // Negative keyword count.
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=-1\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+  // More entries than the header declared.
+  {
+    std::stringstream bad("# cca-placement v1 nodes=2 keywords=1\n0\n1\n");
+    EXPECT_THROW(core::read_placement(bad), common::Error);
+  }
+}
+
+TEST(PlanIo, ErrorsCarrySourceAndLineContext) {
+  std::stringstream bad("# cca-placement v1 nodes=2 keywords=2\n0\nx7\n");
+  try {
+    core::read_placement(bad, "deploy/plan.txt");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("deploy/plan.txt:3"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("x7"), std::string::npos) << message;
+  }
+}
+
+TEST(PlanIo, LoadNamesTheFileInErrors) {
+  const std::string path = ::testing::TempDir() + "/cca_plan_corrupt.txt";
+  {
+    std::ofstream out(path);
+    out << "# cca-placement v1 nodes=2 keywords=2\n0\n9\n";
+  }
+  try {
+    core::load_placement(path);
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
   }
 }
 
