@@ -1,0 +1,48 @@
+"""Validates a bench_lp_solver --json grid dump (BENCH_lp_solver.json).
+
+Checks that the dump is valid JSON with the per-cell schema, that every
+cell solved to optimality, and that the dense and revised backends agree
+on the objective of every (rows, density) cell — the cross-backend
+equivalence half of the smoke_lp_backend_equiv contract, read off the
+synthetic grid instead of the CCA pipeline.
+
+Usage: python3 check_lp_grid.py <grid.json>
+"""
+import json
+import sys
+
+REQUIRED = {
+    "rows", "cols", "density", "backend", "status", "objective",
+    "iterations", "phase1_iterations", "phase2_iterations",
+    "factorizations", "fill_nnz", "pricing_candidates", "solve_ms",
+}
+
+
+def main(path):
+    with open(path) as f:
+        cells = json.load(f)
+    if not cells:
+        raise SystemExit("grid dump is empty")
+    by_cell = {}
+    for cell in cells:
+        missing = REQUIRED - set(cell)
+        if missing:
+            raise SystemExit(f"cell {cell} missing keys {sorted(missing)}")
+        if cell["status"] != "optimal":
+            raise SystemExit(f"cell not optimal: {cell}")
+        key = (cell["rows"], cell["density"])
+        by_cell.setdefault(key, {})[cell["backend"]] = cell["objective"]
+    for key, objectives in sorted(by_cell.items()):
+        if {"dense", "revised"} - set(objectives):
+            raise SystemExit(f"cell {key} missing a backend: {objectives}")
+        dense, revised = objectives["dense"], objectives["revised"]
+        if abs(dense - revised) > 1e-6 * (1.0 + abs(dense)):
+            raise SystemExit(
+                f"cell {key}: backends disagree, dense={dense} "
+                f"revised={revised}")
+    print(f"{len(cells)} cells, {len(by_cell)} (rows, density) points, "
+          "backends agree")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

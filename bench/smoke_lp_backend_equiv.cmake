@@ -1,0 +1,31 @@
+# Smoke contract: the LP engine knobs change solver internals only. At
+# tiny scale a bench's stdout (placements, costs, balance) is
+# byte-identical across --lp-backend=dense/revised,
+# --lp-pricing=dantzig/candidate, --lp-warm-start=on/off, and an
+# aggressive --lp-refactor-interval — the CCA LPs are built with
+# randomized vertex-unique objectives, so every backend and pivot path
+# lands on the same optimum. Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -P <this>
+function(run_bench out_var)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench ${ARGN} failed with exit code ${rc}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_bench(reference)
+run_bench(dense --lp-backend=dense)
+run_bench(revised --lp-backend=revised)
+run_bench(dantzig --lp-pricing=dantzig)
+run_bench(cold --lp-warm-start=off)
+run_bench(refactor --lp-refactor-interval=7)
+
+foreach(variant dense revised dantzig cold refactor)
+  if(NOT ${variant} STREQUAL reference)
+    message(FATAL_ERROR
+      "LP flag variant '${variant}' perturbed bench stdout")
+  endif()
+endforeach()

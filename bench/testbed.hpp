@@ -32,6 +32,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/partial_optimizer.hpp"
+#include "lp/solver.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
@@ -78,6 +79,37 @@ struct TestbedConfig {
     cfg.metrics_path = args.get_string("metrics", "");
     if (!cfg.metrics_path.empty())
       common::MetricsRegistry::global().set_enabled(true);
+    // LP engine knobs, applied process-wide so every solve in the run
+    // inherits them (see the default_* setters in src/lp/solution.hpp and
+    // src/lp/solver.hpp). All four are answer-invariant: they change how
+    // fast the simplex reaches the optimum, never which optimum.
+    const std::string pricing = args.get_string("lp-pricing", "");
+    if (!pricing.empty()) {
+      lp::PricingRule rule;
+      CCA_CHECK_MSG(lp::parse_pricing(pricing, &rule),
+                    "--lp-pricing must be 'dantzig' or 'candidate', got '"
+                        << pricing << "'");
+      lp::set_default_pricing(rule);
+    }
+    const long refactor =
+        static_cast<long>(args.get_int("lp-refactor-interval", 0));
+    CCA_CHECK_MSG(refactor >= 0, "--lp-refactor-interval must be positive");
+    if (refactor > 0) lp::set_default_refactor_interval(refactor);
+    const std::string warm = args.get_string("lp-warm-start", "");
+    if (!warm.empty()) {
+      CCA_CHECK_MSG(warm == "on" || warm == "off",
+                    "--lp-warm-start must be 'on' or 'off', got '" << warm
+                                                                   << "'");
+      lp::set_default_warm_start(warm == "on");
+    }
+    const std::string backend = args.get_string("lp-backend", "");
+    if (!backend.empty()) {
+      lp::SolverKind kind;
+      CCA_CHECK_MSG(lp::parse_solver_kind(backend, &kind),
+                    "--lp-backend must be 'auto', 'dense', or 'revised', "
+                    "got '" << backend << "'");
+      lp::set_default_solver_kind(kind);
+    }
     // The thread knob takes effect immediately: every bench parses its
     // flags before doing any work, so the pool is sized before first use.
     const int threads = static_cast<int>(args.get_int("threads", 0));

@@ -8,7 +8,9 @@
 
 #include "common/check.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "lp/canonical.hpp"
 #include "lp/model.hpp"
 #include "lp/solver.hpp"
 
@@ -238,20 +240,31 @@ PlacementGroups build_groups(const CcaInstance& instance,
     groups.component_of_group.push_back(component);
   };
 
-  for (int c = 0; c < cs.num_components(); ++c) {
-    std::vector<ObjectId> rest = cs.members[c];
-    double rest_size = cs.sizes[c];
-    // Peel limit-sized pieces until the remainder fits. A single object
-    // above the limit cannot be split further; it is emitted whole and
-    // the capacity ablation reports the resulting overload.
-    while (rest_size > limit && rest.size() >= 2) {
-      auto [piece, remainder] = peel_piece(instance, rest, limit);
-      for (ObjectId i : piece) rest_size -= instance.object_size(i);
-      emit(c, std::move(piece));
-      rest = std::move(remainder);
-    }
-    emit(c, std::move(rest));
-  }
+  // Peeling touches only its own component's objects and pairs, so
+  // components run concurrently on the PR-1 pool; merging in component
+  // order keeps group numbering (and everything downstream, including
+  // stdout) identical for any --threads.
+  std::vector<std::vector<std::vector<ObjectId>>> peeled =
+      common::parallel_map(
+          static_cast<std::size_t>(cs.num_components()), [&](std::size_t c) {
+            std::vector<std::vector<ObjectId>> pieces;
+            std::vector<ObjectId> rest = cs.members[c];
+            double rest_size = cs.sizes[c];
+            // Peel limit-sized pieces until the remainder fits. A single
+            // object above the limit cannot be split further; it is
+            // emitted whole and the capacity ablation reports the
+            // resulting overload.
+            while (rest_size > limit && rest.size() >= 2) {
+              auto [piece, remainder] = peel_piece(instance, rest, limit);
+              for (ObjectId i : piece) rest_size -= instance.object_size(i);
+              pieces.push_back(std::move(piece));
+              rest = std::move(remainder);
+            }
+            pieces.push_back(std::move(rest));
+            return pieces;
+          });
+  for (int c = 0; c < cs.num_components(); ++c)
+    for (std::vector<ObjectId>& piece : peeled[c]) emit(c, std::move(piece));
 
   // Boundary refinement over the peeled groups, then compaction.
   std::vector<int> group_of(static_cast<std::size_t>(instance.num_objects()),
@@ -381,7 +394,50 @@ FractionalPlacement ComponentLpSolver::solve(
     }
   }
 
-  const lp::Solution solution = lp::Solver().solve(model).solution;
+  // Warm-start hint, in priority order: the cache's previous optimal
+  // basis when shape-compatible (the drift/recovery loops re-solve this
+  // exact shape with nudged sizes, so phase 2 restarts almost done), else
+  // a crash basis assembled from the per-group capacity-relaxed solves.
+  // Relaxing the coupling rows separates the LP by group into independent
+  // argmin-cost node picks — computed in parallel and merged in fixed
+  // group order — and {q_{c,k*(c)} basic per placement row, slack basic
+  // per capacity row} is structurally nonsingular (permuted triangular
+  // with unit diagonal). It is optimal outright when no capacity binds;
+  // when one does, the simplex repairs it in a few pivots instead of
+  // running phase 1 from scratch. An unusable hint silently cold-starts,
+  // so placements never depend on where the hint came from.
+  const int R = static_cast<int>(instance.resources().size());
+  const int num_rows = C + N + R * N;
+  lp::Basis hint;
+  if (options_.warm_cache != nullptr) hint = options_.warm_cache->load();
+  if (hint.num_rows() != num_rows) {
+    const std::vector<int> best_node = common::parallel_map(
+        static_cast<std::size_t>(C), [&](std::size_t c) {
+          const int component = groups.component_of_group[c];
+          int best = 0;
+          double best_cost = lp::kInfinity;
+          for (int k = 0; k < N; ++k) {
+            const double cost = (1.0 + groups.sizes[c]) * pref(component, k);
+            if (cost < best_cost) {
+              best = k;
+              best_cost = cost;
+            }
+          }
+          return best;
+        });
+    const lp::CanonicalForm canon(model);
+    hint.basic.assign(static_cast<std::size_t>(num_rows), -1);
+    for (int c = 0; c < C; ++c)
+      hint.basic[c] = canon.column_for_variable(
+          q_col[static_cast<std::size_t>(c) * N + best_node[c]]);
+    for (int i = C; i < num_rows; ++i)
+      hint.basic[i] = canon.identity_slack_for_row(i);
+  }
+
+  const lp::SolveResult result = lp::Solver().solve(model, &hint);
+  if (options_.warm_cache != nullptr && !result.basis.empty())
+    options_.warm_cache->store(result.basis);
+  const lp::Solution& solution = result.solution;
   CCA_CHECK_MSG(solution.optimal(),
                 "group transportation LP: "
                     << lp::to_string(solution.status)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "lp/basis.hpp"
 
 namespace cca::core {
 
@@ -50,6 +51,14 @@ struct ComponentSolverOptions {
   /// reading of the paper's Sec. 2.3 "conservative capacities" remark.
   /// 0 disables splitting (exact LP optimum).
   double target_fill = 0.0;
+  /// When non-null, the transportation LP warm-starts from the basis this
+  /// cache holds (when shape-compatible) and stores its final basis back —
+  /// the drift/recovery loops re-solve near-identical programs, so phase 2
+  /// usually restarts within a few pivots of done. When null (or the cache
+  /// is cold) the solve still warm-starts from a crash basis built out of
+  /// the per-group capacity-relaxed solves. Hints never change the
+  /// placement, only the pivot count (see lp/basis.hpp).
+  lp::WarmStartCache* warm_cache = nullptr;
 };
 
 /// Object groups that the rounding will co-place: correlation components,

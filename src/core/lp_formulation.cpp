@@ -101,10 +101,12 @@ FractionalPlacement LpFormulation::extract(
 }
 
 FractionalPlacement solve_cca_lp(const CcaInstance& instance,
-                                 lp::SolverOptions options) {
+                                 lp::SolverOptions options,
+                                 lp::WarmStartCache* warm_cache) {
   const LpFormulation formulation(instance);
   const lp::Solution solution =
-      lp::Solver(lp::SolverKind::kAuto, options).solve(formulation.model())
+      lp::Solver(lp::SolverKind::kAuto, options)
+          .solve(formulation.model(), warm_cache)
           .solution;
   CCA_CHECK_MSG(solution.optimal(),
                 "CCA LP not solved to optimality: status "

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/instance.hpp"
+#include "lp/basis.hpp"
 #include "lp/model.hpp"
 #include "lp/solution.hpp"
 
@@ -55,8 +56,11 @@ class LpFormulation {
 /// Solves the Fig. 4 LP for `instance` with the simplex solvers and returns
 /// the fractional placement. Throws common::Error if the LP is infeasible
 /// (capacities cannot hold the objects even fractionally) or hits the
-/// iteration limit.
+/// iteration limit. When `warm_cache` is non-null the solve warm-starts
+/// from the cache's basis (when usable) and stores its final basis back —
+/// see lp/basis.hpp; hints never change the optimum reported.
 FractionalPlacement solve_cca_lp(const CcaInstance& instance,
-                                 lp::SolverOptions options = {});
+                                 lp::SolverOptions options = {},
+                                 lp::WarmStartCache* warm_cache = nullptr);
 
 }  // namespace cca::core

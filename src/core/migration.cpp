@@ -68,9 +68,14 @@ IncrementalResult IncrementalOptimizer::reoptimize(
   IncrementalResult result;
   result.stale_cost = instance.communication_cost(current);
 
-  // Fresh LPRR target on the updated instance.
-  const ComponentSolverOptions solver_options{config_.seed,
-                                              config_.component_fill};
+  // Fresh LPRR target on the updated instance. Warm-started from the
+  // previous reoptimize() round's basis: drift nudges sizes and pair
+  // costs but keeps the LP's shape, so phase 2 typically confirms the
+  // old basis (or repairs it in a handful of pivots) instead of
+  // rebuilding feasibility from scratch.
+  ComponentSolverOptions solver_options{config_.seed, config_.component_fill};
+  solver_options.warm_cache =
+      config_.warm_cache != nullptr ? config_.warm_cache : &own_cache_;
   const FractionalPlacement x =
       ComponentLpSolver(solver_options).solve(instance);
   common::Rng rng(config_.seed ^ 0x1C9E3A7B5D2F4E6AULL);

@@ -44,6 +44,12 @@ struct IncrementalConfig {
   double component_fill = 1.0;
   RoundingPolicy rounding;
   std::uint64_t seed = 1;
+  /// LP warm-start cache for the fresh-target solve. When null the
+  /// optimizer uses its own internal cache, so repeated reoptimize()
+  /// calls on one IncrementalOptimizer already warm-start each other;
+  /// pass a longer-lived cache (e.g. RecoveryPlanner's) to share basis
+  /// reuse across optimizer instances. Never affects results.
+  lp::WarmStartCache* warm_cache = nullptr;
 };
 
 struct IncrementalResult {
@@ -72,6 +78,9 @@ class IncrementalOptimizer {
 
  private:
   IncrementalConfig config_;
+  /// Fallback warm-start cache when config_.warm_cache is null; mutable
+  /// because basis reuse is an acceleration detail invisible in results.
+  mutable lp::WarmStartCache own_cache_;
 };
 
 }  // namespace cca::core

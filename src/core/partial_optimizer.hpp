@@ -29,6 +29,7 @@
 #include "core/placements.hpp"
 #include "core/rounding.hpp"
 #include "core/strategy.hpp"
+#include "lp/basis.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::core {
@@ -52,6 +53,11 @@ struct PartialOptimizerConfig {
   /// solver. Identical optima; only viable at small scopes (see
   /// component_solver.hpp). Exposed for validation runs.
   bool use_full_lp = false;
+  /// LPRR: reuse the optimal basis of the previous LP solve (held in this
+  /// optimizer's warm-start cache) when running the same optimizer
+  /// repeatedly, e.g. across seeds or drift steps. Never changes the
+  /// placement — only the simplex pivot count (see lp/basis.hpp).
+  bool lp_warm_start = true;
 };
 
 struct PlacementPlan {
@@ -92,6 +98,11 @@ class PartialOptimizer {
   /// "random-hash" uses, and the fallback every tail keyword gets.
   Placement hash_scope_placement() const;
 
+  /// Per-optimizer LP warm-start cache: successive runs against this
+  /// optimizer's (fixed-shape) scoped instance hand their final basis to
+  /// the next solve. Used by "lprr" when config().lp_warm_start is on.
+  lp::WarmStartCache* lp_warm_cache() const { return &lp_warm_cache_; }
+
  private:
   PlacementPlan assemble(std::string_view strategy,
                          const Placement& scope_placement) const;
@@ -106,6 +117,7 @@ class PartialOptimizer {
   std::vector<double> tail_loads_;              // hashed tail bytes per node
   double capacity_ = 0.0;                       // slack * average load
   std::unique_ptr<CcaInstance> instance_;
+  mutable lp::WarmStartCache lp_warm_cache_;
 };
 
 }  // namespace cca::core

@@ -155,6 +155,7 @@ RecoveryResult RecoveryPlanner::replan(const CcaInstance& instance,
         budget / std::max(instance.total_object_size(), 1e-12);
     inc.rounding = config_.rounding;
     inc.seed = config_.seed;
+    inc.warm_cache = &lp_warm_cache_;
     const IncrementalResult rebalanced =
         IncrementalOptimizer(inc).reoptimize(survivor, result.placement);
     result.placement = rebalanced.placement;

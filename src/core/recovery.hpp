@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "lp/basis.hpp"
 #include "core/migration.hpp"
 
 namespace cca::core {
@@ -81,6 +82,11 @@ class RecoveryPlanner {
 
  private:
   RecoveryConfig config_;
+  /// LP warm-start cache threaded through the survivor-reoptimization
+  /// phase: successive replans on one planner (rolling failures) re-solve
+  /// same-shape LPs, so each starts from the last basis. Mutable because
+  /// basis reuse is an acceleration detail invisible in results.
+  mutable lp::WarmStartCache lp_warm_cache_;
 };
 
 }  // namespace cca::core

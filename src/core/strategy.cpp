@@ -21,11 +21,14 @@ namespace {
 Placement lprr_placement(const PartialOptimizer& opt) {
   const PartialOptimizerConfig& config = opt.config();
   const CcaInstance& instance = opt.scoped_instance();
-  const ComponentSolverOptions solver_options{config.seed,
-                                              config.component_fill};
+  ComponentSolverOptions solver_options{config.seed, config.component_fill};
+  lp::WarmStartCache* cache =
+      config.lp_warm_start ? opt.lp_warm_cache() : nullptr;
+  solver_options.warm_cache = cache;
   FractionalPlacement fractional =
-      config.use_full_lp ? solve_cca_lp(instance)
-                         : ComponentLpSolver(solver_options).solve(instance);
+      config.use_full_lp
+          ? solve_cca_lp(instance, {}, cache)
+          : ComponentLpSolver(solver_options).solve(instance);
   common::Rng rng(config.seed ^ 0xC0FFEE1234ULL);
   RoundingResult rounded =
       round_best_of(fractional, instance, config.rounding, rng);

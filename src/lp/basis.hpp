@@ -1,0 +1,59 @@
+// Simplex basis snapshots and the warm-start cache.
+//
+// A Basis names, per constraint row of the canonical equality form, the
+// canonical column that is basic there. It is the complete restart state
+// of the revised simplex: re-factorizing those columns and solving
+// B x_B = b reproduces the vertex, so a solver can resume phase 2 from a
+// previous optimum instead of re-deriving feasibility from scratch.
+//
+// Warm starts are *hints*, never requirements: the solver validates a
+// hint (right size, structural indices only, factorizable, primal
+// feasible for the NEW rhs) and silently falls back to a cold start when
+// any check fails. Correctness therefore never depends on where a basis
+// came from — only iteration counts do. That is what makes it safe to
+// reuse a basis across *related but different* models (the drift /
+// recovery re-solve loops), where rows keep their meaning but costs and
+// right-hand sides move.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cca::lp {
+
+/// Basic canonical column per canonical row, as returned in SolveResult
+/// and accepted by Solver::solve(model, hint).
+struct Basis {
+  std::vector<int> basic;
+
+  bool empty() const { return basic.empty(); }
+  int num_rows() const { return static_cast<int>(basic.size()); }
+};
+
+/// Remembers the final basis of the most recent solve so the next related
+/// solve can start from it. Owned by the long-lived optimizer objects
+/// (PartialOptimizer, IncrementalOptimizer, RecoveryPlanner); guarded by a
+/// mutex so a cache accidentally shared across bench grid threads stays
+/// well-formed (hit rates may then vary, solutions never do).
+class WarmStartCache {
+ public:
+  /// Snapshot of the cached basis (empty when nothing is cached yet).
+  Basis load() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return basis_;
+  }
+
+  void store(Basis basis) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    basis_ = std::move(basis);
+  }
+
+  void clear() { store(Basis{}); }
+
+ private:
+  mutable std::mutex mutex_;
+  Basis basis_;
+};
+
+}  // namespace cca::lp

@@ -39,6 +39,11 @@ class CanonicalForm {
   /// or -1 if the row needs an artificial variable to start the simplex.
   int identity_slack_for_row(int i) const { return row_identity_slack_[i]; }
 
+  /// Canonical column holding (the positive part of) user variable j.
+  /// Lets callers that know their model's structure name canonical
+  /// columns — e.g. to assemble a crash basis for warm-starting.
+  int column_for_variable(int j) const { return var_map_[j].plus_col; }
+
   /// Constant added to the canonical objective by lower-bound shifting;
   /// user objective = canonical objective + objective_offset().
   double objective_offset() const { return objective_offset_; }

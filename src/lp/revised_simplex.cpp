@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "lp/canonical.hpp"
+#include "lp/sparse_lu.hpp"
 
 namespace cca::lp {
 
@@ -34,26 +36,54 @@ class RevisedState {
         basis_[i] = n_++;
       }
     }
-    num_artificial_ = n_ - n_struct_;
     allowed_.assign(static_cast<std::size_t>(n_), true);
     in_basis_.assign(static_cast<std::size_t>(n_), false);
     for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = true;
 
     b_ = canon.rhs();
-    // Initial basis is the identity (slacks have +1 entries, artificials
-    // are unit columns), so B^-1 = I and x_B = b.
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_at(i, i) = 1.0;
-    xb_ = b_;
+    // The initial basis is the identity (slacks have +1 entries,
+    // artificials are unit columns): its LU is trivial and x_B = b.
+    CCA_CHECK_MSG(factorize_basis(), "singular initial basis");
   }
 
-  int num_structural() const { return n_struct_; }
-  int num_artificial() const { return num_artificial_; }
+  /// Attempts to replace the identity start with `hint`. Accepts only a
+  /// full-rank all-structural basis that is primal feasible for this rhs;
+  /// on success the solver can skip phase 1. On failure the state is
+  /// untouched and a cold start proceeds. Never affects the optimum —
+  /// only the iteration path.
+  bool try_warm_start(const Basis& hint) {
+    if (hint.num_rows() != m_) return false;
+    std::vector<char> seen(static_cast<std::size_t>(n_struct_), 0);
+    for (int j : hint.basic) {
+      if (j < 0 || j >= n_struct_ || seen[j]) return false;
+      seen[j] = 1;
+    }
+    SparseLu trial;
+    if (!trial.factorize(cols_, hint.basic, m_)) return false;
+    std::vector<double> xb;
+    trial.ftran(b_, xb);
+    for (double v : xb)
+      if (v < -kFeasTol) return false;
+    for (double& v : xb) v = std::max(v, 0.0);
+
+    for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = false;
+    basis_ = hint.basic;
+    for (int i = 0; i < m_; ++i) in_basis_[basis_[i]] = true;
+    for (int j = n_struct_; j < n_; ++j) allowed_[j] = false;
+    lu_ = std::move(trial);
+    etas_.clear();
+    eta_length_ = 0;
+    xb_ = std::move(xb);
+    ++factorizations_;
+    fill_nnz_ = lu_.fill_nnz();
+    return true;
+  }
 
   SolveStatus run_phase(const std::vector<double>& struct_cost,
                         double artificial_cost, long* iterations) {
     std::vector<double> cost(static_cast<std::size_t>(n_), artificial_cost);
     for (int j = 0; j < n_struct_; ++j) cost[j] = struct_cost[j];
+    candidates_.clear();  // reduced costs changed meaning with the phase
 
     std::vector<double> y(static_cast<std::size_t>(m_));
     std::vector<double> w(static_cast<std::size_t>(m_));
@@ -81,40 +111,29 @@ class RevisedState {
         return SolveStatus::kIterationLimit;
 
       btran(cost, y);
-
-      // Pricing: reduced cost d_j = c_j - y' a_j over allowed nonbasics.
       const bool bland = since_improvement > options_.stall_limit;
-      int enter = -1;
-      double best_d = -tol;
-      for (int j = 0; j < n_; ++j) {
-        if (in_basis_[j] || !allowed_[j]) continue;
-        double d = cost[j];
-        const SparseColumn& col = cols_[j];
-        for (std::size_t t = 0; t < col.rows.size(); ++t)
-          d -= y[col.rows[t]] * col.values[t];
-        if (d < best_d) {
-          enter = j;
-          if (bland) break;
-          best_d = d;
-        }
-      }
+      const int enter = select_entering(cost, y, bland);
       if (enter < 0) return SolveStatus::kOptimal;
 
       ftran(cols_[enter], w);
 
       // Two-pass Harris-style ratio test: find the tightest ratio, then
       // among rows within tolerance of it pick the largest pivot element.
+      // The tie band is relative to theta: an absolute band would admit
+      // wildly-off rows when theta is large and admit nothing useful when
+      // ratios are tiny but tightly clustered.
       double theta = kInfinity;
       for (int i = 0; i < m_; ++i) {
         if (w[i] > options_.pivot_tolerance)
           theta = std::min(theta, xb_[i] / w[i]);
       }
       if (theta == kInfinity) return SolveStatus::kUnbounded;
+      const double tie_band = theta + tol * (1.0 + std::abs(theta));
       int leave_row = -1;
       double best_pivot = 0.0;
       for (int i = 0; i < m_; ++i) {
         if (w[i] <= options_.pivot_tolerance) continue;
-        if (xb_[i] / w[i] <= theta + tol && w[i] > best_pivot) {
+        if (xb_[i] / w[i] <= tie_band && w[i] > best_pivot) {
           leave_row = i;
           best_pivot = w[i];
         }
@@ -124,9 +143,8 @@ class RevisedState {
       pivot(leave_row, enter, w);
       ++*iterations;
       if (eta_length_ >= options_.refactor_interval) {
-        reinvert();
+        CCA_CHECK_MSG(factorize_basis(), "singular basis during refactorize");
         ++reinversions_;
-        eta_length_ = 0;
       }
 
       const double obj = objective(cost);
@@ -139,10 +157,13 @@ class RevisedState {
     }
   }
 
-  /// Basis-inverse rebuilds so far / product-form updates pending since
-  /// the last rebuild. Persist across phases, for SolveStats.
+  /// Eta-limit refactorizations so far / eta updates pending since the
+  /// last factorization. Persist across phases, for SolveStats.
   long reinversions() const { return reinversions_; }
   long eta_length() const { return eta_length_; }
+  long factorizations() const { return factorizations_; }
+  long fill_nnz() const { return fill_nnz_; }
+  long pricing_candidates() const { return pricing_candidates_; }
 
   double artificial_sum() const {
     double s = 0.0;
@@ -170,61 +191,6 @@ class RevisedState {
     }
   }
 
-  /// Rebuilds binv_ from the basis columns by Gauss-Jordan with partial
-  /// pivoting, and refreshes x_B. Throws if the basis went singular (which
-  /// would indicate a solver bug, not user error).
-  void reinvert() {
-    std::vector<double> dense(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const SparseColumn& col = cols_[basis_[i]];
-      for (std::size_t t = 0; t < col.rows.size(); ++t)
-        dense[static_cast<std::size_t>(col.rows[t]) * m_ + i] = col.values[t];
-    }
-    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
-
-    for (int c = 0; c < m_; ++c) {
-      int piv = c;
-      double piv_val = std::abs(dense[static_cast<std::size_t>(c) * m_ + c]);
-      for (int r = c + 1; r < m_; ++r) {
-        const double v = std::abs(dense[static_cast<std::size_t>(r) * m_ + c]);
-        if (v > piv_val) {
-          piv = r;
-          piv_val = v;
-        }
-      }
-      CCA_CHECK_MSG(piv_val > 1e-12, "singular basis during reinversion");
-      if (piv != c) {
-        // Row swaps are elementary operations applied to both sides of
-        // [B | I]; the final right-hand side is exactly B^-1.
-        for (int j = 0; j < m_; ++j) {
-          std::swap(dense[static_cast<std::size_t>(piv) * m_ + j],
-                    dense[static_cast<std::size_t>(c) * m_ + j]);
-          std::swap(inv[static_cast<std::size_t>(piv) * m_ + j],
-                    inv[static_cast<std::size_t>(c) * m_ + j]);
-        }
-      }
-      const double inv_piv = 1.0 / dense[static_cast<std::size_t>(c) * m_ + c];
-      for (int j = 0; j < m_; ++j) {
-        dense[static_cast<std::size_t>(c) * m_ + j] *= inv_piv;
-        inv[static_cast<std::size_t>(c) * m_ + j] *= inv_piv;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == c) continue;
-        const double f = dense[static_cast<std::size_t>(r) * m_ + c];
-        if (f == 0.0) continue;
-        for (int j = 0; j < m_; ++j) {
-          dense[static_cast<std::size_t>(r) * m_ + j] -=
-              f * dense[static_cast<std::size_t>(c) * m_ + j];
-          inv[static_cast<std::size_t>(r) * m_ + j] -=
-              f * inv[static_cast<std::size_t>(c) * m_ + j];
-        }
-      }
-    }
-    binv_ = std::move(inv);
-    refresh_xb();
-  }
-
   /// Canonical-space primal point.
   std::vector<double> primal() const {
     std::vector<double> x(static_cast<std::size_t>(n_struct_), 0.0);
@@ -233,10 +199,32 @@ class RevisedState {
     return x;
   }
 
- private:
-  double& binv_at(int i, int j) {
-    return binv_[static_cast<std::size_t>(i) * m_ + j];
+  /// The basis is reusable as a warm-start hint only when every basic
+  /// column is structural (a redundant row can leave an artificial basic
+  /// at zero; such a basis would not validate against a fresh model).
+  Basis export_basis() const {
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] >= n_struct_) return {};
+    Basis out;
+    out.basic = basis_;
+    return out;
   }
+
+ private:
+  static constexpr double kFeasTol = 1e-7;
+
+  /// One product-form update: B_new = B_old * E with E the eta built from
+  /// the transformed entering column w and leaving position p. Storage is
+  /// hybrid: a transformed column that is mostly nonzero (the common case
+  /// once the factors have filled in) is kept as a dense length-m vector —
+  /// contiguous and vectorizable, and half the bytes of (index, value)
+  /// pairs — while a genuinely sparse column keeps the pair list.
+  struct Eta {
+    int p;
+    double wp;
+    std::vector<std::pair<int, double>> others;  // (position, w_i), i != p
+    std::vector<double> dense;  // when non-empty: w with dense[p] = 0
+  };
 
   double objective(const std::vector<double>& cost) const {
     double obj = 0.0;
@@ -244,80 +232,204 @@ class RevisedState {
     return obj;
   }
 
-  /// y' = c_B' B^-1 (row-major friendly accumulation).
-  void btran(const std::vector<double>& cost, std::vector<double>& y) const {
-    std::fill(y.begin(), y.end(), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double cb = cost[basis_[i]];
-      if (cb == 0.0) continue;
-      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      for (int j = 0; j < m_; ++j) y[j] += cb * row[j];
-    }
+  double reduced_cost(int j, const std::vector<double>& cost,
+                      const std::vector<double>& y) {
+    ++pricing_candidates_;
+    double d = cost[j];
+    const SparseColumn& col = cols_[j];
+    for (std::size_t t = 0; t < col.rows.size(); ++t)
+      d -= y[col.rows[t]] * col.values[t];
+    return d;
   }
 
-  /// w = B^-1 a (a sparse).
+  /// Entering-column selection: Bland full scan (anti-cycling), Dantzig
+  /// full scan, or the candidate list. Returns -1 when provably optimal:
+  /// every rule only concludes that after a full scan finds no violator.
+  int select_entering(const std::vector<double>& cost,
+                      const std::vector<double>& y, bool bland) {
+    const double tol = options_.tolerance;
+    if (bland) {
+      for (int j = 0; j < n_; ++j) {
+        if (in_basis_[j] || !allowed_[j]) continue;
+        if (reduced_cost(j, cost, y) < -tol) return j;
+      }
+      return -1;
+    }
+    if (options_.pricing == PricingRule::kDantzig) {
+      int enter = -1;
+      double best_d = -tol;
+      for (int j = 0; j < n_; ++j) {
+        if (in_basis_[j] || !allowed_[j]) continue;
+        const double d = reduced_cost(j, cost, y);
+        if (d < best_d) {
+          enter = j;
+          best_d = d;
+        }
+      }
+      return enter;
+    }
+
+    // Candidate list: minor iteration re-prices only the surviving list
+    // (violating reduced costs go stale as the basis moves); when the list
+    // drains, a rotating major scan refills it from where the last scan
+    // stopped. Optimality == a full wrap collecting nothing.
+    int enter = -1;
+    double best_d = -tol;
+    std::size_t keep = 0;
+    for (int j : candidates_) {
+      if (in_basis_[j] || !allowed_[j]) continue;
+      const double d = reduced_cost(j, cost, y);
+      if (d < -tol) {
+        candidates_[keep++] = j;
+        if (d < best_d) {
+          enter = j;
+          best_d = d;
+        }
+      }
+    }
+    candidates_.resize(keep);
+    if (enter >= 0) return enter;
+
+    const std::size_t list_size = static_cast<std::size_t>(
+        std::clamp(n_ / 16, 10, 128));
+    if (scan_ptr_ >= n_) scan_ptr_ = 0;
+    for (int scanned = 0; scanned < n_ && candidates_.size() < list_size;
+         ++scanned) {
+      const int j = scan_ptr_;
+      scan_ptr_ = (scan_ptr_ + 1 == n_) ? 0 : scan_ptr_ + 1;
+      if (in_basis_[j] || !allowed_[j]) continue;
+      const double d = reduced_cost(j, cost, y);
+      if (d < -tol) {
+        candidates_.push_back(j);
+        if (d < best_d) {
+          enter = j;
+          best_d = d;
+        }
+      }
+    }
+    return enter;
+  }
+
+  /// Rebuilds the LU factors from the current basis columns, drops the
+  /// eta file, and refreshes x_B = B^-1 b. Returns false if the basis is
+  /// numerically singular.
+  bool factorize_basis() {
+    if (!lu_.factorize(cols_, basis_, m_)) return false;
+    etas_.clear();
+    eta_length_ = 0;
+    ++factorizations_;
+    fill_nnz_ = lu_.fill_nnz();
+    lu_.ftran(b_, xb_);
+    return true;
+  }
+
+  /// w = B^-1 a (a sparse, w indexed by basis position).
   void ftran(const SparseColumn& a, std::vector<double>& w) const {
-    std::fill(w.begin(), w.end(), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      double acc = 0.0;
-      for (std::size_t t = 0; t < a.rows.size(); ++t)
-        acc += row[a.rows[t]] * a.values[t];
-      w[i] = acc;
+    scatter_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (std::size_t t = 0; t < a.rows.size(); ++t)
+      scatter_[a.rows[t]] = a.values[t];
+    lu_.ftran(scatter_, w);
+    for (const Eta& e : etas_) {  // oldest first: B = B_0 E_1 ... E_k
+      const double t = w[e.p] / e.wp;
+      if (t != 0.0) {
+        if (!e.dense.empty()) {
+          const double* dv = e.dense.data();
+          double* wv = w.data();
+          for (int i = 0; i < m_; ++i) wv[i] -= dv[i] * t;
+        } else {
+          for (const auto& [i, wi] : e.others) w[i] -= wi * t;
+        }
+      }
+      w[e.p] = t;
     }
   }
 
-  void refresh_xb() {
-    xb_.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      double acc = 0.0;
-      for (int j = 0; j < m_; ++j) acc += row[j] * b_[j];
-      xb_[i] = acc;
+  /// y' = c_B' B^-1 (y indexed by constraint row).
+  void btran(const std::vector<double>& cost, std::vector<double>& y) const {
+    cb_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) cb_[i] = cost[basis_[i]];
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {  // newest first
+      double s = cb_[it->p];
+      if (!it->dense.empty()) {
+        // Four-lane dot product: breaks the FP add dependency chain (the
+        // order is fixed, so this stays deterministic run to run).
+        const double* dv = it->dense.data();
+        const double* cv = cb_.data();
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        int i = 0;
+        for (; i + 4 <= m_; i += 4) {
+          a0 += dv[i] * cv[i];
+          a1 += dv[i + 1] * cv[i + 1];
+          a2 += dv[i + 2] * cv[i + 2];
+          a3 += dv[i + 3] * cv[i + 3];
+        }
+        for (; i < m_; ++i) a0 += dv[i] * cv[i];
+        s -= (a0 + a1) + (a2 + a3);
+      } else {
+        for (const auto& [i, wi] : it->others) s -= wi * cb_[i];
+      }
+      cb_[it->p] = s / it->wp;
     }
+    lu_.btran(cb_, y);
   }
 
-  /// Product-form basis change: row r leaves, column `enter` (with
-  /// transformed column w = B^-1 a_enter) enters.
+  /// Basis change: position r leaves, column `enter` (with transformed
+  /// column w = B^-1 a_enter) arrives. O(m) — the dense engine paid O(m^2)
+  /// here updating the explicit inverse.
   void pivot(int r, int enter, const std::vector<double>& w) {
-    const double inv_piv = 1.0 / w[r];
-    double* prow = &binv_[static_cast<std::size_t>(r) * m_];
-    for (int j = 0; j < m_; ++j) prow[j] *= inv_piv;
-    const double theta = xb_[r] * inv_piv;
-
+    const double theta = xb_[r] / w[r];
+    Eta eta;
+    eta.p = r;
+    eta.wp = w[r];
+    int nnz = 0;
     for (int i = 0; i < m_; ++i) {
-      if (i == r) continue;
-      const double f = w[i];
-      if (f == 0.0) continue;
-      double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      for (int j = 0; j < m_; ++j) row[j] -= f * prow[j];
-      xb_[i] -= f * theta;
+      if (i == r || w[i] == 0.0) continue;
+      ++nnz;
+      xb_[i] -= w[i] * theta;
       if (xb_[i] < 0.0 && xb_[i] > -options_.tolerance) xb_[i] = 0.0;
     }
     xb_[r] = theta;
+    if (nnz >= m_ / 4) {
+      eta.dense = w;
+      eta.dense[r] = 0.0;
+    } else {
+      eta.others.reserve(static_cast<std::size_t>(nnz));
+      for (int i = 0; i < m_; ++i)
+        if (i != r && w[i] != 0.0) eta.others.emplace_back(i, w[i]);
+    }
+    etas_.push_back(std::move(eta));
+    ++eta_length_;
 
     in_basis_[basis_[r]] = false;
     basis_[r] = enter;
     in_basis_[enter] = true;
-    ++eta_length_;  // one more product-form update pending reinversion
   }
 
   SolverOptions options_;
-  int m_, n_struct_, n_ = 0, num_artificial_ = 0;
+  int m_, n_struct_, n_ = 0;
   long reinversions_ = 0;
-  long eta_length_ = 0;  // product-form updates since the last reinvert
+  long eta_length_ = 0;  // eta updates since the last factorization
+  long factorizations_ = 0;
+  long fill_nnz_ = 0;
+  long pricing_candidates_ = 0;
+  int scan_ptr_ = 0;  // rotating major-scan position (candidate pricing)
   std::vector<SparseColumn> cols_;
   std::vector<double> b_;
-  std::vector<double> binv_;  // m x m row-major
-  std::vector<double> xb_;
+  SparseLu lu_;
+  std::vector<Eta> etas_;
+  std::vector<double> xb_;  // basic values, by basis position
   std::vector<int> basis_;
   std::vector<bool> allowed_;
   std::vector<bool> in_basis_;
+  std::vector<int> candidates_;
+  mutable std::vector<double> scatter_;  // row-indexed ftran input
+  mutable std::vector<double> cb_;       // position-indexed btran input
 };
 
 }  // namespace
 
-Solution RevisedSimplex::solve(const Model& model, SolveStats* stats) const {
+Solution RevisedSimplex::solve(const Model& model, SolveStats* stats,
+                               const Basis* hint, Basis* out_basis) const {
   using Clock = std::chrono::steady_clock;
   const auto ms_since = [](Clock::time_point start) {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -338,36 +450,54 @@ Solution RevisedSimplex::solve(const Model& model, SolveStats* stats) const {
   } total_timer{stats};
 
   Solution sol;
+  if (out_basis) *out_basis = Basis{};
   const CanonicalForm canon(model);
   RevisedState state(canon, options_);
+  const auto sync_stats = [&] {
+    stats->reinversions = state.reinversions();
+    stats->eta_length = state.eta_length();
+    stats->factorizations = state.factorizations();
+    stats->factor_fill_nnz = state.fill_nnz();
+    stats->pricing_candidates = state.pricing_candidates();
+  };
 
-  const std::vector<double> zero_cost(
-      static_cast<std::size_t>(canon.num_cols()), 0.0);
-  const auto phase1_start = Clock::now();
-  SolveStatus status = state.run_phase(zero_cost, 1.0, &sol.iterations);
-  stats->phase1_iterations = sol.iterations;
-  stats->phase1_ms = ms_since(phase1_start);
-  stats->reinversions = state.reinversions();
-  stats->eta_length = state.eta_length();
-  if (status != SolveStatus::kOptimal) {
-    sol.status = SolveStatus::kIterationLimit;
-    return sol;
+  bool warm = false;
+  if (hint != nullptr && !hint->empty() && options_.warm_start) {
+    stats->warm_start_attempted = true;
+    warm = state.try_warm_start(*hint);
+    stats->warm_start_hit = warm;
   }
-  if (state.artificial_sum() > 1e-7) {
-    sol.status = SolveStatus::kInfeasible;
-    return sol;
+
+  if (!warm) {
+    const std::vector<double> zero_cost(
+        static_cast<std::size_t>(canon.num_cols()), 0.0);
+    const auto phase1_start = Clock::now();
+    const SolveStatus status =
+        state.run_phase(zero_cost, 1.0, &sol.iterations);
+    stats->phase1_iterations = sol.iterations;
+    stats->phase1_ms = ms_since(phase1_start);
+    sync_stats();
+    if (status != SolveStatus::kOptimal) {
+      sol.status = SolveStatus::kIterationLimit;
+      return sol;
+    }
+    if (state.artificial_sum() > 1e-7) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+    state.retire_artificials();
   }
-  state.retire_artificials();
 
   const auto phase2_start = Clock::now();
-  status = state.run_phase(canon.cost(), 0.0, &sol.iterations);
+  const SolveStatus status =
+      state.run_phase(canon.cost(), 0.0, &sol.iterations);
   stats->phase2_iterations = sol.iterations - stats->phase1_iterations;
   stats->phase2_ms = ms_since(phase2_start);
-  stats->reinversions = state.reinversions();
-  stats->eta_length = state.eta_length();
+  sync_stats();
   sol.status = status;
   if (status != SolveStatus::kOptimal) return sol;
 
+  if (out_basis) *out_basis = state.export_basis();
   sol.x = canon.to_user_solution(state.primal());
   sol.objective = model.objective_value(sol.x);
   return sol;

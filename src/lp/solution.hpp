@@ -4,7 +4,31 @@
 #include <string>
 #include <vector>
 
+#include "lp/basis.hpp"
+
 namespace cca::lp {
+
+/// How the revised simplex selects the entering column.
+enum class PricingRule {
+  /// Full pricing: scan every nonbasic column, take the most negative
+  /// reduced cost. O(nnz) per pivot; the reference behaviour.
+  kDantzig,
+  /// Candidate-list partial pricing: keep a small list of violating
+  /// columns found by a rotating sector scan; minor iterations re-price
+  /// only the list and the scan resumes where it left off. Optimality is
+  /// still only declared after a full wrap finds no violator, and the
+  /// Bland anti-cycling fallback always scans everything, so the optimum
+  /// is identical — only the pivot path and cost change.
+  kCandidateList,
+};
+
+inline const char* to_string(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kDantzig: return "dantzig";
+    case PricingRule::kCandidateList: return "candidate";
+  }
+  return "unknown";
+}
 
 enum class SolveStatus {
   kOptimal,
@@ -45,11 +69,27 @@ struct SolveStats {
   /// the real objective). Their sum equals Solution::iterations.
   long phase1_iterations = 0;
   long phase2_iterations = 0;
-  /// Basis-inverse rebuilds (revised simplex only; dense stays 0).
+  /// Basis-inverse rebuilds (revised simplex only; dense stays 0). With
+  /// the sparse engine this counts eta-file-triggered refactorizations.
   long reinversions = 0;
   /// Product-form updates accumulated since the last reinversion when the
   /// solve finished — the length of the pending eta file.
   long eta_length = 0;
+  /// Sparse-LU basis factorizations, including the initial one (revised
+  /// simplex only; dense stays 0). reinversions == factorizations - 1 on
+  /// a cold start with no mid-solve basis repair.
+  long factorizations = 0;
+  /// L+U nonzeros of the most recent factorization — the fill-in actually
+  /// paid after Markowitz ordering (revised simplex only).
+  long factor_fill_nnz = 0;
+  /// Reduced costs evaluated while pricing, across both phases. Under
+  /// candidate-list pricing this is the scan work saved vs Dantzig, whose
+  /// count is ~(nonbasic columns) x iterations.
+  long pricing_candidates = 0;
+  /// Warm start: whether a basis hint was offered, and whether it passed
+  /// validation (factorizable + primal feasible) and skipped phase 1.
+  bool warm_start_attempted = false;
+  bool warm_start_hit = false;
   /// Wall-clock per phase and for the whole solve, milliseconds.
   double phase1_ms = 0.0;
   double phase2_ms = 0.0;
@@ -64,10 +104,28 @@ struct SolveStats {
 struct SolveResult {
   Solution solution;
   SolveStats stats;
+  /// Final optimal basis (revised simplex, status kOptimal, and every
+  /// basic column structural — empty otherwise). Feed it back as the
+  /// `hint` of a later related solve to warm-start phase 2.
+  Basis basis;
 
   bool optimal() const { return solution.optimal(); }
   SolveStatus status() const { return solution.status; }
 };
+
+/// Process-wide solver defaults, settable from bench flags
+/// (--lp-pricing / --lp-refactor-interval / --lp-warm-start) so every
+/// solve in a run inherits them without threading options through each
+/// call site. SolverOptions reads them at construction; explicit fields
+/// always win afterwards.
+PricingRule default_pricing();
+void set_default_pricing(PricingRule rule);
+long default_refactor_interval();
+void set_default_refactor_interval(long interval);
+bool default_warm_start();
+void set_default_warm_start(bool enabled);
+/// Parses "dantzig" / "candidate" (returns false on anything else).
+bool parse_pricing(const std::string& text, PricingRule* out);
 
 /// Options common to the simplex solvers.
 struct SolverOptions {
@@ -79,9 +137,13 @@ struct SolverOptions {
   long stall_limit = 500;
   /// RevisedSimplex: smallest acceptable pivot magnitude in the ratio test.
   double pivot_tolerance = 1e-7;
-  /// RevisedSimplex: rebuild the basis inverse from scratch after this many
-  /// pivots to shed accumulated floating-point error.
-  long refactor_interval = 2000;
+  /// RevisedSimplex: refactorize the basis after this many eta updates to
+  /// shed accumulated floating-point error and cap eta-file length.
+  long refactor_interval = default_refactor_interval();
+  /// RevisedSimplex: entering-column selection.
+  PricingRule pricing = default_pricing();
+  /// Whether Solver::solve may use a provided/cached basis hint.
+  bool warm_start = default_warm_start();
 };
 
 }  // namespace cca::lp

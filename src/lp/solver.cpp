@@ -1,5 +1,6 @@
 #include "lp/solver.hpp"
 
+#include <atomic>
 #include <string_view>
 
 #include "common/metrics.hpp"
@@ -9,6 +10,14 @@
 namespace cca::lp {
 
 namespace {
+
+// Process-wide defaults behind the --lp-* bench flags. Plain atomics: they
+// are set once during flag parsing before any solving starts, and reads
+// just need to be tear-free.
+std::atomic<PricingRule> g_pricing{PricingRule::kCandidateList};
+std::atomic<long> g_refactor_interval{100};
+std::atomic<bool> g_warm_start{true};
+std::atomic<SolverKind> g_solver_kind{SolverKind::kAuto};
 
 /// Feeds one solve's stats into the process-wide registry. Handles are
 /// function-local statics so repeated solves skip the name lookup.
@@ -22,7 +31,12 @@ void record_metrics(const SolveResult& result) {
   static common::Counter& phase1 = reg.counter("lp.iterations.phase1");
   static common::Counter& phase2 = reg.counter("lp.iterations.phase2");
   static common::Counter& reinversions = reg.counter("lp.reinversions");
+  static common::Counter& factorizations = reg.counter("lp.factorizations");
+  static common::Counter& candidates = reg.counter("lp.pricing.candidates");
+  static common::Counter& warm_hits = reg.counter("lp.warm_start.hits");
+  static common::Counter& warm_misses = reg.counter("lp.warm_start.misses");
   static common::Histogram& eta = reg.histogram("lp.eta_length");
+  static common::Histogram& fill = reg.histogram("lp.factor_fill_nnz");
   static common::Histogram& iters = reg.histogram("lp.iterations.per_solve");
   static common::Timer& solve_timer = reg.timer("lp.solve");
 
@@ -35,18 +49,66 @@ void record_metrics(const SolveResult& result) {
   phase1.add(s.phase1_iterations);
   phase2.add(s.phase2_iterations);
   reinversions.add(s.reinversions);
+  factorizations.add(s.factorizations);
+  candidates.add(s.pricing_candidates);
+  if (s.warm_start_attempted) {
+    if (s.warm_start_hit)
+      warm_hits.add();
+    else
+      warm_misses.add();
+  }
   eta.observe(s.eta_length);
+  fill.observe(s.factor_fill_nnz);
   iters.observe(s.iterations());
   solve_timer.add_ns(static_cast<long long>(s.total_ms * 1e6));
 }
 
 }  // namespace
 
+PricingRule default_pricing() { return g_pricing.load(); }
+void set_default_pricing(PricingRule rule) { g_pricing.store(rule); }
+long default_refactor_interval() { return g_refactor_interval.load(); }
+void set_default_refactor_interval(long interval) {
+  g_refactor_interval.store(interval);
+}
+bool default_warm_start() { return g_warm_start.load(); }
+void set_default_warm_start(bool enabled) { g_warm_start.store(enabled); }
+SolverKind default_solver_kind() { return g_solver_kind.load(); }
+void set_default_solver_kind(SolverKind kind) { g_solver_kind.store(kind); }
+
+bool parse_pricing(const std::string& text, PricingRule* out) {
+  if (text == "dantzig") {
+    *out = PricingRule::kDantzig;
+    return true;
+  }
+  if (text == "candidate") {
+    *out = PricingRule::kCandidateList;
+    return true;
+  }
+  return false;
+}
+
+bool parse_solver_kind(const std::string& text, SolverKind* out) {
+  if (text == "auto") {
+    *out = SolverKind::kAuto;
+    return true;
+  }
+  if (text == "dense") {
+    *out = SolverKind::kDense;
+    return true;
+  }
+  if (text == "revised") {
+    *out = SolverKind::kRevised;
+    return true;
+  }
+  return false;
+}
+
 SolverKind Solver::choose(const Model& model) {
   // The dense tableau is m x (n + slacks + artificials) doubles and every
-  // pivot touches all of it; the revised simplex only keeps the m x m
-  // basis inverse dense and prices sparse columns. Dense wins on small
-  // compact programs; anything wide (many columns) or tall goes revised.
+  // pivot touches all of it; the revised simplex prices sparse columns
+  // against an LU-factorized basis. Dense wins only on small compact
+  // programs; anything wide (many columns) or tall goes revised.
   const auto m = static_cast<long>(model.num_constraints());
   const auto n = static_cast<long>(model.num_variables());
   if (m <= 400 && n <= 2000 && m * (n + 2 * m) <= 4'000'000)
@@ -54,15 +116,30 @@ SolverKind Solver::choose(const Model& model) {
   return SolverKind::kRevised;
 }
 
-SolveResult Solver::solve(const Model& model) const {
+SolveResult Solver::solve(const Model& model, const Basis* hint) const {
   SolverKind kind = kind_;
-  if (kind == SolverKind::kAuto) kind = choose(model);
+  if (kind == SolverKind::kAuto) kind = default_solver_kind();
+  const bool usable_hint =
+      hint != nullptr && !hint->empty() && options_.warm_start;
+  if (kind == SolverKind::kAuto)
+    // Only the revised backend understands basis hints, so a hinted solve
+    // must not be size-dispatched to the dense tableau.
+    kind = usable_hint ? SolverKind::kRevised : choose(model);
   SolveResult result;
   if (kind == SolverKind::kDense)
     result.solution = DenseSimplex(options_).solve(model, &result.stats);
   else
-    result.solution = RevisedSimplex(options_).solve(model, &result.stats);
+    result.solution = RevisedSimplex(options_).solve(
+        model, &result.stats, usable_hint ? hint : nullptr, &result.basis);
   record_metrics(result);
+  return result;
+}
+
+SolveResult Solver::solve(const Model& model, WarmStartCache* cache) const {
+  if (cache == nullptr) return solve(model);
+  const Basis hint = cache->load();
+  SolveResult result = solve(model, &hint);
+  if (!result.basis.empty()) cache->store(result.basis);
   return result;
 }
 

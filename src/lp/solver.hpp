@@ -1,9 +1,14 @@
 // Solver facade: picks the right simplex implementation for the problem
 // size. Small programs go to the dense tableau (lower constant factors,
 // easiest to audit); anything larger goes to the revised simplex, whose
-// memory footprint is O(m^2 + nnz) rather than O(m * n).
+// memory footprint is O(nnz + LU fill) rather than O(m * n). A warm-start
+// basis hint forces the revised backend (the dense tableau cannot use
+// one), so repeated related solves always get basis reuse.
 #pragma once
 
+#include <string>
+
+#include "lp/basis.hpp"
 #include "lp/model.hpp"
 #include "lp/solution.hpp"
 
@@ -15,6 +20,14 @@ enum class SolverKind {
   kRevised,
 };
 
+/// Process-wide default used when a Solver is constructed with kAuto,
+/// settable from bench flags (--lp-backend). kAuto means "size-based
+/// choice" as usual.
+SolverKind default_solver_kind();
+void set_default_solver_kind(SolverKind kind);
+/// Parses "auto" / "dense" / "revised" (returns false on anything else).
+bool parse_solver_kind(const std::string& text, SolverKind* out);
+
 class Solver {
  public:
   explicit Solver(SolverKind kind = SolverKind::kAuto,
@@ -22,13 +35,26 @@ class Solver {
       : kind_(kind), options_(options) {}
 
   /// Solves `model` and returns the solution together with per-solve
-  /// statistics from whichever backend ran. Also records lp.* metrics
-  /// (solve counts, per-phase iterations, reinversions, wall time) in the
-  /// process-wide registry when metrics are enabled.
-  SolveResult solve(const Model& model) const;
+  /// statistics from whichever backend ran, plus the final basis when the
+  /// revised backend produced a reusable one. When `hint` is non-null and
+  /// non-empty (and options().warm_start allows), the revised simplex
+  /// tries to start phase 2 directly from it; an unusable hint silently
+  /// cold-starts, so hints never change answers. Also records lp.*
+  /// metrics (solve counts, per-phase iterations, factorizations, fill,
+  /// pricing work, warm-start hits, wall time) in the process-wide
+  /// registry when metrics are enabled.
+  SolveResult solve(const Model& model, const Basis* hint = nullptr) const;
 
-  /// The implementation kAuto would dispatch to for this model.
+  /// Convenience wrapper around a WarmStartCache: hints from the cache,
+  /// stores the resulting basis back on success. Pass nullptr to solve
+  /// cold.
+  SolveResult solve(const Model& model, WarmStartCache* cache) const;
+
+  /// The implementation kAuto would dispatch to for this model (before
+  /// considering hints or the process-wide default).
   static SolverKind choose(const Model& model);
+
+  const SolverOptions& options() const { return options_; }
 
  private:
   SolverKind kind_;

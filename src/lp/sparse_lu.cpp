@@ -1,0 +1,455 @@
+#include "lp/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace cca::lp {
+
+namespace {
+
+// Entries whose updated magnitude falls below this are removed from the
+// active matrix: they are numerical noise relative to the O(1) coefficients
+// of CCA programs, and keeping them would only breed further fill.
+constexpr double kDropTol = 1e-13;
+// A pivot below this magnitude means the basis is numerically singular.
+constexpr double kAbsPivotTol = 1e-12;
+// Markowitz threshold pivoting: accept an entry only if it is at least this
+// fraction of the largest magnitude in its column.
+constexpr double kRelPivotThreshold = 0.1;
+
+struct ActiveEntry {
+  int row;
+  double val;
+};
+
+}  // namespace
+
+bool SparseLu::factorize(const std::vector<SparseColumn>& cols,
+                         const std::vector<int>& basis, int m) {
+  dim_ = m;
+  prow_.clear();
+  pcol_.clear();
+  upiv_.clear();
+  l_start_.assign(1, 0);
+  l_rows_.clear();
+  l_mults_.clear();
+  u_start_.assign(1, 0);
+  u_cols_.clear();
+  u_vals_.clear();
+  work_.assign(static_cast<std::size_t>(m), 0.0);
+  acc_.assign(static_cast<std::size_t>(m), 0.0);
+  if (m == 0) return true;
+
+  // Active matrix, column-major exact + row patterns (lazy: a pattern may
+  // list columns whose entry has since been eliminated; gathers re-verify
+  // against the column and de-duplicate with a stamp).
+  std::vector<std::vector<ActiveEntry>> col_entries(
+      static_cast<std::size_t>(m));
+  std::vector<std::vector<int>> row_pattern(static_cast<std::size_t>(m));
+  std::vector<int> row_count(static_cast<std::size_t>(m), 0);
+  std::vector<int> col_count(static_cast<std::size_t>(m), 0);
+  std::vector<char> row_done(static_cast<std::size_t>(m), 0);
+  std::vector<char> col_done(static_cast<std::size_t>(m), 0);
+
+  for (int t = 0; t < m; ++t) {
+    const SparseColumn& a = cols[static_cast<std::size_t>(basis[t])];
+    for (std::size_t s = 0; s < a.rows.size(); ++s) {
+      if (a.values[s] == 0.0) continue;
+      col_entries[t].push_back({a.rows[s], a.values[s]});
+      row_pattern[a.rows[s]].push_back(t);
+      ++row_count[a.rows[s]];
+      ++col_count[t];
+    }
+    if (col_entries[t].empty()) return false;  // structurally singular
+  }
+
+  // Stamps avoid O(m) clears: stamp_of[row] == generation marks membership
+  // in the current per-operation set.
+  std::vector<int> stamp_of(static_cast<std::size_t>(m), -1);
+  std::vector<double> mult_of(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> gather_stamp(static_cast<std::size_t>(m), -1);
+  int generation = 0;
+
+  std::vector<int> col_q, row_q;  // singleton candidates (re-checked on pop)
+  for (int t = 0; t < m; ++t)
+    if (col_count[t] == 1) col_q.push_back(t);
+  for (int i = 0; i < m; ++i)
+    if (row_count[i] == 1) row_q.push_back(i);
+
+  int pivots = 0;
+
+  const auto close_step = [&](int pr, int pc, double pv) {
+    prow_.push_back(pr);
+    pcol_.push_back(pc);
+    upiv_.push_back(pv);
+    l_start_.push_back(static_cast<int>(l_rows_.size()));
+    u_start_.push_back(static_cast<int>(u_cols_.size()));
+    row_done[pr] = 1;
+    col_done[pc] = 1;
+    ++pivots;
+  };
+
+  // Removes row `row`'s entry from column t (swap-pop), keeping counts
+  // exact and feeding newly created singletons back into the queues.
+  const auto remove_entry = [&](int t, int row) {
+    auto& entries = col_entries[t];
+    for (std::size_t s = 0; s < entries.size(); ++s) {
+      if (entries[s].row == row) {
+        entries[s] = entries.back();
+        entries.pop_back();
+        if (--col_count[t] == 1 && !col_done[t]) col_q.push_back(t);
+        if (--row_count[row] == 1 && !row_done[row]) row_q.push_back(row);
+        return;
+      }
+    }
+  };
+
+  // Gathers the active entries of `row` into (position, value) pairs by
+  // validating its lazy pattern against the columns. The pattern is then
+  // compacted to the validated set: patterns only ever grow (fill-in
+  // appends), so busy rows would otherwise accumulate stale and duplicate
+  // references that every later gather re-scans.
+  std::vector<std::pair<int, double>> gathered;
+  const auto gather_row = [&](int row) {
+    gathered.clear();
+    const int gen = ++generation;
+    for (int t : row_pattern[row]) {
+      if (col_done[t] || gather_stamp[t] == gen) continue;
+      gather_stamp[t] = gen;
+      for (const ActiveEntry& e : col_entries[t]) {
+        if (e.row == row) {
+          gathered.emplace_back(t, e.val);
+          break;
+        }
+      }
+    }
+    std::sort(gathered.begin(), gathered.end());
+    auto& pattern = row_pattern[static_cast<std::size_t>(row)];
+    pattern.clear();
+    for (const auto& [t, v] : gathered) pattern.push_back(t);
+  };
+
+  // Zero-fill triangularization: a column singleton pivots with no
+  // eliminations (nothing below it); a row singleton pivots with no fill
+  // (its row has nothing to spread). Each removal can create the next
+  // singleton, so CCA's slack-heavy bases mostly drain right here.
+  const auto drain_singletons = [&]() -> bool {
+    while (true) {
+      if (!col_q.empty()) {
+        const int t = col_q.back();
+        col_q.pop_back();
+        if (col_done[t] || col_count[t] != 1) continue;
+        const ActiveEntry piv = col_entries[t][0];
+        if (std::abs(piv.val) < kAbsPivotTol) return false;
+        gather_row(piv.row);
+        for (const auto& [tc, v] : gathered) {
+          if (tc == t) continue;
+          u_cols_.push_back(tc);
+          u_vals_.push_back(v);
+          remove_entry(tc, piv.row);
+        }
+        col_entries[t].clear();
+        col_count[t] = 0;
+        row_count[piv.row] = 0;
+        close_step(piv.row, t, piv.val);
+        continue;
+      }
+      if (!row_q.empty()) {
+        const int row = row_q.back();
+        row_q.pop_back();
+        if (row_done[row] || row_count[row] != 1) continue;
+        gather_row(row);
+        if (gathered.size() != 1) continue;  // stale pattern, re-derived
+        const int t = gathered[0].first;
+        const double pv = gathered[0].second;
+        if (std::abs(pv) < kAbsPivotTol) return false;
+        for (const ActiveEntry& e : col_entries[t]) {
+          if (e.row == row) continue;
+          l_rows_.push_back(e.row);
+          l_mults_.push_back(e.val / pv);
+          if (--row_count[e.row] == 1 && !row_done[e.row])
+            row_q.push_back(e.row);
+        }
+        col_entries[t].clear();
+        col_count[t] = 0;
+        row_count[row] = 0;
+        close_step(row, t, pv);
+        continue;
+      }
+      return true;
+    }
+  };
+
+  // One Markowitz bump pivot: minimize (row_count-1)*(col_count-1) over
+  // entries passing the relative pivot threshold; ties go to the largest
+  // magnitude, then the lowest (column, row) for determinism.
+  //
+  // The search is restricted (Zlatev-style): an O(m) pass finds the
+  // shortest active column, then only columns within one of that length
+  // are evaluated, capped at kMaxCandidateCols in ascending index. Any
+  // threshold-passing nonsingular pivot is correct — the cap trades a
+  // little fill quality for not rescanning every active entry on every
+  // pivot step, which dominated factorization time. A full scan remains
+  // as the fallback when no candidate survives the threshold.
+  const auto bump_pivot = [&]() -> bool {
+    constexpr int kMaxCandidateCols = 8;
+    int best_t = -1, best_row = -1;
+    long best_cost = 0;
+    double best_abs = 0.0;
+    const auto consider_column = [&](int t) {
+      const auto& entries = col_entries[t];
+      double colmax = 0.0;
+      for (const ActiveEntry& e : entries)
+        colmax = std::max(colmax, std::abs(e.val));
+      if (colmax < kAbsPivotTol) return;  // nothing usable here (yet)
+      const double threshold =
+          std::max(kRelPivotThreshold * colmax, kAbsPivotTol);
+      const long cc = col_count[t] - 1;
+      for (const ActiveEntry& e : entries) {
+        const double a = std::abs(e.val);
+        if (a < threshold) continue;
+        const long cost = static_cast<long>(row_count[e.row] - 1) * cc;
+        const bool better =
+            best_t < 0 || cost < best_cost ||
+            (cost == best_cost &&
+             (a > best_abs ||
+              (a == best_abs &&
+               (t < best_t || (t == best_t && e.row < best_row)))));
+        if (better) {
+          best_t = t;
+          best_row = e.row;
+          best_cost = cost;
+          best_abs = a;
+        }
+      }
+    };
+    int min_count = m + 1;
+    for (int t = 0; t < m; ++t)
+      if (!col_done[t] && col_count[t] > 0 && col_count[t] < min_count)
+        min_count = col_count[t];
+    if (min_count <= m) {
+      int examined = 0;
+      for (int t = 0; t < m && examined < kMaxCandidateCols; ++t) {
+        if (col_done[t] || col_count[t] == 0 || col_count[t] > min_count + 1)
+          continue;
+        consider_column(t);
+        ++examined;
+      }
+    }
+    if (best_t < 0) {
+      for (int t = 0; t < m; ++t)
+        if (!col_done[t] && col_count[t] > 0) consider_column(t);
+    }
+    if (best_t < 0) return false;
+
+    const int pt = best_t, pr = best_row;
+    gather_row(pr);  // pivot row entries, ascending position
+    double pv = 0.0;
+    for (const auto& [tc, v] : gathered)
+      if (tc == pt) pv = v;
+
+    // L multipliers from the pivot column; stamped for the update pass.
+    const int gen = ++generation;
+    for (const ActiveEntry& e : col_entries[pt]) {
+      if (e.row == pr) continue;
+      const double mult = e.val / pv;
+      l_rows_.push_back(e.row);
+      l_mults_.push_back(mult);
+      stamp_of[e.row] = gen;
+      mult_of[e.row] = mult;
+      if (--row_count[e.row] == 1 && !row_done[e.row]) row_q.push_back(e.row);
+    }
+    const std::size_t l_begin = l_rows_.size() -
+                                (col_entries[pt].size() - 1);
+    col_entries[pt].clear();
+    col_count[pt] = 0;
+
+    // Rank-1 update of every other pivot-row column: subtract mult * u
+    // from rows holding an L multiplier, creating fill where absent.
+    for (const auto& [tc, u] : gathered) {
+      if (tc == pt) continue;
+      u_cols_.push_back(tc);
+      u_vals_.push_back(u);
+      auto& entries = col_entries[tc];
+      const int ugen = ++generation;
+      for (std::size_t s = 0; s < entries.size();) {
+        ActiveEntry& e = entries[s];
+        if (e.row == pr) {  // pivot-row entry moves into U
+          e = entries.back();
+          entries.pop_back();
+          --col_count[tc];
+          --row_count[pr];
+          continue;
+        }
+        if (stamp_of[e.row] == gen) {
+          gather_stamp[e.row] = ugen;  // handled: no fill for this row
+          e.val -= mult_of[e.row] * u;
+          if (std::abs(e.val) < kDropTol) {
+            const int dead = e.row;
+            e = entries.back();
+            entries.pop_back();
+            if (--col_count[tc] == 1 && !col_done[tc]) col_q.push_back(tc);
+            if (--row_count[dead] == 1 && !row_done[dead])
+              row_q.push_back(dead);
+            continue;
+          }
+        }
+        ++s;
+      }
+      for (std::size_t s = l_begin; s < l_rows_.size(); ++s) {
+        const int fr = l_rows_[s];
+        if (gather_stamp[fr] == ugen) continue;
+        const double fill = -l_mults_[s] * u;
+        if (std::abs(fill) < kDropTol) continue;
+        entries.push_back({fr, fill});
+        row_pattern[fr].push_back(tc);
+        ++col_count[tc];
+        ++row_count[fr];
+      }
+      if (col_count[tc] == 1 && !col_done[tc]) col_q.push_back(tc);
+    }
+    row_count[pr] = 0;
+    close_step(pr, pt, pv);
+    return true;
+  };
+
+  // Dense-core switchover: elimination fills the trailing submatrix, and
+  // once it is dense the per-entry swap-pop/stamp machinery above costs
+  // ~10x a plain dense kernel. Compacts the active submatrix into a
+  // row-major block and finishes with dense partial-pivoting LU (at least
+  // as stable as threshold Markowitz), emitting the same L/U step stream.
+  const auto finish_dense = [&](int k) -> bool {
+    std::vector<int> cidx, rlabel;
+    cidx.reserve(static_cast<std::size_t>(k));
+    rlabel.reserve(static_cast<std::size_t>(k));
+    std::vector<int> local_of_row(static_cast<std::size_t>(m), -1);
+    for (int t = 0; t < m; ++t)
+      if (!col_done[t]) cidx.push_back(t);
+    for (int i = 0; i < m; ++i)
+      if (!row_done[i]) {
+        local_of_row[i] = static_cast<int>(rlabel.size());
+        rlabel.push_back(i);
+      }
+    if (static_cast<int>(cidx.size()) != k ||
+        static_cast<int>(rlabel.size()) != k)
+      return false;
+    std::vector<double> d(static_cast<std::size_t>(k) * k, 0.0);
+    for (int c = 0; c < k; ++c)
+      for (const ActiveEntry& e : col_entries[cidx[c]])
+        d[static_cast<std::size_t>(local_of_row[e.row]) * k + c] = e.val;
+
+    for (int j = 0; j < k; ++j) {
+      int pr = j;
+      double best = std::abs(d[static_cast<std::size_t>(j) * k + j]);
+      for (int r = j + 1; r < k; ++r) {
+        const double a = std::abs(d[static_cast<std::size_t>(r) * k + j]);
+        if (a > best) {
+          best = a;
+          pr = r;
+        }
+      }
+      if (best < kAbsPivotTol) return false;
+      if (pr != j) {
+        std::swap_ranges(d.begin() + static_cast<std::ptrdiff_t>(j) * k,
+                         d.begin() + static_cast<std::ptrdiff_t>(j + 1) * k,
+                         d.begin() + static_cast<std::ptrdiff_t>(pr) * k);
+        std::swap(rlabel[j], rlabel[pr]);
+      }
+      const double* prow = &d[static_cast<std::size_t>(j) * k];
+      const double pv = prow[j];
+      for (int c = j + 1; c < k; ++c) {
+        if (std::abs(prow[c]) < kDropTol) continue;
+        u_cols_.push_back(cidx[c]);
+        u_vals_.push_back(prow[c]);
+      }
+      for (int r = j + 1; r < k; ++r) {
+        double* row = &d[static_cast<std::size_t>(r) * k];
+        const double mult = row[j] / pv;
+        if (std::abs(mult) < kDropTol) continue;
+        l_rows_.push_back(rlabel[r]);
+        l_mults_.push_back(mult);
+        for (int c = j + 1; c < k; ++c) row[c] -= mult * prow[c];
+      }
+      close_step(rlabel[j], cidx[j], pv);
+    }
+    return true;
+  };
+
+  // The dense kernel wins once the active block is ~1/4 full; the size cap
+  // bounds its k*k scratch for very large sparse bases.
+  constexpr double kDenseSwitchDensity = 0.6;
+  constexpr int kDenseSwitchMaxDim = 2048;
+
+  if (!drain_singletons()) return false;
+  while (pivots < m) {
+    const int remaining = m - pivots;
+    if (remaining >= 2 && remaining <= kDenseSwitchMaxDim) {
+      long active_nnz = 0;
+      for (int t = 0; t < m; ++t)
+        if (!col_done[t]) active_nnz += col_count[t];
+      if (static_cast<double>(active_nnz) >=
+          kDenseSwitchDensity * remaining * remaining)
+        return finish_dense(remaining);
+    }
+    if (!bump_pivot()) return false;
+    if (!drain_singletons()) return false;
+  }
+  return true;
+}
+
+void SparseLu::ftran(const std::vector<double>& b_rows,
+                     std::vector<double>& x_pos) const {
+  work_ = b_rows;
+  for (int k = 0; k < dim_; ++k) {
+    const double bp = work_[prow_[k]];
+    if (bp == 0.0) continue;
+    for (int s = l_start_[k]; s < l_start_[k + 1]; ++s)
+      work_[l_rows_[s]] -= l_mults_[s] * bp;
+  }
+  x_pos.assign(static_cast<std::size_t>(dim_), 0.0);
+  for (int k = dim_ - 1; k >= 0; --k) {
+    // Two-lane gather: U rows average tens of entries, and a single
+    // accumulator serialises the subtractions behind FP-add latency.
+    double v0 = work_[prow_[k]], v1 = 0.0;
+    int s = u_start_[k];
+    const int e = u_start_[k + 1];
+    for (; s + 2 <= e; s += 2) {
+      v0 -= u_vals_[s] * x_pos[u_cols_[s]];
+      v1 += u_vals_[s + 1] * x_pos[u_cols_[s + 1]];
+    }
+    if (s < e) v1 += u_vals_[s] * x_pos[u_cols_[s]];
+    x_pos[pcol_[k]] = (v0 - v1) / upiv_[k];
+  }
+}
+
+void SparseLu::btran(const std::vector<double>& c_pos,
+                     std::vector<double>& y_rows) const {
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  y_rows.assign(static_cast<std::size_t>(dim_), 0.0);
+  // Forward pass solves z^T U = c^T, scattering each solved component
+  // into the accumulator of the later positions its pivot row touches.
+  for (int k = 0; k < dim_; ++k) {
+    const double zk = (c_pos[pcol_[k]] - acc_[pcol_[k]]) / upiv_[k];
+    y_rows[prow_[k]] = zk;
+    if (zk == 0.0) continue;
+    for (int s = u_start_[k]; s < u_start_[k + 1]; ++s)
+      acc_[u_cols_[s]] += u_vals_[s] * zk;
+  }
+  // Reverse pass applies the transposed eliminations: step k folded rows
+  // l_rows_[k..] into prow_[k], so its transpose gathers them back.
+  // Two-lane gather for the same latency-hiding reason as ftran's U pass.
+  for (int k = dim_ - 1; k >= 0; --k) {
+    double s0 = 0.0, s1 = 0.0;
+    int t = l_start_[k];
+    const int e = l_start_[k + 1];
+    for (; t + 2 <= e; t += 2) {
+      s0 += l_mults_[t] * y_rows[l_rows_[t]];
+      s1 += l_mults_[t + 1] * y_rows[l_rows_[t + 1]];
+    }
+    if (t < e) s0 += l_mults_[t] * y_rows[l_rows_[t]];
+    y_rows[prow_[k]] -= s0 + s1;
+  }
+}
+
+}  // namespace cca::lp

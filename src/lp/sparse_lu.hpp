@@ -1,0 +1,81 @@
+// Sparse LU factorization of a simplex basis.
+//
+// Factorizes B = [a_{basis[0]} ... a_{basis[m-1]}] (constraint rows x basis
+// positions) as a product of elementary row eliminations (L) and a permuted
+// upper-triangular factor (U), choosing pivots Markowitz-style — minimize
+// (row_count-1)*(col_count-1) fill potential subject to a relative
+// threshold-pivoting guard — after a zero-fill triangularization sweep that
+// peels row and column singletons. CCA bases are overwhelmingly triangular
+// (slack/artificial unit columns plus ~3-nonzero structural columns), so the
+// singleton sweep usually consumes most of the matrix and the Markowitz
+// "bump" stays tiny; fill_nnz() reports what was actually stored.
+//
+// The factors then answer the two simplex kernels in O(fill) instead of the
+// dense inverse's O(m^2):
+//   ftran: solve B x = b     (b indexed by constraint row,
+//                             x indexed by basis position)
+//   btran: solve y^T B = c^T (c indexed by basis position,
+//                             y indexed by constraint row)
+// Product-form (eta) updates between refactorizations are the caller's
+// business: RevisedSimplex layers an eta file on top of one SparseLu and
+// re-factorizes when the file grows past SolverOptions::refactor_interval.
+//
+// Determinism: pivot choice breaks ties on largest magnitude, then lowest
+// (column, row); all scans run in fixed index order. Identical input yields
+// an identical factorization, bit for bit, regardless of thread count.
+#pragma once
+
+#include <vector>
+
+#include "lp/canonical.hpp"
+
+namespace cca::lp {
+
+class SparseLu {
+ public:
+  /// Factorizes the m x m basis matrix whose t-th column is
+  /// cols[basis[t]]. Returns false (leaving the factorization unusable)
+  /// when the basis is singular or numerically too close to it — callers
+  /// treat that as "reject this basis", not as an error.
+  bool factorize(const std::vector<SparseColumn>& cols,
+                 const std::vector<int>& basis, int m);
+
+  /// Solves B x = b. `b_rows` is indexed by constraint row; `x_pos` is
+  /// resized to m and indexed by basis position.
+  void ftran(const std::vector<double>& b_rows,
+             std::vector<double>& x_pos) const;
+
+  /// Solves y^T B = c^T. `c_pos` is indexed by basis position; `y_rows`
+  /// is resized to m and indexed by constraint row.
+  void btran(const std::vector<double>& c_pos,
+             std::vector<double>& y_rows) const;
+
+  /// Stored nonzeros in L and U (diagonal included) after the last
+  /// successful factorize — the fill-in the pivot ordering paid for.
+  long fill_nnz() const {
+    return static_cast<long>(l_rows_.size() + u_cols_.size()) + dim_;
+  }
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_ = 0;
+  // Pivot sequence: elimination step k pivoted at constraint row prow_[k],
+  // basis position pcol_[k], with diagonal value upiv_[k].
+  std::vector<int> prow_, pcol_;
+  std::vector<double> upiv_;
+  // L: per-step row-elimination multipliers (CSR-style, l_start_ has
+  // dim_+1 entries). Step k subtracted l_mults_[s] * row(prow_[k]) from
+  // row l_rows_[s].
+  std::vector<int> l_start_, l_rows_;
+  std::vector<double> l_mults_;
+  // U: per-step off-diagonal pivot-row entries by basis position.
+  std::vector<int> u_start_, u_cols_;
+  std::vector<double> u_vals_;
+  // Scratch (row-indexed / position-indexed); mutable so the solve
+  // kernels stay const. A SparseLu is single-owner, not thread-safe.
+  mutable std::vector<double> work_;
+  mutable std::vector<double> acc_;
+};
+
+}  // namespace cca::lp

@@ -1,0 +1,117 @@
+// Thread-count invariance of the parallel component LP path: group
+// peeling, the component-parallel transportation solves, and the
+// warm-start crash-basis construction must produce bit-identical results
+// for 1, 2, and 8 threads (the PR-1 determinism contract extended through
+// the LP layer). Lives in the sanitize-labelled suite so TSan scrutinises
+// the parallel_map fan-outs and the mutex-guarded warm-start cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/component_solver.hpp"
+#include "core/instance.hpp"
+#include "lp/basis.hpp"
+
+namespace cca::core {
+namespace {
+
+/// Restores the default pool size when a test returns, so thread-count
+/// overrides cannot leak across tests.
+struct ThreadsGuard {
+  ~ThreadsGuard() { common::set_global_threads(0); }
+};
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Many-component instance: blocks of six chained objects (plus a few
+/// extra in-block edges), so the component-parallel solve actually fans
+/// out, with enough slack capacity that the LP is feasible.
+CcaInstance random_instance(int objects, int nodes, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> sizes;
+  double total = 0.0;
+  for (int i = 0; i < objects; ++i) {
+    sizes.push_back(1.0 + 9.0 * rng.next_double());
+    total += sizes.back();
+  }
+  std::vector<PairWeight> pairs;
+  for (int i = 0; i + 1 < objects; ++i) {
+    if (i % 6 == 5) continue;  // block boundary: next object starts fresh
+    pairs.push_back({i, i + 1, 0.2 + 0.8 * rng.next_double(),
+                     1.0 + rng.next_double()});
+    if (i % 6 <= 3 && rng.next_double() < 0.5)
+      pairs.push_back({i, i + 2 - (i % 6 == 3 ? 1 : 0),
+                       0.1 + 0.5 * rng.next_double(), 1.0});
+  }
+  return CcaInstance(
+      std::move(sizes),
+      std::vector<double>(static_cast<std::size_t>(nodes),
+                          2.0 * total / nodes),
+      std::move(pairs));
+}
+
+std::vector<double> flatten(const FractionalPlacement& x) {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(x.num_objects()) * x.num_nodes());
+  for (int i = 0; i < x.num_objects(); ++i)
+    for (int k = 0; k < x.num_nodes(); ++k) flat.push_back(x.value(i, k));
+  return flat;
+}
+
+TEST(ParallelComponentLp, SolveIsThreadCountInvariant) {
+  ThreadsGuard guard;
+  const CcaInstance instance = random_instance(120, 5, 42);
+  std::vector<std::vector<double>> results;
+  for (const int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    results.push_back(flatten(ComponentLpSolver(7).solve(instance)));
+  }
+  // Exact double equality: the merge order is fixed, so any scheduling
+  // dependence shows up as a bit difference here.
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ParallelComponentLp, GroupPeelingIsThreadCountInvariant) {
+  ThreadsGuard guard;
+  const CcaInstance instance = random_instance(90, 4, 99);
+  ComponentSolverOptions options;
+  options.seed = 3;
+  options.target_fill = 0.4;  // force splitting so the parallel peel runs
+  std::vector<PlacementGroups> all;
+  for (const int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    all.push_back(build_groups(instance, options));
+  }
+  for (std::size_t v = 1; v < all.size(); ++v) {
+    EXPECT_EQ(all[0].members, all[v].members);
+    EXPECT_EQ(all[0].sizes, all[v].sizes);
+    EXPECT_EQ(all[0].component_of_group, all[v].component_of_group);
+  }
+}
+
+TEST(ParallelComponentLp, WarmCacheNeverPerturbsTheSolution) {
+  ThreadsGuard guard;
+  const CcaInstance instance = random_instance(120, 5, 7);
+  const std::vector<double> plain =
+      flatten(ComponentLpSolver(7).solve(instance));
+
+  lp::WarmStartCache cache;
+  ComponentSolverOptions options;
+  options.seed = 7;
+  options.warm_cache = &cache;
+  for (const int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    // First iteration fills the cache (crash-basis start); later ones hit
+    // it. Either way the fractional solution must be bit-identical to the
+    // cacheless solve at any thread count.
+    EXPECT_EQ(plain, flatten(ComponentLpSolver(options).solve(instance)))
+        << "threads " << threads;
+  }
+  EXPECT_FALSE(cache.load().empty());
+}
+
+}  // namespace
+}  // namespace cca::core
