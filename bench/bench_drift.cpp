@@ -10,7 +10,16 @@
 // Costs are the modeled objective on the drifted scoped instance,
 // normalized to random hash; migration is in fractions of total bytes.
 //
-//   ./bench_drift [--nodes=10] [--scope=800] [--budget=0.1] [testbed flags]
+// With --miner=sketch the re-estimation step runs on the streaming miner
+// instead of the exact counter: each drift level copies the January-mined
+// sketch, opens a decay window (--miner-decay), and feeds only the new
+// trace — the bounded-memory "re-mine cheaply under drift" path that a
+// million-object deployment would use (correlations become exponentially-
+// weighted moving estimates instead of exact batch counts).
+//
+//   ./bench_drift [--nodes=10] [--scope=800] [--budget=0.1]
+//                 [--miner={exact,sketch}] [--miner-decay=0.3]
+//                 [testbed flags]
 #include <iostream>
 #include <unordered_map>
 
@@ -18,18 +27,20 @@
 #include "common/table.hpp"
 #include "core/migration.hpp"
 #include "testbed.hpp"
+#include "trace/stream_miner.hpp"
 
 using namespace cca;
 
 namespace {
 
-/// Scoped CCA instance over a FIXED keyword set, with correlations
-/// re-estimated from `trace` (so instances before/after drift share the
-/// object space and placements are comparable).
+/// Scoped CCA instance over a FIXED keyword set, built from pre-mined
+/// full-vocabulary pair weights (so instances before/after drift share
+/// the object space and placements are comparable).
 core::CcaInstance scoped_instance(
     const std::vector<trace::KeywordId>& scope,
-    const std::vector<std::uint64_t>& sizes, const trace::QueryTrace& trace,
-    int nodes, double slack) {
+    const std::vector<std::uint64_t>& sizes,
+    const std::vector<core::KeywordPairWeight>& mined_pairs, int nodes,
+    double slack) {
   std::unordered_map<trace::KeywordId, int> object_of;
   std::vector<double> object_sizes;
   object_sizes.reserve(scope.size());
@@ -40,8 +51,7 @@ core::CcaInstance scoped_instance(
     total += object_sizes.back();
   }
   std::vector<core::PairWeight> pairs;
-  for (const core::KeywordPairWeight& p : core::build_pair_weights(
-           trace, sizes, core::OperationModel::kSmallestPair)) {
+  for (const core::KeywordPairWeight& p : mined_pairs) {
     const auto i = object_of.find(p.a);
     const auto j = object_of.find(p.b);
     if (i == object_of.end() || j == object_of.end()) continue;
@@ -62,23 +72,40 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(args.get_int("nodes", 10));
   const auto scope = static_cast<std::size_t>(args.get_int("scope", 800));
   const double budget = args.get_double("budget", 0.1);
+  const double miner_decay = args.get_double("miner-decay", 0.3);
   args.reject_unused();
+  const bool sketch = cfg.miner.kind == core::MinerOptions::Kind::kSketch;
+  CCA_CHECK_MSG(miner_decay > 0.0 && miner_decay <= 1.0,
+                "--miner-decay must be in (0, 1], got " << miner_decay);
 
   const bench::Testbed tb = bench::Testbed::build(cfg);
   tb.print_banner("Ablation F — drift horizon and bounded-churn replanning");
 
-  // Baseline placement from the January trace.
+  // Baseline placement from the January trace (mined with the selected
+  // miner, so the sketch path is sketch end-to-end).
   core::PartialOptimizerConfig opt_cfg;
   opt_cfg.num_nodes = nodes;
   opt_cfg.scope = scope;
   opt_cfg.seed = cfg.seed;
+  opt_cfg.miner = cfg.miner;
   opt_cfg.rounding.trials = 16;
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
   const core::PlacementPlan plan = optimizer.run("lprr");
 
+  // Sketch path: mine January once; every drift level re-mines by decayed
+  // continuation instead of a from-scratch batch count.
+  trace::StreamMiner january_miner(cfg.miner.sketch);
+  if (sketch)
+    january_miner.observe_trace(tb.january, trace::PairMode::kSmallestPair,
+                                &tb.sizes);
+
   // The fixed object space: January's scope.
   const core::CcaInstance january_instance = scoped_instance(
-      plan.scope, tb.sizes, tb.january, nodes, opt_cfg.capacity_slack);
+      plan.scope, tb.sizes,
+      sketch ? core::build_pair_weights(january_miner, tb.sizes)
+             : core::build_pair_weights(tb.january, tb.sizes,
+                                        core::OperationModel::kSmallestPair),
+      nodes, opt_cfg.capacity_slack);
   core::Placement current(plan.scope.size());
   for (std::size_t pos = 0; pos < plan.scope.size(); ++pos)
     current[pos] = plan.keyword_to_node[plan.scope[pos]];
@@ -104,8 +131,22 @@ int main(int argc, char** argv) {
         tb.model.drifted(drift, cfg.seed + 977);
     const trace::QueryTrace drifted_trace =
         drifted_model.generate(cfg.queries, cfg.seed * 271 + 5);
+    std::vector<core::KeywordPairWeight> drifted_pairs;
+    if (sketch) {
+      // Decayed continuation: keep the January summary, open a window, and
+      // stream only the new observations. Memory stays bounded and the old
+      // interest distribution fades at --miner-decay per window.
+      trace::StreamMiner remined = january_miner;
+      remined.advance_window(miner_decay);
+      remined.observe_trace(drifted_trace, trace::PairMode::kSmallestPair,
+                            &tb.sizes);
+      drifted_pairs = core::build_pair_weights(remined, tb.sizes);
+    } else {
+      drifted_pairs = core::build_pair_weights(
+          drifted_trace, tb.sizes, core::OperationModel::kSmallestPair);
+    }
     const core::CcaInstance drifted = scoped_instance(
-        plan.scope, tb.sizes, drifted_trace, nodes, opt_cfg.capacity_slack);
+        plan.scope, tb.sizes, drifted_pairs, nodes, opt_cfg.capacity_slack);
 
     // Normalizer: random hash on the same instance.
     const core::Placement random = core::random_hash_placement(

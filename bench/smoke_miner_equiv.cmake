@@ -1,0 +1,82 @@
+# Smoke contract for the streaming correlation miner (bench_fig2):
+#   * sketch-miner stdout is byte-identical across --threads=1/2/8 (the
+#     sharded-merge determinism claim, end to end through a bench binary),
+#   * the sketch's recall@K against the exact counter is printed and is
+#     at least 0.95 at tier-1 scale,
+#   * --miner=exact is the default: spelling it out changes no byte,
+#   * (with Python) the --json cell dump is valid JSON and carries the
+#     miner fields.
+# Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... [-DPYTHON=...] -DOUT_DIR=... -P <this>
+function(run_bench out_var)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench ${ARGN} failed with exit code ${rc}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_bench(sketch_t1 --threads=1 --miner=sketch --recall-check)
+run_bench(sketch_t2 --threads=2 --miner=sketch --recall-check)
+run_bench(sketch_t8 --threads=8 --miner=sketch --recall-check)
+
+# Only the banner's "threads=N" token may differ (fig2 currently prints no
+# such token, so this is belt and braces).
+foreach(var sketch_t1 sketch_t2 sketch_t8)
+  string(REGEX REPLACE "threads=[0-9]+" "threads=X" ${var}_norm "${${var}}")
+endforeach()
+if(NOT sketch_t1_norm STREQUAL sketch_t2_norm)
+  message(FATAL_ERROR
+    "sketch miner stdout differs between --threads=1 and --threads=2")
+endif()
+if(NOT sketch_t8_norm STREQUAL sketch_t2_norm)
+  message(FATAL_ERROR
+    "sketch miner stdout differs between --threads=8 and --threads=2")
+endif()
+
+# Recall floor. The bench prints "recall@K vs exact: 0.ddd"; 0.95+ means
+# the bounded candidate set retained (nearly) the whole exact top-k head.
+if(NOT sketch_t2 MATCHES "recall@[0-9]+ vs exact: ([01]\\.[0-9]+)")
+  message(FATAL_ERROR "sketch run printed no recall line:\n${sketch_t2}")
+endif()
+set(recall ${CMAKE_MATCH_1})
+if(NOT recall MATCHES "^(1\\.[0-9]+|0\\.9[5-9][0-9]*)$")
+  message(FATAL_ERROR "sketch recall ${recall} is below the 0.95 contract")
+endif()
+
+# --miner=exact is the default; making it explicit must change no byte.
+run_bench(default_t2 --threads=2)
+run_bench(exact_t2 --threads=2 --miner=exact)
+if(NOT default_t2 STREQUAL exact_t2)
+  message(FATAL_ERROR "--miner=exact is not byte-identical to the default")
+endif()
+
+# An unknown miner is a hard CLI error, not a silent fallback.
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --threads=2 --miner=bogus
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--miner=bogus was accepted")
+endif()
+
+# --json cell dump: valid JSON, carrying the miner/recall fields.
+if(DEFINED PYTHON)
+  set(cells_file ${OUT_DIR}/smoke_miner_cells.json)
+  run_bench(json_run --threads=2 --miner=sketch --recall-check
+    --json=${cells_file})
+  execute_process(
+    COMMAND ${PYTHON} -m json.tool ${cells_file}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${cells_file} is not valid JSON: ${err}")
+  endif()
+  file(READ ${cells_file} cells)
+  foreach(key miner miner_bytes exact_bytes recall_vs_exact peak_rss_kib
+      changed_fraction rows)
+    if(NOT cells MATCHES "\"${key}\"")
+      message(FATAL_ERROR "--json dump is missing \"${key}\"")
+    endif()
+  endforeach()
+endif()

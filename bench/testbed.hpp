@@ -60,6 +60,11 @@ struct TestbedConfig {
   /// the JSON file write_metrics() dumps at exit. Enabling metrics never
   /// changes bench stdout (the contract tested by the smoke suite).
   std::string metrics_path;
+  /// --miner={exact,sketch} plus --miner-pairs/--miner-objects/
+  /// --miner-width/--miner-depth: which correlation miner feeds every
+  /// optimizer built from this testbed. Default exact — the historical
+  /// byte-identical pipeline.
+  core::MinerOptions miner;
 
   static TestbedConfig from_cli(const common::CliArgs& args) {
     TestbedConfig cfg;
@@ -79,6 +84,19 @@ struct TestbedConfig {
     cfg.metrics_path = args.get_string("metrics", "");
     if (!cfg.metrics_path.empty())
       common::MetricsRegistry::global().set_enabled(true);
+    const std::string miner = args.get_string("miner", "exact");
+    CCA_CHECK_MSG(core::MinerOptions::parse_kind(miner, &cfg.miner.kind),
+                  "--miner must be 'exact' or 'sketch', got '" << miner
+                                                               << "'");
+    cfg.miner.sketch.top_pairs = static_cast<std::size_t>(args.get_int(
+        "miner-pairs", static_cast<std::int64_t>(cfg.miner.sketch.top_pairs)));
+    cfg.miner.sketch.top_objects = static_cast<std::size_t>(
+        args.get_int("miner-objects",
+                     static_cast<std::int64_t>(cfg.miner.sketch.top_objects)));
+    cfg.miner.sketch.cm_width = static_cast<std::size_t>(args.get_int(
+        "miner-width", static_cast<std::int64_t>(cfg.miner.sketch.cm_width)));
+    cfg.miner.sketch.cm_depth = static_cast<std::size_t>(args.get_int(
+        "miner-depth", static_cast<std::int64_t>(cfg.miner.sketch.cm_depth)));
     // LP engine knobs, applied process-wide so every solve in the run
     // inherits them (see the default_* setters in src/lp/solution.hpp and
     // src/lp/solver.hpp). All four are answer-invariant: they change how
@@ -307,6 +325,7 @@ struct Testbed {
     cfg.scope = scope;
     cfg.seed = config.seed;
     cfg.capacity_slack = capacity_slack;
+    cfg.miner = config.miner;
     cfg.rounding.trials = 16;
     const core::PartialOptimizer optimizer(january, sizes, cfg);
     const core::PlacementPlan plan = optimizer.run(strategy);

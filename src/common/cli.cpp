@@ -1,6 +1,8 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <numeric>
 #include <vector>
@@ -66,10 +68,19 @@ std::int64_t CliArgs::get_int(const std::string& key,
   used_.insert(key);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  // strtoll quietly accepts three things a flag value must not be: an
+  // empty string (parses as 0), trailing garbage after the digits
+  // ("8x" -> 8 with *end != '\0' — caught below, but lock the order), and
+  // out-of-range values (clamped to INT64_MIN/MAX with errno=ERANGE).
+  CCA_CHECK_MSG(!text.empty(), "flag --" << key << " has an empty value");
+  errno = 0;
   char* end = nullptr;
-  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  CCA_CHECK_MSG(end && *end == '\0',
-                "flag --" << key << " is not an integer: " << it->second);
+  const std::int64_t v = std::strtoll(text.c_str(), &end, 10);
+  CCA_CHECK_MSG(end == text.c_str() + text.size() && end != text.c_str(),
+                "flag --" << key << " is not an integer: " << text);
+  CCA_CHECK_MSG(errno != ERANGE,
+                "flag --" << key << " is out of range: " << text);
   return v;
 }
 
@@ -77,10 +88,18 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
   used_.insert(key);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  CCA_CHECK_MSG(!text.empty(), "flag --" << key << " has an empty value");
+  errno = 0;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  CCA_CHECK_MSG(end && *end == '\0',
-                "flag --" << key << " is not a number: " << it->second);
+  const double v = std::strtod(text.c_str(), &end);
+  CCA_CHECK_MSG(end == text.c_str() + text.size() && end != text.c_str(),
+                "flag --" << key << " is not a number: " << text);
+  CCA_CHECK_MSG(errno != ERANGE,
+                "flag --" << key << " is out of range: " << text);
+  // strtod accepts "nan"; no flag in this codebase means anything by it,
+  // and a NaN poisons every downstream comparison silently.
+  CCA_CHECK_MSG(!std::isnan(v), "flag --" << key << " is NaN: " << text);
   return v;
 }
 

@@ -48,6 +48,8 @@ class FlatCounter64 {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Bytes held by the slot array (the table's whole footprint).
+  std::size_t memory_bytes() const { return slots_.capacity() * sizeof(Slot); }
 
   /// Calls fn(key, count) for every entry, in unspecified table order;
   /// consumers needing a stable order must sort (with a total order) after.

@@ -7,6 +7,24 @@
 
 namespace cca::core {
 
+trace::PairMode pair_mode_of(OperationModel model) {
+  return model == OperationModel::kSmallestPair
+             ? trace::PairMode::kSmallestPair
+             : trace::PairMode::kAllPairs;
+}
+
+bool MinerOptions::parse_kind(const std::string& name, Kind* out) {
+  if (name == "exact") {
+    *out = Kind::kExact;
+    return true;
+  }
+  if (name == "sketch") {
+    *out = Kind::kSketch;
+    return true;
+  }
+  return false;
+}
+
 std::vector<KeywordPairWeight> build_pair_weights(
     const trace::QueryTrace& trace,
     const std::vector<std::uint64_t>& index_sizes, OperationModel model) {
@@ -29,6 +47,38 @@ std::vector<KeywordPairWeight> build_pair_weights(
     out.push_back(kpw);
   }
   return out;
+}
+
+std::vector<KeywordPairWeight> build_pair_weights(
+    const trace::StreamMiner& miner,
+    const std::vector<std::uint64_t>& index_sizes) {
+  std::vector<KeywordPairWeight> out;
+  const auto candidates = miner.top_pairs(miner.config().top_pairs);
+  out.reserve(candidates.size());
+  for (const trace::PairCount& pc : candidates) {
+    CCA_CHECK_MSG(pc.pair.second < index_sizes.size(),
+                  "index_sizes does not cover mined keyword "
+                      << pc.pair.second);
+    KeywordPairWeight kpw;
+    kpw.a = pc.pair.first;
+    kpw.b = pc.pair.second;
+    kpw.r = pc.probability;
+    kpw.w = static_cast<double>(
+        std::min(index_sizes[pc.pair.first], index_sizes[pc.pair.second]));
+    out.push_back(kpw);
+  }
+  return out;
+}
+
+std::vector<KeywordPairWeight> mine_pair_weights(
+    const trace::QueryTrace& trace,
+    const std::vector<std::uint64_t>& index_sizes, OperationModel model,
+    const MinerOptions& miner) {
+  if (miner.kind == MinerOptions::Kind::kExact)
+    return build_pair_weights(trace, index_sizes, model);
+  trace::StreamMiner stream(miner.sketch);
+  stream.observe_trace(trace, pair_mode_of(model), &index_sizes);
+  return build_pair_weights(stream, index_sizes);
 }
 
 std::vector<trace::KeywordId> importance_ranking(

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "trace/pair_stats.hpp"
+#include "trace/stream_miner.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::core {
@@ -27,6 +29,24 @@ namespace cca::core {
 enum class OperationModel {
   kAllPairs,      // base definition: every pair of every query
   kSmallestPair,  // Sec. 3.2 intersection adjustment (the paper's choice)
+};
+
+/// trace::PairMode equivalent of an OperationModel (the trace layer keeps
+/// its own enum so it does not depend on core/).
+trace::PairMode pair_mode_of(OperationModel model);
+
+/// Which correlation miner feeds the pipeline.
+///   kExact  — PairCounter: one hash slot per distinct pair (exact counts,
+///             memory grows with the pair vocabulary);
+///   kSketch — StreamMiner: Count-Min pair sketch + bounded candidate set
+///             (bounded memory, top-k recall ≥ the sketch's guarantee).
+struct MinerOptions {
+  enum class Kind { kExact, kSketch };
+  Kind kind = Kind::kExact;
+  trace::StreamMinerConfig sketch;  // geometry, used when kind == kSketch
+
+  /// Parses "exact"/"sketch"; returns false on anything else.
+  static bool parse_kind(const std::string& name, Kind* out);
 };
 
 /// A correlated keyword pair in vocabulary space.
@@ -44,6 +64,23 @@ struct KeywordPairWeight {
 std::vector<KeywordPairWeight> build_pair_weights(
     const trace::QueryTrace& trace,
     const std::vector<std::uint64_t>& index_sizes, OperationModel model);
+
+/// Sketch path: r and w for the miner's current top candidate pairs
+/// (estimate desc, pair asc — at most the miner's top_pairs entries).
+/// Probabilities use the miner's decayed query weight, so a drift-decayed
+/// miner yields exponentially-weighted correlations.
+std::vector<KeywordPairWeight> build_pair_weights(
+    const trace::StreamMiner& miner,
+    const std::vector<std::uint64_t>& index_sizes);
+
+/// Unified entry point: mines `trace` with the selected miner and returns
+/// pair weights. kExact reproduces build_pair_weights(trace, ...) exactly;
+/// kSketch mines a fresh StreamMiner (sharded, deterministic for any
+/// thread count) and returns its candidates.
+std::vector<KeywordPairWeight> mine_pair_weights(
+    const trace::QueryTrace& trace,
+    const std::vector<std::uint64_t>& index_sizes, OperationModel model,
+    const MinerOptions& miner);
 
 /// Sec. 4.2 keyword importance ranking (most important first). Covers the
 /// whole vocabulary.

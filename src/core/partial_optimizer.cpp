@@ -22,7 +22,8 @@ PartialOptimizer::PartialOptimizer(
   CCA_CHECK(index_sizes.size() >= trace.vocabulary_size());
   const std::size_t vocab = index_sizes.size();
 
-  pairs_ = build_pair_weights(trace, index_sizes_, config.operation_model);
+  pairs_ = mine_pair_weights(trace, index_sizes_, config.operation_model,
+                             config.miner);
   ranking_ = importance_ranking(pairs_, index_sizes_);
   scope_.assign(ranking_.begin(),
                 ranking_.begin() +

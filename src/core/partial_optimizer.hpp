@@ -39,6 +39,11 @@ struct PartialOptimizerConfig {
   std::size_t scope = 1000;      // most-important keywords to optimize
   double capacity_slack = 2.0;   // paper: twice the average per-node load
   OperationModel operation_model = OperationModel::kSmallestPair;
+  /// Correlation miner feeding the importance ranking and the scoped
+  /// instance. kExact (default) is bit-for-bit the historical pipeline;
+  /// kSketch bounds mining memory for vocabularies the exact counter
+  /// cannot hold (see trace/stream_miner.hpp).
+  MinerOptions miner;
   RoundingPolicy rounding;       // LPRR only
   GreedyOptions greedy;          // greedy only
   MultilevelOptions multilevel;  // multilevel only (seed is overridden

@@ -60,6 +60,16 @@ PairCounter PairCounter::count_all_pairs(const QueryTrace& trace) {
   return counter;
 }
 
+void PairCounter::accumulate_all_pairs(const QueryTrace& batch) {
+  num_queries_ += batch.size();
+  counts_.merge(
+      sharded_count(batch, [](const Query& q, common::FlatCounter64& counts) {
+        for (std::size_t a = 0; a < q.keywords.size(); ++a)
+          for (std::size_t b = a + 1; b < q.keywords.size(); ++b)
+            counts.add(pack_pair(q.keywords[a], q.keywords[b]));
+      }));
+}
+
 PairCounter PairCounter::count_smallest_pair(
     const QueryTrace& trace, const std::vector<std::uint64_t>& object_sizes) {
   CCA_CHECK_MSG(object_sizes.size() >= trace.vocabulary_size(),

@@ -53,9 +53,18 @@ class PairCounter {
   static PairCounter count_smallest_pair(
       const QueryTrace& trace, const std::vector<std::uint64_t>& object_sizes);
 
+  /// Incremental counting: folds another batch of queries into this
+  /// counter (all-pairs mode). Lets callers that generate or read traces
+  /// in batches count arbitrarily long streams without ever materializing
+  /// the full trace; equivalent to count_all_pairs on the concatenation.
+  void accumulate_all_pairs(const QueryTrace& batch);
+
   std::uint64_t count(KeywordId i, KeywordId j) const;
   std::size_t distinct_pairs() const { return counts_.size(); }
   std::size_t num_queries() const { return num_queries_; }
+  /// Bytes held by the counting table — the exact miner's footprint, for
+  /// apples-to-apples comparison with StreamMiner::memory_bytes().
+  std::size_t memory_bytes() const { return counts_.memory_bytes(); }
 
   /// All pairs sorted by descending count (ties by pair), with empirical
   /// probabilities. `min_count` drops noise pairs.

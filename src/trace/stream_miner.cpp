@@ -1,0 +1,380 @@
+#include "trace/stream_miner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace cca::trace {
+
+namespace {
+
+/// Minimum queries per mining shard (PairCounter's grain, so small traces
+/// shard identically to the exact path).
+constexpr std::size_t kMineGrain = 4096;
+
+/// Maximum shard count. Each shard owns a private miner — including a
+/// full-width Count-Min sketch — so unbounded sharding would turn a
+/// million-query trace into hundreds of sketch copies. The grain below
+/// depends only on the trace length, never the thread count, so the
+/// determinism contract is unaffected.
+constexpr std::size_t kMaxShards = 16;
+
+std::size_t mine_grain(std::size_t queries) {
+  const std::size_t by_shards = (queries + kMaxShards - 1) / kMaxShards;
+  return std::max(kMineGrain, by_shards);
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  // SplitMix64 finalizer (full avalanche).
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Total order for estimates: larger first, ties by smaller key. Used by
+/// every top-k selection in this file so boundary ties never depend on
+/// iteration order.
+struct EstimateGreater {
+  bool operator()(const std::pair<double, std::uint64_t>& a,
+                  const std::pair<double, std::uint64_t>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+// ---------------------------------------------------------------------------
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth)
+    : width_(round_up_pow2(std::max<std::size_t>(width, 16))),
+      depth_(depth),
+      cells_(width_ * depth_, 0.0) {
+  CCA_CHECK_MSG(depth >= 1, "count-min depth must be at least 1");
+}
+
+std::size_t CountMinSketch::row_index(std::size_t row,
+                                      std::uint64_t key) const {
+  // Per-row independent hashing: mix the key with a row-salted constant.
+  const std::uint64_t h = mix64(key ^ (0x9E3779B97F4A7C15ULL * (row + 1)));
+  return row * width_ + (static_cast<std::size_t>(h) & (width_ - 1));
+}
+
+double CountMinSketch::add(std::uint64_t key, double weight) {
+  double best = 0.0;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    double& cell = cells_[row_index(row, key)];
+    cell += weight;
+    best = row == 0 ? cell : std::min(best, cell);
+  }
+  return best;
+}
+
+double CountMinSketch::estimate(std::uint64_t key) const {
+  double best = cells_[row_index(0, key)];
+  for (std::size_t row = 1; row < depth_; ++row)
+    best = std::min(best, cells_[row_index(row, key)]);
+  return best;
+}
+
+void CountMinSketch::scale(double factor) {
+  for (double& cell : cells_) cell *= factor;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  CCA_CHECK_MSG(width_ == other.width_ && depth_ == other.depth_,
+                "count-min shapes differ: " << width_ << "x" << depth_
+                                            << " vs " << other.width_ << "x"
+                                            << other.depth_);
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    cells_[i] += other.cells_[i];
+}
+
+// ---------------------------------------------------------------------------
+// SpaceSaving
+// ---------------------------------------------------------------------------
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  CCA_CHECK_MSG(capacity >= 1, "space-saving capacity must be at least 1");
+  entries_.reserve(capacity);
+  index_.reserve(capacity * 2);
+}
+
+void SpaceSaving::rebuild_order() {
+  order_.clear();
+  for (const Entry& e : entries_) order_.emplace(e.count, e.key);
+}
+
+void SpaceSaving::offer(std::uint64_t key, double weight) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    order_.erase({e.count, e.key});
+    e.count += weight;
+    order_.emplace(e.count, e.key);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{key, weight, 0.0});
+    index_.emplace(key, static_cast<std::uint32_t>(entries_.size() - 1));
+    order_.emplace(weight, key);
+    return;
+  }
+  // Space-Saving replacement: the minimum-count entry hands its count to
+  // the newcomer as the error floor.
+  const auto victim = *order_.begin();
+  const std::uint32_t slot = index_.at(victim.second);
+  order_.erase(order_.begin());
+  index_.erase(victim.second);
+  entries_[slot] = Entry{key, victim.first + weight, victim.first};
+  index_.emplace(key, slot);
+  order_.emplace(entries_[slot].count, key);
+}
+
+void SpaceSaving::scale(double factor) {
+  for (Entry& e : entries_) {
+    e.count *= factor;
+    e.error *= factor;
+  }
+  rebuild_order();  // uniform scaling preserves relative order
+}
+
+double SpaceSaving::min_count() const {
+  if (entries_.size() < capacity_ || entries_.empty()) return 0.0;
+  return order_.begin()->first;
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  // Mergeable-summaries union: a key missing from one summary could have
+  // occurred up to that summary's min_count times unnoticed.
+  const double self_floor = min_count();
+  const double other_floor = other.min_count();
+
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  for (const Entry& e : entries_) {
+    const auto at = other.index_.find(e.key);
+    Entry m = e;
+    if (at != other.index_.end()) {
+      m.count += other.entries_[at->second].count;
+      m.error += other.entries_[at->second].error;
+    } else {
+      m.count += other_floor;
+      m.error += other_floor;
+    }
+    merged.push_back(m);
+  }
+  for (const Entry& e : other.entries_) {
+    if (index_.count(e.key) > 0) continue;  // already merged above
+    Entry m = e;
+    m.count += self_floor;
+    m.error += self_floor;
+    merged.push_back(m);
+  }
+  std::sort(merged.begin(), merged.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (merged.size() > capacity_) merged.resize(capacity_);
+  entries_ = std::move(merged);
+  index_.clear();
+  for (std::size_t e = 0; e < entries_.size(); ++e)
+    index_.emplace(entries_[e].key, static_cast<std::uint32_t>(e));
+  rebuild_order();
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  // entries + hash index + one red-black node per ordered entry (the 48
+  // bytes approximate libstdc++'s _Rb_tree_node overhead).
+  return entries_.capacity() * sizeof(Entry) +
+         index_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                          sizeof(void*)) +
+         order_.size() * (sizeof(std::pair<double, std::uint64_t>) + 48);
+}
+
+// ---------------------------------------------------------------------------
+// StreamMiner
+// ---------------------------------------------------------------------------
+
+StreamMiner::StreamMiner(const StreamMinerConfig& config)
+    : config_(config),
+      pair_sketch_(config.cm_width, config.cm_depth),
+      objects_(config.top_objects) {
+  CCA_CHECK_MSG(config.top_pairs >= 1, "top_pairs must be at least 1");
+  candidates_.reserve(config.top_pairs * 2);
+}
+
+void StreamMiner::observe_pair(std::uint64_t packed, double weight) {
+  const double est = pair_sketch_.add(packed, weight);
+  if (candidate_slots_.count(packed) != 0) return;  // already a candidate
+  if (candidates_.size() >= config_.top_pairs && est <= candidate_floor_)
+    return;  // cannot displace the current boundary
+  candidate_slots_.add(packed, 1);
+  candidates_.push_back(packed);
+  if (candidates_.size() >= config_.top_pairs * 2) prune_candidates();
+}
+
+void StreamMiner::prune_candidates() {
+  if (candidates_.size() <= config_.top_pairs) return;
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  ranked.reserve(candidates_.size());
+  for (std::uint64_t packed : candidates_)
+    ranked.emplace_back(pair_sketch_.estimate(packed), packed);
+  std::sort(ranked.begin(), ranked.end(), EstimateGreater{});
+  ranked.resize(config_.top_pairs);
+  candidate_floor_ = ranked.back().first;
+  candidates_.clear();
+  candidate_slots_ = common::FlatCounter64();
+  for (const auto& [est, packed] : ranked) {
+    (void)est;
+    candidates_.push_back(packed);
+    candidate_slots_.add(packed, 1);
+  }
+}
+
+void StreamMiner::observe_query(
+    const Query& query, PairMode mode,
+    const std::vector<std::uint64_t>* object_sizes) {
+  query_weight_ += 1.0;
+  ++queries_seen_;
+  for (KeywordId k : query.keywords) objects_.offer(k);
+  if (query.keywords.size() < 2) return;
+  if (mode == PairMode::kAllPairs) {
+    for (std::size_t a = 0; a < query.keywords.size(); ++a)
+      for (std::size_t b = a + 1; b < query.keywords.size(); ++b)
+        observe_pair(pack_pair(query.keywords[a], query.keywords[b]), 1.0);
+    return;
+  }
+  CCA_CHECK_MSG(object_sizes != nullptr,
+                "kSmallestPair mining requires object sizes");
+  const std::vector<std::uint64_t>& sizes = *object_sizes;
+  CCA_CHECK_MSG(sizes.size() > query.keywords.back(),
+                "object_sizes does not cover the vocabulary");
+  // The two smallest-size keywords; ties by keyword id (keywords sorted).
+  KeywordId best = query.keywords[0], second = query.keywords[1];
+  if (sizes[second] < sizes[best]) std::swap(best, second);
+  for (std::size_t t = 2; t < query.keywords.size(); ++t) {
+    const KeywordId k = query.keywords[t];
+    if (sizes[k] < sizes[best]) {
+      second = best;
+      best = k;
+    } else if (sizes[k] < sizes[second]) {
+      second = k;
+    }
+  }
+  observe_pair(pack_pair(best, second), 1.0);
+}
+
+void StreamMiner::observe_trace(
+    const QueryTrace& trace, PairMode mode,
+    const std::vector<std::uint64_t>* object_sizes) {
+  if (mode == PairMode::kSmallestPair) {
+    CCA_CHECK_MSG(object_sizes != nullptr &&
+                      object_sizes->size() >= trace.vocabulary_size(),
+                  "object_sizes does not cover the vocabulary");
+  }
+  const std::vector<Query>& queries = trace.queries();
+  const auto chunks =
+      common::chunk_ranges(queries.size(), mine_grain(queries.size()));
+  if (chunks.size() <= 1) {
+    // One shard: mine inline (also the path merge() bottoms out on).
+    for (const Query& q : queries) observe_query(q, mode, object_sizes);
+    return;
+  }
+  // One private miner per shard, merged in fixed chunk order. Chunking
+  // depends only on the grain, so shard contents — and therefore the
+  // merged floating-point sums — are identical for any thread count.
+  std::vector<StreamMiner> shards(chunks.size(), StreamMiner(config_));
+  common::parallel_for(0, chunks.size(), 1, [&](std::size_t c) {
+    const auto [begin, end] = chunks[c];
+    for (std::size_t q = begin; q < end; ++q)
+      shards[c].observe_query(queries[q], mode, object_sizes);
+  });
+  for (const StreamMiner& shard : shards) merge(shard);
+}
+
+void StreamMiner::advance_window(double decay) {
+  CCA_CHECK_MSG(decay > 0.0 && decay <= 1.0,
+                "window decay must be in (0, 1], got " << decay);
+  pair_sketch_.scale(decay);
+  objects_.scale(decay);
+  candidate_floor_ *= decay;
+  query_weight_ *= decay;
+}
+
+void StreamMiner::merge(const StreamMiner& other) {
+  pair_sketch_.merge(other.pair_sketch_);
+  objects_.merge(other.objects_);
+  query_weight_ += other.query_weight_;
+  queries_seen_ += other.queries_seen_;
+  // Union the candidate sets; prune_candidates re-ranks against the merged
+  // sketch, which can only raise estimates, so no candidate is unfairly
+  // dropped relative to single-threaded mining... up to sketch error, the
+  // same bound the streaming path already lives with.
+  for (std::uint64_t packed : other.candidates_) {
+    if (candidate_slots_.count(packed) != 0) continue;
+    candidate_slots_.add(packed, 1);
+    candidates_.push_back(packed);
+  }
+  candidate_floor_ = 0.0;  // merged estimates changed; recompute on prune
+  prune_candidates();
+}
+
+double StreamMiner::estimate_pair(KeywordId i, KeywordId j) const {
+  return pair_sketch_.estimate(pack_pair(i, j));
+}
+
+std::vector<PairCount> StreamMiner::top_pairs(std::size_t k) const {
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  ranked.reserve(candidates_.size());
+  for (std::uint64_t packed : candidates_)
+    ranked.emplace_back(pair_sketch_.estimate(packed), packed);
+  std::sort(ranked.begin(), ranked.end(), EstimateGreater{});
+  if (ranked.size() > k) ranked.resize(k);
+  const double n = query_weight_ > 0.0 ? query_weight_ : 1.0;
+  std::vector<PairCount> out;
+  out.reserve(ranked.size());
+  for (const auto& [est, packed] : ranked) {
+    PairCount pc;
+    pc.pair = unpack_pair(packed);
+    pc.count = static_cast<std::uint64_t>(std::llround(est));
+    pc.probability = est / n;
+    out.push_back(pc);
+  }
+  return out;
+}
+
+std::vector<ObjectEstimate> StreamMiner::top_objects(std::size_t k) const {
+  std::vector<ObjectEstimate> out;
+  for (const SpaceSaving::Entry& e : objects_.top(k))
+    out.push_back(ObjectEstimate{static_cast<KeywordId>(e.key), e.count});
+  return out;
+}
+
+std::size_t StreamMiner::memory_bytes() const {
+  return pair_sketch_.memory_bytes() + objects_.memory_bytes() +
+         candidates_.capacity() * sizeof(std::uint64_t) +
+         candidate_slots_.size() * 2 * sizeof(std::uint64_t);
+}
+
+}  // namespace cca::trace

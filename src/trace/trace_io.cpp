@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -9,11 +10,26 @@
 namespace cca::trace {
 
 namespace {
+
 constexpr const char* kHeaderPrefix = "# cca-trace v1 vocab=";
+
+/// Strict unsigned parse: every character a digit, no sign, no garbage.
+/// strtoul alone accepts "-3" (wraps to a huge value) and "8x" (stops at
+/// the 'x'), both of which must be hard errors in a trace file.
+bool parse_u64(const std::string& text, unsigned long* out) {
+  if (text.empty()) return false;
+  for (const char c : text)
+    if (c < '0' || c > '9') return false;
+  char* end = nullptr;
+  *out = std::strtoul(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
 }
 
+}  // namespace
+
 void write_trace(std::ostream& os, const QueryTrace& trace) {
-  os << kHeaderPrefix << trace.vocabulary_size() << '\n';
+  os << kHeaderPrefix << trace.vocabulary_size()
+     << " queries=" << trace.size() << '\n';
   for (const Query& q : trace.queries()) {
     for (std::size_t t = 0; t < q.keywords.size(); ++t)
       os << (t == 0 ? "" : " ") << q.keywords[t];
@@ -21,16 +37,32 @@ void write_trace(std::ostream& os, const QueryTrace& trace) {
   }
 }
 
-QueryTrace read_trace(std::istream& is) {
+QueryTrace read_trace(std::istream& is, const std::string& source_name) {
   std::string header;
-  CCA_CHECK_MSG(std::getline(is, header), "empty trace stream");
+  CCA_CHECK_MSG(std::getline(is, header),
+                source_name << ":1: empty trace stream");
   CCA_CHECK_MSG(header.rfind(kHeaderPrefix, 0) == 0,
-                "bad trace header: '" << header << "'");
-  const std::string vocab_str = header.substr(std::string(kHeaderPrefix).size());
-  char* end = nullptr;
-  const unsigned long vocab = std::strtoul(vocab_str.c_str(), &end, 10);
-  CCA_CHECK_MSG(end && *end == '\0' && vocab > 0,
-                "bad vocabulary size in trace header: '" << vocab_str << "'");
+                source_name << ":1: bad trace header: '" << header << "'");
+  std::string vocab_str = header.substr(std::string(kHeaderPrefix).size());
+
+  // Optional ` queries=N` suffix: written by write_trace, used to detect
+  // truncated files. Absent in older v1 files.
+  bool have_expected = false;
+  unsigned long expected_queries = 0;
+  const std::string queries_key = " queries=";
+  const auto q_pos = vocab_str.find(queries_key);
+  if (q_pos != std::string::npos) {
+    const std::string queries_str = vocab_str.substr(q_pos + queries_key.size());
+    CCA_CHECK_MSG(parse_u64(queries_str, &expected_queries),
+                  source_name << ":1: bad query count in trace header: '"
+                              << queries_str << "'");
+    have_expected = true;
+    vocab_str = vocab_str.substr(0, q_pos);
+  }
+  unsigned long vocab = 0;
+  CCA_CHECK_MSG(parse_u64(vocab_str, &vocab) && vocab > 0,
+                source_name << ":1: bad vocabulary size in trace header: '"
+                            << vocab_str << "'");
 
   QueryTrace trace(vocab);
   std::string line;
@@ -42,20 +74,37 @@ QueryTrace read_trace(std::istream& is) {
     std::vector<KeywordId> keywords;
     std::string token;
     while (tokens >> token) {
-      char* tok_end = nullptr;
-      const unsigned long id = std::strtoul(token.c_str(), &tok_end, 10);
-      CCA_CHECK_MSG(tok_end && *tok_end == '\0',
-                    "trace line " << line_no << ": bad keyword '" << token
-                                  << "'");
-      CCA_CHECK_MSG(id < vocab, "trace line " << line_no << ": keyword " << id
-                                              << " outside vocabulary "
-                                              << vocab);
+      unsigned long id = 0;
+      CCA_CHECK_MSG(parse_u64(token, &id),
+                    source_name << ":" << line_no << ": bad keyword '"
+                                << token << "'");
+      CCA_CHECK_MSG(id < vocab, source_name << ":" << line_no << ": keyword "
+                                            << id << " outside vocabulary "
+                                            << vocab);
       keywords.push_back(static_cast<KeywordId>(id));
+      CCA_CHECK_MSG(keywords.size() <= kMaxQueryKeywords,
+                    source_name << ":" << line_no << ": query has more than "
+                                << kMaxQueryKeywords
+                                << " keywords (corrupt record?)");
     }
     CCA_CHECK_MSG(!keywords.empty(),
-                  "trace line " << line_no << ": no keywords");
+                  source_name << ":" << line_no << ": no keywords");
+    // A duplicate id within one query is a malformed record, not a
+    // modeling choice: QueryTrace::add_query would silently drop it and
+    // the file would no longer round-trip byte-for-byte.
+    std::vector<KeywordId> sorted = keywords;
+    std::sort(sorted.begin(), sorted.end());
+    const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+    CCA_CHECK_MSG(dup == sorted.end(),
+                  source_name << ":" << line_no << ": duplicate keyword "
+                              << (dup == sorted.end() ? 0 : *dup)
+                              << " within one query");
     trace.add_query(std::move(keywords));
   }
+  CCA_CHECK_MSG(!have_expected || trace.size() == expected_queries,
+                source_name << ":" << line_no << ": truncated trace: header"
+                            << " promises " << expected_queries
+                            << " queries, found " << trace.size());
   return trace;
 }
 
@@ -69,7 +118,7 @@ void save_trace(const std::string& path, const QueryTrace& trace) {
 QueryTrace load_trace(const std::string& path) {
   std::ifstream file(path);
   CCA_CHECK_MSG(file, "cannot open '" << path << "' for reading");
-  return read_trace(file);
+  return read_trace(file, path);
 }
 
 }  // namespace cca::trace

@@ -6,15 +6,20 @@
 //
 // Format (one query per line, keyword IDs space-separated):
 //
-//   # cca-trace v1 vocab=253334
+//   # cca-trace v1 vocab=253334 queries=3
 //   17 92 4711
 //   92
 //   8 17
 //
 // Lines starting with '#' after the header are comments. Keywords are
-// validated against the header's vocabulary size on read.
+// validated against the header's vocabulary size on read. The optional
+// `queries=N` header field (written by write_trace) lets the reader
+// detect truncated files: a copy that lost its tail fails loudly instead
+// of silently mining a shorter trace. Headers without the field (v1
+// files from before it existed) still parse.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -22,15 +27,24 @@
 
 namespace cca::trace {
 
-/// Writes `trace` in the v1 text format.
+/// Upper bound on keywords per query accepted by read_trace. Real query
+/// logs top out at a few dozen terms; a line with thousands of ids is a
+/// corrupt or concatenated record, and all-pairs mining on it would be
+/// quadratic in its length.
+inline constexpr std::size_t kMaxQueryKeywords = 256;
+
+/// Writes `trace` in the v1 text format (including the queries= field).
 void write_trace(std::ostream& os, const QueryTrace& trace);
 
 /// Parses a v1 text trace; throws common::Error on malformed input
-/// (missing/garbled header, non-numeric tokens, out-of-vocabulary
-/// keywords, empty query lines).
-QueryTrace read_trace(std::istream& is);
+/// (missing/garbled header, non-numeric or signed tokens, out-of-
+/// vocabulary keywords, duplicate keywords within a query, queries over
+/// kMaxQueryKeywords, empty query lines, or fewer records than the
+/// header's queries= count). Errors are located as `source:line`.
+QueryTrace read_trace(std::istream& is,
+                      const std::string& source_name = "<trace>");
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. load_trace reports errors under `path`.
 void save_trace(const std::string& path, const QueryTrace& trace);
 QueryTrace load_trace(const std::string& path);
 

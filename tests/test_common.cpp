@@ -171,6 +171,30 @@ TEST(Percentile, RejectsEmptyAndBadP) {
   EXPECT_THROW(percentile({}, 50.0), Error);
   EXPECT_THROW(percentile({1.0}, -1.0), Error);
   EXPECT_THROW(percentile({1.0}, 101.0), Error);
+  EXPECT_THROW(percentile({1.0}, std::nan("")), Error);
+}
+
+TEST(Percentile, SmallSamplesStayInBounds) {
+  // n < 4 is where a naive rank computation reads out of bounds or
+  // rounds p99 up to p100. Lock the interpolation behavior down.
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100.0), 7.0);
+  // Two elements: p99 interpolates at rank 0.99, NOT the max.
+  EXPECT_NEAR(percentile({10.0, 20.0}, 99.0), 19.9, 1e-12);
+  EXPECT_NEAR(percentile({10.0, 20.0}, 1.0), 10.1, 1e-12);
+  EXPECT_EQ(percentile({10.0, 20.0}, 100.0), 20.0);
+  // Three elements: p50 is exactly the middle, p75 interpolates.
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);  // also: sorts input copy
+  EXPECT_NEAR(percentile({1.0, 2.0, 3.0}, 75.0), 2.5, 1e-12);
+}
+
+TEST(RunningStats, EmptyCiIsZeroNotNan) {
+  RunningStats s;
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+  EXPECT_FALSE(std::isnan(s.ci95_halfwidth()));
+  EXPECT_FALSE(std::isnan(s.variance()));
 }
 
 TEST(Gini, UniformIsZeroAndConcentratedIsHigh) {
@@ -227,6 +251,61 @@ TEST(Cli, TypedGettersValidate) {
   EXPECT_THROW(args.get_int("n", 0), Error);
 }
 
+TEST(Cli, AcceptsNegativeNumericsInBothForms) {
+  const char* argv[] = {"prog", "--delta=-3", "--drift", "-0.25",
+                        "--offset=-12"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("delta", 0), -3);
+  EXPECT_EQ(args.get_int("offset", 0), -12);
+  EXPECT_NEAR(args.get_double("drift", 0.0), -0.25, 1e-15);
+  args.reject_unused();
+}
+
+TEST(Cli, RejectsTrailingGarbageAfterNumerics) {
+  const char* argv[] = {"prog", "--seeds=8x", "--rate=1.5qps"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("seeds", 0), Error);
+  CliArgs args2(3, argv);
+  EXPECT_THROW(args2.get_double("rate", 0.0), Error);
+}
+
+TEST(Cli, RejectsEmptyNumericValues) {
+  // `--seeds=` used to parse as 0 via strtoll's empty-string behavior.
+  const char* argv[] = {"prog", "--seeds=", "--rate="};
+  CliArgs args(3, argv);
+  EXPECT_THROW(args.get_int("seeds", 0), Error);
+  EXPECT_THROW(args.get_double("rate", 0.0), Error);
+}
+
+TEST(Cli, RejectsOutOfRangeNumerics) {
+  // strtoll clamps to INT64_MAX with errno=ERANGE; that must be an error,
+  // not a silently saturated value.
+  const char* argv[] = {"prog", "--big=99999999999999999999999",
+                        "--huge=1e999999"};
+  CliArgs args(3, argv);
+  EXPECT_THROW(args.get_int("big", 0), Error);
+  EXPECT_THROW(args.get_double("huge", 0.0), Error);
+}
+
+TEST(Cli, RejectsNanDoubles) {
+  const char* argv[] = {"prog", "--rate=nan"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_double("rate", 0.0), Error);
+}
+
+TEST(Cli, ErrorNamesTheFlagAndValue) {
+  const char* argv[] = {"prog", "--seeds=8x"};
+  CliArgs args(2, argv);
+  try {
+    args.get_int("seeds", 0);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--seeds"), std::string::npos) << message;
+    EXPECT_NE(message.find("8x"), std::string::npos) << message;
+  }
+}
+
 TEST(Cli, RejectUnusedFlagsCatchesTypos) {
   const char* argv[] = {"prog", "--tyop=1"};
   CliArgs args(2, argv);
@@ -264,6 +343,22 @@ TEST(Cli, UnknownFlagWithNoNearMissOmitsSuggestion) {
     EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
     EXPECT_NE(message.find("known flags: --threads"), std::string::npos)
         << message;
+  }
+}
+
+TEST(Cli, SuggestsClosestOfSeveralKnownFlags) {
+  const char* argv[] = {"prog", "--miner-pair=1"};
+  CliArgs args(2, argv);
+  args.get_int("miner-pairs", 0);
+  args.get_int("miner-objects", 0);
+  args.get_string("miner", "exact");
+  try {
+    args.reject_unused();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --miner-pairs?"),
+              std::string::npos)
+        << e.what();
   }
 }
 

@@ -70,6 +70,115 @@ TEST(TraceIo, RejectsMalformedInput) {
   }
 }
 
+TEST(TraceIo, HeaderCarriesQueryCountAndOldHeadersStillParse) {
+  trace::QueryTrace t(10);
+  t.add_query({1, 2});
+  t.add_query({3});
+  std::stringstream buffer;
+  trace::write_trace(buffer, t);
+  EXPECT_NE(buffer.str().find("queries=2"), std::string::npos);
+  // Pre-queries= v1 headers remain readable (no truncation check).
+  std::stringstream old_style("# cca-trace v1 vocab=10\n1 2\n");
+  EXPECT_EQ(trace::read_trace(old_style).size(), 1u);
+}
+
+TEST(TraceIo, DetectsTruncatedTrace) {
+  // Header promises 3 queries; the file lost its tail.
+  std::stringstream truncated(
+      "# cca-trace v1 vocab=10 queries=3\n1 2\n3\n");
+  try {
+    trace::read_trace(truncated, "logs/jan.trace");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("logs/jan.trace"), std::string::npos) << message;
+    EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+    EXPECT_NE(message.find("3"), std::string::npos) << message;
+  }
+  // Extra records beyond the promised count are equally corrupt.
+  std::stringstream padded(
+      "# cca-trace v1 vocab=10 queries=1\n1 2\n3\n");
+  EXPECT_THROW(trace::read_trace(padded), common::Error);
+}
+
+TEST(TraceIo, RejectsDuplicateKeywordWithinQuery) {
+  // QueryTrace::add_query would silently dedupe; the file must not.
+  std::stringstream dup("# cca-trace v1 vocab=10\n1 7 1\n");
+  try {
+    trace::read_trace(dup, "q.trace");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("q.trace:2"), std::string::npos) << message;
+    EXPECT_NE(message.find("duplicate keyword 1"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(TraceIo, RejectsOversizedQuery) {
+  std::stringstream buffer;
+  buffer << "# cca-trace v1 vocab=1000\n";
+  for (std::size_t k = 0; k <= trace::kMaxQueryKeywords; ++k)
+    buffer << (k == 0 ? "" : " ") << k;
+  buffer << "\n";
+  try {
+    trace::read_trace(buffer, "big.trace");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("big.trace:2"), std::string::npos)
+        << e.what();
+  }
+  // Exactly at the cap is fine.
+  std::stringstream at_cap;
+  at_cap << "# cca-trace v1 vocab=1000\n";
+  for (std::size_t k = 0; k < trace::kMaxQueryKeywords; ++k)
+    at_cap << (k == 0 ? "" : " ") << k;
+  at_cap << "\n";
+  EXPECT_EQ(trace::read_trace(at_cap)[0].keywords.size(),
+            trace::kMaxQueryKeywords);
+}
+
+TEST(TraceIo, RejectsSignedKeywordTokens) {
+  // strtoul would wrap "-3" to a huge unsigned value and report a
+  // confusing out-of-vocabulary error; it must read as a bad token.
+  std::stringstream neg("# cca-trace v1 vocab=10\n1 -3\n");
+  try {
+    trace::read_trace(neg, "s.trace");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("s.trace:2"), std::string::npos) << message;
+    EXPECT_NE(message.find("bad keyword '-3'"), std::string::npos) << message;
+  }
+}
+
+TEST(TraceIo, ErrorsCarrySourceAndLineContext) {
+  std::stringstream bad("# cca-trace v1 vocab=10\n1 2\nbanana\n");
+  try {
+    trace::read_trace(bad, "logs/feb.trace");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("logs/feb.trace:3"), std::string::npos) << message;
+    EXPECT_NE(message.find("banana"), std::string::npos) << message;
+  }
+}
+
+TEST(TraceIo, LoadNamesTheFileInErrors) {
+  const std::string path = ::testing::TempDir() + "/cca_trace_corrupt.txt";
+  {
+    std::ofstream out(path);
+    out << "# cca-trace v1 vocab=10 queries=5\n1 2\n";
+  }
+  try {
+    trace::load_trace(path);
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(TraceIo, FileRoundTrip) {
   trace::QueryTrace t(10);
   t.add_query({1, 2});

@@ -1,0 +1,390 @@
+// Streaming correlation miner: Count-Min sketch guarantees, Space-Saving
+// heavy-hitter semantics, StreamMiner recall against the exact counter,
+// decay windows, merge semantics, and the deterministic tie-breaking
+// contract (including the exact PairCounter::top_pairs regression for
+// many equal counts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/pair_stats.hpp"
+#include "trace/stream_miner.hpp"
+#include "trace/workload.hpp"
+
+namespace cca {
+namespace {
+
+trace::QueryTrace tiny_workload(std::size_t queries, std::uint64_t seed) {
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = 300;
+  cfg.num_topics = 30;
+  cfg.seed = 11;
+  return trace::WorkloadModel(cfg).generate(queries, seed);
+}
+
+// ---------- CountMinSketch ----------
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  trace::CountMinSketch cms(1u << 10, 4);
+  // Skewed key stream: key k appears (100 - k) times.
+  std::vector<std::uint64_t> truth(100, 0);
+  for (std::uint64_t k = 0; k < 100; ++k)
+    for (std::uint64_t r = k; r < 100; ++r) {
+      cms.add(k * 7919 + 13, 1.0);
+      ++truth[k];
+    }
+  for (std::uint64_t k = 0; k < 100; ++k)
+    EXPECT_GE(cms.estimate(k * 7919 + 13),
+              static_cast<double>(truth[k]) - 1e-9)
+        << "key " << k;
+}
+
+TEST(CountMinSketch, AddReturnsTheUpdatedEstimate) {
+  trace::CountMinSketch cms(1u << 8, 3);
+  for (int r = 1; r <= 5; ++r) {
+    const double returned = cms.add(42, 2.0);
+    EXPECT_EQ(returned, cms.estimate(42));
+    EXPECT_GE(returned, 2.0 * r - 1e-9);
+  }
+}
+
+TEST(CountMinSketch, WidthRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(trace::CountMinSketch(1000, 2).width(), 1024u);
+  EXPECT_EQ(trace::CountMinSketch(1024, 2).width(), 1024u);
+  EXPECT_EQ(trace::CountMinSketch(1, 2).width(), 16u);  // floor width
+}
+
+TEST(CountMinSketch, ScaleDecaysEstimates) {
+  trace::CountMinSketch cms(1u << 8, 3);
+  cms.add(7, 8.0);
+  const double before = cms.estimate(7);
+  cms.scale(0.25);
+  EXPECT_NEAR(cms.estimate(7), before * 0.25, 1e-12);
+}
+
+TEST(CountMinSketch, MergeIsCellwiseSum) {
+  trace::CountMinSketch a(1u << 8, 3), b(1u << 8, 3);
+  a.add(1, 3.0);
+  b.add(1, 4.0);
+  b.add(2, 5.0);
+  a.merge(b);
+  EXPECT_GE(a.estimate(1), 7.0 - 1e-9);
+  EXPECT_GE(a.estimate(2), 5.0 - 1e-9);
+  // Exact at this load factor (no collisions across 3 rows of 256 cells
+  // for 2 keys would be astronomically unlucky in every row).
+  EXPECT_NEAR(a.estimate(1), 7.0, 1e-9);
+}
+
+TEST(CountMinSketch, MergeRejectsShapeMismatch) {
+  trace::CountMinSketch a(1u << 8, 3), b(1u << 9, 3), c(1u << 8, 2);
+  EXPECT_THROW(a.merge(b), common::Error);
+  EXPECT_THROW(a.merge(c), common::Error);
+}
+
+// ---------- SpaceSaving ----------
+
+TEST(SpaceSaving, ExactWhileUnderCapacity) {
+  trace::SpaceSaving ss(16);
+  for (std::uint64_t k = 0; k < 8; ++k)
+    for (std::uint64_t r = 0; r <= k; ++r) ss.offer(k);
+  const auto top = ss.top(8);
+  ASSERT_EQ(top.size(), 8u);
+  EXPECT_EQ(top.front().key, 7u);
+  EXPECT_EQ(top.front().count, 8.0);
+  EXPECT_EQ(top.front().error, 0.0);
+  EXPECT_EQ(top.back().key, 0u);
+  EXPECT_EQ(top.back().count, 1.0);
+}
+
+TEST(SpaceSaving, CapacityBoundAndHeavyHitterRetention) {
+  trace::SpaceSaving ss(8);
+  // Two heavy keys among a stream of 1000 singletons.
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ss.offer(10000, 1.0);
+    ss.offer(20000, 1.0);
+    ss.offer(k, 1.0);
+  }
+  EXPECT_LE(ss.size(), 8u);
+  const auto top = ss.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  // (count desc, key asc): equal counts -> smaller key first.
+  EXPECT_EQ(top[0].key, 10000u);
+  EXPECT_EQ(top[1].key, 20000u);
+  // Space-Saving invariant: count overestimates by at most `error`.
+  EXPECT_GE(top[0].count, 1000.0 - 1e-9);
+  EXPECT_GE(top[0].count - top[0].error, 0.0);
+}
+
+TEST(SpaceSaving, TopUsesTotalOrderOnTies) {
+  trace::SpaceSaving ss(16);
+  for (const std::uint64_t k : {9, 3, 7, 1, 5}) ss.offer(k, 2.0);
+  const auto top = ss.top(16);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_LT(top[i - 1].key, top[i].key);  // equal counts: key asc
+}
+
+TEST(SpaceSaving, MinCountBoundsUnmonitoredKeys) {
+  trace::SpaceSaving ss(4);
+  EXPECT_EQ(ss.min_count(), 0.0);
+  for (std::uint64_t k = 0; k < 20; ++k) ss.offer(k);
+  EXPECT_GE(ss.min_count(), 1.0);
+}
+
+TEST(SpaceSaving, ScaleDecaysCounts) {
+  trace::SpaceSaving ss(4);
+  ss.offer(1, 8.0);
+  ss.scale(0.5);
+  EXPECT_EQ(ss.top(1).front().count, 4.0);
+}
+
+TEST(SpaceSaving, MergeSumsOverlapAndCarriesErrorFloors) {
+  trace::SpaceSaving a(8), b(8);
+  a.offer(1, 5.0);
+  a.offer(2, 3.0);
+  b.offer(1, 2.0);
+  b.offer(3, 4.0);
+  a.merge(b);
+  const auto top = a.top(8);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 7.0);  // both summaries exact -> exact union
+  EXPECT_EQ(top[0].error, 0.0);
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_EQ(top[1].count, 4.0);
+}
+
+TEST(SpaceSaving, DeterministicEvictionOnEqualCounts) {
+  // Fill to capacity with equal counts, then one more: the victim must be
+  // chosen by the documented total order (largest key among min count),
+  // so the surviving set is reproducible.
+  trace::SpaceSaving a(4), b(4);
+  for (const std::uint64_t k : {10, 20, 30, 40}) a.offer(k);
+  for (const std::uint64_t k : {40, 10, 30, 20}) b.offer(k);  // other order
+  a.offer(50);
+  b.offer(50);
+  const auto ta = a.top(4), tb = b.top(4);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+    EXPECT_EQ(ta[i].count, tb[i].count);
+  }
+  // Largest key (40) was evicted; smaller ids at the boundary survive.
+  for (const auto& e : ta) EXPECT_NE(e.key, 40u);
+}
+
+// ---------- exact top_pairs tie determinism (regression) ----------
+
+TEST(PairCounterTopPairs, EqualCountsBreakTiesLexicographically) {
+  // 12 disjoint pairs, every count equal: any k that cuts mid-ties must
+  // return the exact lexicographic head, not an arbitrary nth_element
+  // leftover.
+  trace::QueryTrace t(100);
+  for (trace::KeywordId k = 0; k < 24; k += 2) t.add_query({k, k + 1});
+  const trace::PairCounter counter = trace::PairCounter::count_all_pairs(t);
+  const auto top = counter.top_pairs(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].pair.first, static_cast<trace::KeywordId>(2 * i));
+    EXPECT_EQ(top[i].pair.second, static_cast<trace::KeywordId>(2 * i + 1));
+    EXPECT_EQ(top[i].count, 1u);
+  }
+}
+
+TEST(PairCounterTopPairs, MixedCountsSortByCountThenPair) {
+  trace::QueryTrace t(100);
+  t.add_query({8, 9});
+  t.add_query({8, 9});
+  for (trace::KeywordId k = 10; k < 30; k += 2) t.add_query({k, k + 1});
+  const auto top = trace::PairCounter::count_all_pairs(t).top_pairs(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].pair, (trace::KeywordPair{8, 9}));  // count 2 first
+  EXPECT_EQ(top[1].pair, (trace::KeywordPair{10, 11}));
+  EXPECT_EQ(top[2].pair, (trace::KeywordPair{12, 13}));
+  EXPECT_EQ(top[3].pair, (trace::KeywordPair{14, 15}));
+}
+
+// ---------- StreamMiner ----------
+
+trace::StreamMinerConfig roomy_config() {
+  trace::StreamMinerConfig cfg;
+  cfg.top_objects = 512;
+  cfg.top_pairs = 4096;
+  cfg.cm_width = 1u << 14;
+  cfg.cm_depth = 4;
+  return cfg;
+}
+
+TEST(StreamMiner, RecallAgainstExactCounter) {
+  const trace::QueryTrace t = tiny_workload(4000, 17);
+  trace::StreamMiner miner(roomy_config());
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  const trace::PairCounter exact = trace::PairCounter::count_all_pairs(t);
+
+  const std::size_t k = 100;
+  const auto exact_top = exact.top_pairs(k);
+  const auto sketch_top = miner.top_pairs(k);
+  ASSERT_EQ(sketch_top.size(), k);
+  std::size_t hits = 0;
+  for (const trace::PairCount& ref : exact_top)
+    for (const trace::PairCount& got : sketch_top)
+      if (got.pair == ref.pair) {
+        ++hits;
+        break;
+      }
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(exact_top.size());
+  EXPECT_GE(recall, 0.95) << "sketch recall@" << k << " = " << recall;
+}
+
+TEST(StreamMiner, EstimatesNeverUnderestimateExactCounts) {
+  const trace::QueryTrace t = tiny_workload(2000, 23);
+  trace::StreamMiner miner(roomy_config());
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  const trace::PairCounter exact = trace::PairCounter::count_all_pairs(t);
+  for (const trace::PairCount& pc : exact.top_pairs(200))
+    EXPECT_GE(miner.estimate_pair(pc.pair.first, pc.pair.second),
+              static_cast<double>(pc.count) - 1e-9)
+        << "pair (" << pc.pair.first << "," << pc.pair.second << ")";
+}
+
+TEST(StreamMiner, SmallestPairModeMatchesExactCounter) {
+  const trace::QueryTrace t = tiny_workload(3000, 29);
+  // Distinct sizes so the smallest-pair selection is nontrivial.
+  std::vector<std::uint64_t> sizes(t.vocabulary_size());
+  for (std::size_t k = 0; k < sizes.size(); ++k)
+    sizes[k] = 1 + (k * 2654435761u) % 997;
+  trace::StreamMiner miner(roomy_config());
+  miner.observe_trace(t, trace::PairMode::kSmallestPair, &sizes);
+  const trace::PairCounter exact =
+      trace::PairCounter::count_smallest_pair(t, sizes);
+  const auto exact_top = exact.top_pairs(50);
+  const auto sketch_top = miner.top_pairs(50);
+  ASSERT_GE(sketch_top.size(), exact_top.size() < 50 ? exact_top.size() : 50);
+  // At this scale, the sketch head must be the exact head, pair for pair.
+  for (std::size_t i = 0; i < exact_top.size() && i < 10; ++i)
+    EXPECT_EQ(sketch_top[i].pair, exact_top[i].pair) << "rank " << i;
+}
+
+TEST(StreamMiner, SmallestPairModeRequiresSizes) {
+  trace::StreamMiner miner(roomy_config());
+  trace::QueryTrace t(10);
+  t.add_query({1, 2});
+  EXPECT_THROW(
+      miner.observe_trace(t, trace::PairMode::kSmallestPair, nullptr),
+      common::Error);
+}
+
+TEST(StreamMiner, TopPairsUsesTotalOrderOnTies) {
+  trace::StreamMiner miner(roomy_config());
+  trace::QueryTrace t(64);
+  for (trace::KeywordId k = 0; k < 24; k += 2) t.add_query({k, k + 1});
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  const auto top = miner.top_pairs(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    EXPECT_EQ(top[i].pair,
+              (trace::KeywordPair{static_cast<trace::KeywordId>(2 * i),
+                                  static_cast<trace::KeywordId>(2 * i + 1)}))
+        << "rank " << i;
+}
+
+TEST(StreamMiner, TopObjectsRanksByRequestCount) {
+  trace::StreamMiner miner(roomy_config());
+  trace::QueryTrace t(64);
+  t.add_query({5, 9});
+  t.add_query({5, 7});
+  t.add_query({5, 9});
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  const auto top = miner.top_objects(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].keyword, 5u);
+  EXPECT_NEAR(top[0].estimate, 3.0, 1e-12);
+  EXPECT_EQ(top[1].keyword, 9u);
+  EXPECT_EQ(top[2].keyword, 7u);
+}
+
+TEST(StreamMiner, AdvanceWindowDecaysEstimatesAndWeight) {
+  trace::StreamMiner miner(roomy_config());
+  trace::QueryTrace t(64);
+  t.add_query({1, 2});
+  t.add_query({1, 2});
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  EXPECT_NEAR(miner.query_weight(), 2.0, 1e-12);
+  EXPECT_NEAR(miner.estimate_pair(1, 2), 2.0, 1e-9);
+
+  miner.advance_window(0.5);
+  EXPECT_NEAR(miner.query_weight(), 1.0, 1e-12);
+  EXPECT_NEAR(miner.estimate_pair(1, 2), 1.0, 1e-9);
+  EXPECT_EQ(miner.queries_seen(), 2u);  // raw count is not decayed
+
+  // New observations enter at full weight: EWMA behaviour.
+  trace::QueryTrace t2(64);
+  t2.add_query({1, 2});
+  miner.observe_trace(t2, trace::PairMode::kAllPairs);
+  EXPECT_NEAR(miner.estimate_pair(1, 2), 2.0, 1e-9);
+  EXPECT_THROW(miner.advance_window(0.0), common::Error);
+  EXPECT_THROW(miner.advance_window(1.5), common::Error);
+}
+
+TEST(StreamMiner, MergeOfHalvesMatchesWholeTrace) {
+  const trace::QueryTrace t = tiny_workload(2000, 31);
+  trace::QueryTrace first(t.vocabulary_size()), second(t.vocabulary_size());
+  for (std::size_t q = 0; q < t.size(); ++q) {
+    std::vector<trace::KeywordId> kw = t[q].keywords;
+    (q < t.size() / 2 ? first : second).add_query(std::move(kw));
+  }
+  const trace::StreamMinerConfig cfg = roomy_config();
+  trace::StreamMiner whole(cfg), a(cfg), b(cfg);
+  whole.observe_trace(t, trace::PairMode::kAllPairs);
+  a.observe_trace(first, trace::PairMode::kAllPairs);
+  b.observe_trace(second, trace::PairMode::kAllPairs);
+  a.merge(b);
+
+  EXPECT_EQ(a.query_weight(), whole.query_weight());
+  EXPECT_EQ(a.queries_seen(), whole.queries_seen());
+  const auto top_whole = whole.top_pairs(100);
+  const auto top_merged = a.top_pairs(100);
+  ASSERT_EQ(top_merged.size(), top_whole.size());
+  for (std::size_t i = 0; i < top_whole.size(); ++i) {
+    EXPECT_EQ(top_merged[i].pair, top_whole[i].pair) << "rank " << i;
+    EXPECT_EQ(top_merged[i].count, top_whole[i].count) << "rank " << i;
+  }
+}
+
+TEST(StreamMiner, MemoryStaysBoundedAsTheTraceGrows) {
+  const trace::StreamMinerConfig cfg = roomy_config();
+  trace::StreamMiner small(cfg), large(cfg);
+  small.observe_trace(tiny_workload(1000, 37), trace::PairMode::kAllPairs);
+  large.observe_trace(tiny_workload(8000, 37), trace::PairMode::kAllPairs);
+  // 8x the trace must not grow the summaries: memory is a function of the
+  // config, not the data (the bounded-memory claim of the sketch path).
+  EXPECT_LE(large.memory_bytes(), small.memory_bytes() * 2);
+  // And both sit under the configured envelope: sketch + objects +
+  // candidate set, with slack for vector capacity rounding.
+  const std::size_t envelope =
+      cfg.cm_width * cfg.cm_depth * sizeof(double) +
+      cfg.top_objects * 64 + cfg.top_pairs * 4 * sizeof(std::uint64_t);
+  EXPECT_LE(large.memory_bytes(), envelope * 2);
+}
+
+TEST(StreamMiner, ProbabilityDenominatorIsQueryWeight) {
+  trace::StreamMiner miner(roomy_config());
+  trace::QueryTrace t(64);
+  t.add_query({1, 2});
+  t.add_query({1, 2});
+  t.add_query({3, 4});
+  t.add_query({5});  // singleton: no pair, still weighs a query
+  miner.observe_trace(t, trace::PairMode::kAllPairs);
+  const auto top = miner.top_pairs(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].pair, (trace::KeywordPair{1, 2}));
+  EXPECT_NEAR(top[0].probability, 2.0 / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cca

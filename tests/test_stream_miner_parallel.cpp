@@ -1,0 +1,135 @@
+// StreamMiner determinism contract under the parallel substrate: sharded
+// mining must produce BIT-identical summaries — including floating-point
+// estimates — for any thread count, because shard boundaries depend only
+// on the grain and shard merges run in fixed chunk order. This file lives
+// in cca_parallel_tests so the claim is also checked under TSan
+// (ctest -L sanitize with CCA_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "trace/pair_stats.hpp"
+#include "trace/stream_miner.hpp"
+#include "trace/workload.hpp"
+
+namespace cca {
+namespace {
+
+/// Restores the default pool size when a test returns, so thread-count
+/// overrides never leak across tests.
+struct ThreadsGuard {
+  ~ThreadsGuard() { common::set_global_threads(0); }
+};
+
+const int kThreadCounts[] = {1, 2, 8};
+
+trace::QueryTrace sharded_workload() {
+  trace::WorkloadConfig cfg;
+  cfg.vocabulary_size = 400;
+  cfg.num_topics = 40;
+  cfg.seed = 19;
+  // > 2 mining shards at the 4096-query grain, so the parallel merge path
+  // is actually exercised (a single chunk would run inline).
+  return trace::WorkloadModel(cfg).generate(12000, 7);
+}
+
+trace::StreamMinerConfig miner_config() {
+  trace::StreamMinerConfig cfg;
+  cfg.top_objects = 256;
+  cfg.top_pairs = 2048;
+  cfg.cm_width = 1u << 13;
+  cfg.cm_depth = 4;
+  return cfg;
+}
+
+TEST(StreamMinerParallel, TopPairsBitIdenticalAcrossThreadCounts) {
+  ThreadsGuard guard;
+  const trace::QueryTrace t = sharded_workload();
+  std::vector<std::vector<trace::PairCount>> results;
+  for (int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    trace::StreamMiner miner(miner_config());
+    miner.observe_trace(t, trace::PairMode::kAllPairs);
+    results.push_back(miner.top_pairs(500));
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].size(), results[0].size())
+        << "threads " << kThreadCounts[r];
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      EXPECT_EQ(results[r][i].pair, results[0][i].pair)
+          << "rank " << i << " threads " << kThreadCounts[r];
+      // Bit-identical, not approximately equal: the contract is exact.
+      EXPECT_EQ(results[r][i].probability, results[0][i].probability)
+          << "rank " << i << " threads " << kThreadCounts[r];
+      EXPECT_EQ(results[r][i].count, results[0][i].count)
+          << "rank " << i << " threads " << kThreadCounts[r];
+    }
+  }
+}
+
+TEST(StreamMinerParallel, EstimatesAndObjectsBitIdenticalAcrossThreadCounts) {
+  ThreadsGuard guard;
+  const trace::QueryTrace t = sharded_workload();
+  std::vector<std::uint64_t> sizes(t.vocabulary_size());
+  for (std::size_t k = 0; k < sizes.size(); ++k)
+    sizes[k] = 1 + (k * 2654435761u) % 4093;
+
+  std::vector<double> weights;
+  std::vector<std::vector<trace::ObjectEstimate>> objects;
+  std::vector<double> probe_estimates;
+  for (int threads : kThreadCounts) {
+    common::set_global_threads(threads);
+    trace::StreamMiner miner(miner_config());
+    miner.observe_trace(t, trace::PairMode::kSmallestPair, &sizes);
+    weights.push_back(miner.query_weight());
+    objects.push_back(miner.top_objects(100));
+    double sum = 0.0;
+    for (const trace::PairCount& pc : miner.top_pairs(100))
+      sum += miner.estimate_pair(pc.pair.first, pc.pair.second);
+    probe_estimates.push_back(sum);
+  }
+  for (std::size_t r = 1; r < weights.size(); ++r) {
+    EXPECT_EQ(weights[r], weights[0]) << "threads " << kThreadCounts[r];
+    EXPECT_EQ(probe_estimates[r], probe_estimates[0])
+        << "threads " << kThreadCounts[r];
+    ASSERT_EQ(objects[r].size(), objects[0].size());
+    for (std::size_t i = 0; i < objects[0].size(); ++i) {
+      EXPECT_EQ(objects[r][i].keyword, objects[0][i].keyword) << "rank " << i;
+      EXPECT_EQ(objects[r][i].estimate, objects[0][i].estimate)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(StreamMinerParallel, ShardedMiningMatchesSequentialMining) {
+  // threads=1 still shards (chunking is grain-dependent, not
+  // thread-dependent), so also pin the single-chunk inline path against
+  // the sharded one on a prefix small enough to be one chunk.
+  ThreadsGuard guard;
+  common::set_global_threads(4);
+  const trace::QueryTrace t = sharded_workload();
+  trace::QueryTrace prefix(t.vocabulary_size());
+  for (std::size_t q = 0; q < 3000; ++q) {
+    std::vector<trace::KeywordId> kw = t[q].keywords;
+    prefix.add_query(std::move(kw));
+  }
+  trace::StreamMiner inline_miner(miner_config());
+  for (std::size_t q = 0; q < prefix.size(); ++q)
+    inline_miner.observe_query(prefix[q], trace::PairMode::kAllPairs);
+  trace::StreamMiner trace_miner(miner_config());
+  trace_miner.observe_trace(prefix, trace::PairMode::kAllPairs);
+
+  EXPECT_EQ(inline_miner.query_weight(), trace_miner.query_weight());
+  const auto a = inline_miner.top_pairs(200);
+  const auto b = trace_miner.top_pairs(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pair, b[i].pair) << "rank " << i;
+    EXPECT_EQ(a[i].probability, b[i].probability) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cca
