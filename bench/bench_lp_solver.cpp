@@ -179,16 +179,23 @@ int main(int argc, char** argv) {
                " described in component_solver.hpp)\n";
 
   // ------------------------------------------------------------------
-  // Scaling grid: rows x density x backend over seeded random LPs.
-  // Both backends see the identical model per cell, so the objective
-  // column doubles as a cross-backend equivalence check (the smoke
-  // contract smoke_lp_backend_equiv asserts it from the JSON dump).
+  // Scaling grid: rows x density x lane x presolve over seeded random
+  // LPs. Every configuration sees the identical model per cell, so the
+  // objective column doubles as a cross-configuration equivalence check
+  // (the smoke contracts smoke_lp_backend_equiv / smoke_lp_presolve_equiv
+  // and check_lp_grid.py assert it from the JSON dump). Lanes: the dense
+  // tableau, the primal-only revised simplex (PR-4 baseline), and the
+  // revised simplex with the dual warm-restart lane. Each revised-family
+  // cell additionally re-solves an rhs-perturbed sibling warm from the
+  // first solve's basis — the hot-restart pattern bench_drift and the
+  // RecoveryPlanner live on — reporting the warm iteration count (primal
+  // repair vs dual-lane repair at the same cell).
   // ------------------------------------------------------------------
   std::cout << "\nScaling grid — synthetic sparse LPs (cols = 2x rows,"
                " every 5th row an equality)\n\n";
-  common::Table grid({"rows", "cols", "density", "backend", "status",
-                      "iters", "factor.", "fill nnz", "objective",
-                      "solve (ms)"});
+  common::Table grid({"rows", "cols", "density", "lane", "presolve",
+                      "status", "iters", "dual it", "warm it", "pre -rows",
+                      "pre -cols", "objective", "solve (ms)"});
   std::vector<std::string> json_rows;
   for (const int rows : {50, 100, 200, 400}) {
     if (rows > grid_max_rows) continue;
@@ -198,42 +205,88 @@ int main(int argc, char** argv) {
           cfg.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(rows) * 131 +
           static_cast<std::uint64_t>(density * 1000.0);
       const lp::Model model = make_grid_lp(rows, cols, density, cell_seed);
-      for (const lp::SolverKind kind :
-           {lp::SolverKind::kDense, lp::SolverKind::kRevised}) {
-        if (kind == lp::SolverKind::kDense && rows > grid_dense_limit)
+      // The rhs-perturbed sibling for the warm-restart measurement: every
+      // rhs nudged up (deterministically per cell), so the model stays
+      // feasible and the old basis typically prices out dual feasible but
+      // primal infeasible — the dual lane's home turf.
+      lp::Model perturbed;
+      {
+        common::Rng prng(cell_seed ^ 0xD1B54A32D192ED03ULL);
+        for (int j = 0; j < model.num_variables(); ++j)
+          perturbed.add_variable(model.lower_bound(j), model.upper_bound(j),
+                                 model.objective_coef(j));
+        for (int i = 0; i < model.num_constraints(); ++i)
+          perturbed.add_constraint(model.relation(i),
+                                   model.rhs(i) + 0.05 * prng.next_double(),
+                                   model.row_terms(i));
+      }
+      const struct {
+        const char* lane;
+        lp::SolverKind kind;
+      } lanes[] = {{"dense", lp::SolverKind::kDense},
+                   {"revised", lp::SolverKind::kRevised},
+                   {"dual", lp::SolverKind::kDual}};
+      for (const auto& lane : lanes) {
+        if (lane.kind == lp::SolverKind::kDense && rows > grid_dense_limit)
           continue;
-        const lp::Solver solver(kind);
-        const lp::SolveResult r = solver.solve(model);
-        grid.add_row({std::to_string(rows), std::to_string(cols),
-                      common::Table::num(density, 2), r.stats.backend,
-                      to_string(r.solution.status),
-                      std::to_string(r.solution.iterations),
-                      std::to_string(r.stats.factorizations),
-                      std::to_string(r.stats.factor_fill_nnz),
-                      common::Table::num(r.solution.objective, 6),
-                      common::Table::num(r.stats.total_ms, 2)});
-        std::ostringstream row;
-        row << "  {\"seed\": " << cfg.seed << ", \"rows\": " << rows
-            << ", \"cols\": " << cols << ", \"density\": " << density
-            << ", \"backend\": \"" << r.stats.backend << "\""
-            << ", \"status\": \"" << to_string(r.solution.status) << "\""
-            << ", \"objective\": " << r.solution.objective
-            << ", \"iterations\": " << r.solution.iterations
-            << ", \"phase1_iterations\": " << r.stats.phase1_iterations
-            << ", \"phase2_iterations\": " << r.stats.phase2_iterations
-            << ", \"factorizations\": " << r.stats.factorizations
-            << ", \"fill_nnz\": " << r.stats.factor_fill_nnz
-            << ", \"pricing_candidates\": " << r.stats.pricing_candidates
-            << ", \"solve_ms\": " << r.stats.total_ms << "}";
-        json_rows.push_back(row.str());
+        for (const bool presolve : {true, false}) {
+          lp::SolverOptions options;
+          options.presolve = presolve;
+          const lp::Solver solver(lane.kind, options);
+          const lp::SolveResult r = solver.solve(model);
+          long warm_iters = -1, warm_dual_iters = -1;
+          if (lane.kind != lp::SolverKind::kDense && !r.basis.empty()) {
+            const lp::SolveResult w = solver.solve(perturbed, &r.basis);
+            if (w.optimal()) {
+              warm_iters = w.solution.iterations;
+              warm_dual_iters = w.stats.dual_iterations;
+            }
+          }
+          grid.add_row({std::to_string(rows), std::to_string(cols),
+                        common::Table::num(density, 2), lane.lane,
+                        presolve ? "on" : "off",
+                        to_string(r.solution.status),
+                        std::to_string(r.solution.iterations),
+                        std::to_string(r.stats.dual_iterations),
+                        std::to_string(warm_iters),
+                        std::to_string(r.stats.presolve_rows_removed),
+                        std::to_string(r.stats.presolve_cols_removed),
+                        common::Table::num(r.solution.objective, 6),
+                        common::Table::num(r.stats.total_ms, 2)});
+          std::ostringstream row;
+          row << "  {\"seed\": " << cfg.seed << ", \"rows\": " << rows
+              << ", \"cols\": " << cols << ", \"density\": " << density
+              << ", \"lane\": \"" << lane.lane << "\""
+              << ", \"presolve\": \"" << (presolve ? "on" : "off") << "\""
+              << ", \"backend\": \"" << r.stats.backend << "\""
+              << ", \"status\": \"" << to_string(r.solution.status) << "\""
+              << ", \"objective\": " << r.solution.objective
+              << ", \"iterations\": " << r.solution.iterations
+              << ", \"phase1_iterations\": " << r.stats.phase1_iterations
+              << ", \"phase2_iterations\": " << r.stats.phase2_iterations
+              << ", \"dual_iterations\": " << r.stats.dual_iterations
+              << ", \"warm_iterations\": " << warm_iters
+              << ", \"warm_dual_iterations\": " << warm_dual_iters
+              << ", \"presolve_rows_removed\": "
+              << r.stats.presolve_rows_removed
+              << ", \"presolve_cols_removed\": "
+              << r.stats.presolve_cols_removed
+              << ", \"factorizations\": " << r.stats.factorizations
+              << ", \"fill_nnz\": " << r.stats.factor_fill_nnz
+              << ", \"pricing_candidates\": " << r.stats.pricing_candidates
+              << ", \"solve_ms\": " << r.stats.total_ms << "}";
+          json_rows.push_back(row.str());
+        }
       }
     }
   }
   grid.print(std::cout);
-  std::cout << "\n(identical model per (rows, density) cell; the revised"
-               " backend runs sparse-LU FTRAN/BTRAN with candidate-list"
-               " pricing — compare iters and solve time against the dense"
-               " tableau at the same cell)\n";
+  std::cout << "\n(identical model per (rows, density) cell across every"
+               " lane x presolve configuration; 'warm it' is the total"
+               " iteration count of re-solving an rhs-perturbed sibling"
+               " from the cell's optimal basis — compare the revised"
+               " lane's phase-1 rebuild against the dual lane's repair"
+               " pivots at the same cell)\n";
 
   if (!cfg.json_path.empty()) {
     std::ofstream out(cfg.json_path);

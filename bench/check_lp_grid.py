@@ -1,10 +1,16 @@
 """Validates a bench_lp_solver --json grid dump (BENCH_lp_solver.json).
 
 Checks that the dump is valid JSON with the per-cell schema, that every
-cell solved to optimality, and that the dense and revised backends agree
-on the objective of every (rows, density) cell — the cross-backend
-equivalence half of the smoke_lp_backend_equiv contract, read off the
+cell solved to optimality, and that every configuration of a (rows,
+density) point — lane in {dense, revised, dual}, presolve in {on, off} —
+agrees on the objective: the cross-configuration equivalence half of the
+smoke_lp_backend_equiv / smoke_lp_presolve_equiv contracts, read off the
 synthetic grid instead of the CCA pipeline.
+
+Coverage is strict: every (rows, density) point must carry the identical
+configuration set (a missing cell fails the check), the revised and dual
+lanes must both appear with presolve on AND off, and presolve must remove
+a nonzero number of rows+columns somewhere on the grid.
 
 Usage: python3 check_lp_grid.py <grid.json>
 """
@@ -12,9 +18,18 @@ import json
 import sys
 
 REQUIRED = {
-    "rows", "cols", "density", "backend", "status", "objective",
-    "iterations", "phase1_iterations", "phase2_iterations",
+    "rows", "cols", "density", "lane", "presolve", "backend", "status",
+    "objective", "iterations", "phase1_iterations", "phase2_iterations",
+    "dual_iterations", "warm_iterations", "warm_dual_iterations",
+    "presolve_rows_removed", "presolve_cols_removed",
     "factorizations", "fill_nnz", "pricing_candidates", "solve_ms",
+}
+
+# Every revised-family configuration must be present at every point; the
+# dense lane may be cut off by --grid-dense-limit but must then be absent
+# uniformly (the identical-config-set check below).
+MANDATORY_CONFIGS = {
+    ("revised", "on"), ("revised", "off"), ("dual", "on"), ("dual", "off"),
 }
 
 
@@ -23,25 +38,57 @@ def main(path):
         cells = json.load(f)
     if not cells:
         raise SystemExit("grid dump is empty")
-    by_cell = {}
+    by_point = {}
+    total_removed = 0
+    warm = {"revised": 0, "dual": 0}
+    warm_cells = {"revised": 0, "dual": 0}
     for cell in cells:
         missing = REQUIRED - set(cell)
         if missing:
             raise SystemExit(f"cell {cell} missing keys {sorted(missing)}")
         if cell["status"] != "optimal":
             raise SystemExit(f"cell not optimal: {cell}")
-        key = (cell["rows"], cell["density"])
-        by_cell.setdefault(key, {})[cell["backend"]] = cell["objective"]
-    for key, objectives in sorted(by_cell.items()):
-        if {"dense", "revised"} - set(objectives):
-            raise SystemExit(f"cell {key} missing a backend: {objectives}")
-        dense, revised = objectives["dense"], objectives["revised"]
-        if abs(dense - revised) > 1e-6 * (1.0 + abs(dense)):
+        point = (cell["rows"], cell["density"])
+        config = (cell["lane"], cell["presolve"])
+        configs = by_point.setdefault(point, {})
+        if config in configs:
+            raise SystemExit(f"point {point} duplicates config {config}")
+        configs[config] = cell["objective"]
+        if cell["presolve"] == "on":
+            total_removed += (cell["presolve_rows_removed"] +
+                              cell["presolve_cols_removed"])
+        elif cell["presolve_rows_removed"] or cell["presolve_cols_removed"]:
+            raise SystemExit(f"presolve-off cell reports reductions: {cell}")
+        if cell["lane"] in warm and cell["warm_iterations"] >= 0:
+            warm[cell["lane"]] += cell["warm_iterations"]
+            warm_cells[cell["lane"]] += 1
+    expected = None
+    for point, configs in sorted(by_point.items()):
+        if expected is None:
+            expected = set(configs)
+            if not MANDATORY_CONFIGS <= expected:
+                raise SystemExit(
+                    f"grid lacks mandatory configs: "
+                    f"{sorted(MANDATORY_CONFIGS - expected)}")
+        if set(configs) != expected:
             raise SystemExit(
-                f"cell {key}: backends disagree, dense={dense} "
-                f"revised={revised}")
-    print(f"{len(cells)} cells, {len(by_cell)} (rows, density) points, "
-          "backends agree")
+                f"point {point} missing cells: {sorted(expected - set(configs))}"
+                f" extra: {sorted(set(configs) - expected)}")
+        objectives = sorted(configs.items())
+        ref_config, ref = objectives[0]
+        for config, objective in objectives[1:]:
+            if abs(objective - ref) > 1e-6 * (1.0 + abs(ref)):
+                raise SystemExit(
+                    f"point {point}: configs disagree, {ref_config}={ref} "
+                    f"{config}={objective}")
+    if total_removed <= 0:
+        raise SystemExit("presolve removed nothing anywhere on the grid")
+    print(f"{len(cells)} cells, {len(by_point)} (rows, density) points, "
+          f"{len(expected)} configs each, objectives agree; "
+          f"presolve removed {total_removed} rows+cols; "
+          f"warm restarts: revised {warm['revised']} iters over "
+          f"{warm_cells['revised']} cells, dual {warm['dual']} iters over "
+          f"{warm_cells['dual']} cells")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,70 @@
+# Smoke contract: presolve and the dual warm-restart lane are pure
+# accelerators. A bench's stdout (placements, costs, balance) is
+# byte-identical across --lp-presolve={on,off} crossed with every
+# --lp-backend lane (auto / revised / dual / auto-dual), and across
+# --threads={1,2,8} with the new machinery fully enabled — presolve
+# reductions, crushed/postsolved warm-start bases, and dual-lane repairs
+# may change iteration counts, never answers. Also checks the strict
+# flag-value contract: a bad value for either flag is a hard error
+# naming the flag and suggesting the closest accepted value. Driven by
+# ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -P <this>
+function(run_bench out_var)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench ${ARGN} failed with exit code ${rc}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_bench(reference --threads=2)
+
+# Presolve x lane grid at a fixed thread count.
+set(variants "")
+foreach(presolve on off)
+  foreach(backend auto revised dual auto-dual)
+    run_bench(got --threads=2 --lp-presolve=${presolve}
+      --lp-backend=${backend})
+    if(NOT got STREQUAL reference)
+      message(FATAL_ERROR "--lp-presolve=${presolve} --lp-backend=${backend}"
+        " perturbed bench stdout")
+    endif()
+  endforeach()
+endforeach()
+
+# Thread sweep with the full new machinery on (the banner names the pool
+# size, so compare per-thread-count pairs: defaults vs presolve+dual).
+foreach(threads 1 2 8)
+  run_bench(plain --threads=${threads})
+  run_bench(tuned --threads=${threads} --lp-presolve=on --lp-backend=dual)
+  if(NOT tuned STREQUAL plain)
+    message(FATAL_ERROR
+      "--lp-presolve=on --lp-backend=dual perturbed bench stdout"
+      " at --threads=${threads}")
+  endif()
+endforeach()
+
+# Strict parse: bad values are hard errors that name the flag and
+# suggest the closest accepted value.
+function(expect_reject flag expect_hint)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} ${flag}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "bench accepted bad flag value ${flag}")
+  endif()
+  string(REGEX REPLACE "=.*" "" flag_name "${flag}")
+  if(NOT err MATCHES "${flag_name}")
+    message(FATAL_ERROR
+      "rejection of ${flag} does not name the flag: ${err}")
+  endif()
+  if(NOT err MATCHES "did you mean '${expect_hint}'")
+    message(FATAL_ERROR
+      "rejection of ${flag} does not suggest '${expect_hint}': ${err}")
+  endif()
+endfunction()
+
+expect_reject(--lp-presolve=onn on)
+expect_reject(--lp-backend=duel dual)

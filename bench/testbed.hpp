@@ -99,14 +99,25 @@ struct TestbedConfig {
         "miner-depth", static_cast<std::int64_t>(cfg.miner.sketch.cm_depth)));
     // LP engine knobs, applied process-wide so every solve in the run
     // inherits them (see the default_* setters in src/lp/solution.hpp and
-    // src/lp/solver.hpp). All four are answer-invariant: they change how
-    // fast the simplex reaches the optimum, never which optimum.
+    // src/lp/solver.hpp). All are answer-invariant: they change how fast
+    // the simplex reaches the optimum, never which optimum. A bad value
+    // is a hard error naming the flag, the accepted values, and the
+    // closest candidate.
+    const auto enum_error = [](const char* flag, const std::string& got,
+                               const std::vector<std::string>& accepted) {
+      const std::string hint = common::suggest_value(got, accepted);
+      CCA_CHECK_MSG(false, "--" << flag << " must be one of "
+                                << common::quote_candidates(accepted)
+                                << ", got '" << got << "'"
+                                << (hint.empty()
+                                        ? std::string()
+                                        : " (did you mean '" + hint + "'?)"));
+    };
     const std::string pricing = args.get_string("lp-pricing", "");
     if (!pricing.empty()) {
       lp::PricingRule rule;
-      CCA_CHECK_MSG(lp::parse_pricing(pricing, &rule),
-                    "--lp-pricing must be 'dantzig' or 'candidate', got '"
-                        << pricing << "'");
+      if (!lp::parse_pricing(pricing, &rule))
+        enum_error("lp-pricing", pricing, {"dantzig", "candidate"});
       lp::set_default_pricing(rule);
     }
     const long refactor =
@@ -115,18 +126,32 @@ struct TestbedConfig {
     if (refactor > 0) lp::set_default_refactor_interval(refactor);
     const std::string warm = args.get_string("lp-warm-start", "");
     if (!warm.empty()) {
-      CCA_CHECK_MSG(warm == "on" || warm == "off",
-                    "--lp-warm-start must be 'on' or 'off', got '" << warm
-                                                                   << "'");
+      if (warm != "on" && warm != "off")
+        enum_error("lp-warm-start", warm, {"on", "off"});
       lp::set_default_warm_start(warm == "on");
+    }
+    const std::string presolve = args.get_string("lp-presolve", "");
+    if (!presolve.empty()) {
+      if (presolve != "on" && presolve != "off")
+        enum_error("lp-presolve", presolve, {"on", "off"});
+      lp::set_default_presolve(presolve == "on");
     }
     const std::string backend = args.get_string("lp-backend", "");
     if (!backend.empty()) {
       lp::SolverKind kind;
-      CCA_CHECK_MSG(lp::parse_solver_kind(backend, &kind),
-                    "--lp-backend must be 'auto', 'dense', or 'revised', "
-                    "got '" << backend << "'");
+      if (!lp::parse_solver_kind(backend, &kind))
+        enum_error("lp-backend", backend,
+                   {"auto", "dense", "revised", "dual", "auto-dual"});
       lp::set_default_solver_kind(kind);
+      // The dual warm-restart lane follows the backend: the primal-only
+      // 'revised' lane pins it off (the PR-4 ablation baseline), 'dual' /
+      // 'auto-dual' force it on, 'auto' / 'dense' keep the process
+      // default.
+      if (kind == lp::SolverKind::kRevised)
+        lp::set_default_dual_lane(false);
+      else if (kind == lp::SolverKind::kDual ||
+               kind == lp::SolverKind::kAutoDual)
+        lp::set_default_dual_lane(true);
     }
     // The thread knob takes effect immediately: every bench parses its
     // flags before doing any work, so the pool is sized before first use.

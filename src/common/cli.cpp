@@ -34,6 +34,27 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 
 }  // namespace
 
+std::string suggest_value(const std::string& value,
+                          const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = value.size() / 2 + 1;  // typo radius
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(value, candidate);
+    if (d < best_distance) {  // ties: first candidate wins
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+std::string quote_candidates(const std::vector<std::string>& candidates) {
+  std::string out;
+  for (const std::string& candidate : candidates)
+    out += (out.empty() ? "'" : ", '") + candidate + "'";
+  return out;
+}
+
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

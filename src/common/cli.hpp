@@ -8,6 +8,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace cca::common {
 
@@ -33,5 +34,15 @@ class CliArgs {
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> used_;
 };
+
+/// The candidate closest to `value` within a typo-sized edit radius, or ""
+/// when nothing is close. For enum-valued flags: lets a bad value fail
+/// with the same "did you mean ...?" shape unknown flag names get.
+std::string suggest_value(const std::string& value,
+                          const std::vector<std::string>& candidates);
+
+/// "'a', 'b', 'c'" — the candidate list as it should appear in a
+/// bad-value error message.
+std::string quote_candidates(const std::vector<std::string>& candidates);
 
 }  // namespace cca::common

@@ -404,8 +404,11 @@ FractionalPlacement ComponentLpSolver::solve(
   // per capacity row} is structurally nonsingular (permuted triangular
   // with unit diagonal). It is optimal outright when no capacity binds;
   // when one does, the simplex repairs it in a few pivots instead of
-  // running phase 1 from scratch. An unusable hint silently cold-starts,
-  // so placements never depend on where the hint came from.
+  // running phase 1 from scratch. A cached basis made primal infeasible
+  // by drifted sizes/capacities (the rhs-perturbation shape) is repaired
+  // by the solver's dual lane rather than rejected. An unusable hint
+  // silently cold-starts, so placements never depend on where the hint
+  // came from.
   const int R = static_cast<int>(instance.resources().size());
   const int num_rows = C + N + R * N;
   lp::Basis hint;

@@ -155,6 +155,10 @@ RecoveryResult RecoveryPlanner::replan(const CcaInstance& instance,
         budget / std::max(instance.total_object_size(), 1e-12);
     inc.rounding = config_.rounding;
     inc.seed = config_.seed;
+    // Shared across failure events: a node loss shifts capacities/pins
+    // (an rhs perturbation of the same LP shape), so the cached basis is
+    // either confirmed outright or repaired by the dual simplex lane —
+    // recovery re-solves never pay a phase-1 rebuild for a stale basis.
     inc.warm_cache = &lp_warm_cache_;
     const IncrementalResult rebalanced =
         IncrementalOptimizer(inc).reoptimize(survivor, result.placement);

@@ -23,7 +23,9 @@ struct BuildRow {
 
 CanonicalForm::CanonicalForm(const Model& model) {
   num_user_vars_ = model.num_variables();
+  num_user_rows_ = model.num_constraints();
   var_map_.resize(static_cast<std::size_t>(num_user_vars_));
+  upper_row_of_var_.assign(static_cast<std::size_t>(num_user_vars_), -1);
 
   // --- Structural columns: shift lower bounds to zero, split free vars. ---
   int next_col = 0;
@@ -35,10 +37,13 @@ CanonicalForm::CanonicalForm(const Model& model) {
     if (std::isfinite(l)) {
       vm.shift = l;
       vm.plus_col = next_col++;
-      if (std::isfinite(u) && u > l) upper_rows.emplace_back(vm.plus_col, u - l);
       // u == l pins the variable at its bound: column exists with implicit
       // upper row of 0 so the simplex keeps it at zero.
-      if (std::isfinite(u) && u == l) upper_rows.emplace_back(vm.plus_col, 0.0);
+      if (std::isfinite(u) && u >= l) {
+        upper_row_of_var_[j] =
+            num_user_rows_ + static_cast<int>(upper_rows.size());
+        upper_rows.emplace_back(vm.plus_col, u - l);
+      }
     } else if (std::isfinite(u)) {
       vm.shift = u;  // x_user = u - x_minus, x_minus >= 0
       vm.minus_col = next_col++;
@@ -82,6 +87,7 @@ CanonicalForm::CanonicalForm(const Model& model) {
   const int m = static_cast<int>(rows.size());
   b_.assign(static_cast<std::size_t>(m), 0.0);
   row_identity_slack_.assign(static_cast<std::size_t>(m), -1);
+  row_slack_.assign(static_cast<std::size_t>(m), -1);
 
   // Count slack columns first so column indices are known up front.
   int num_slacks = 0;
@@ -109,6 +115,7 @@ CanonicalForm::CanonicalForm(const Model& model) {
       cols_[slack_col].rows.push_back(i);
       cols_[slack_col].values.push_back(coef);
       if (coef > 0.0) row_identity_slack_[i] = slack_col;
+      row_slack_[i] = slack_col;
       ++slack_col;
     }
   }

@@ -1,0 +1,476 @@
+#include "lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace cca::lp {
+
+namespace {
+
+// Infeasibility threshold, matched to the simplex feasibility tolerance
+// (kFeasTol in revised_simplex.cpp) so presolve never declares infeasible
+// a model the simplex would accept within tolerance.
+constexpr double kInfeasTol = 1e-7;
+// Smallest coefficient a singleton-row / substitution pivot may divide by.
+constexpr double kPivotTol = 1e-11;
+// Fixpoint guard; each pass only fires on live structure, so in practice
+// two or three passes suffice.
+constexpr int kMaxPasses = 20;
+
+struct WorkCol {
+  double lower = 0.0, upper = 0.0, obj = 0.0;
+  int count = 0;  // live nonzeros
+  bool alive = true;
+};
+
+struct WorkRow {
+  Relation rel = Relation::kEqual;
+  double rhs = 0.0;
+  std::vector<Term> terms;  // original column indices, live columns only
+  bool alive = true;
+};
+
+bool violates(Relation rel, double activity, double rhs) {
+  switch (rel) {
+    case Relation::kLessEqual:
+      return activity > rhs + kInfeasTol * (1.0 + std::abs(rhs));
+    case Relation::kGreaterEqual:
+      return activity < rhs - kInfeasTol * (1.0 + std::abs(rhs));
+    case Relation::kEqual:
+      return std::abs(activity - rhs) > kInfeasTol * (1.0 + std::abs(rhs));
+  }
+  return false;
+}
+
+}  // namespace
+
+PresolveStatus Presolve::run(const Model& model) {
+  CCA_CHECK_MSG(!ran_, "Presolve::run may only be called once per instance");
+  ran_ = true;
+  original_ = model;
+
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+  std::vector<WorkCol> cols(static_cast<std::size_t>(n));
+  std::vector<WorkRow> rows(static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    cols[j].lower = model.lower_bound(j);
+    cols[j].upper = model.upper_bound(j);
+    cols[j].obj = model.objective_coef(j);
+    if (cols[j].lower > cols[j].upper + kInfeasTol)
+      return PresolveStatus::kInfeasible;
+  }
+  row_cover_.assign(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    rows[i].rel = model.relation(i);
+    rows[i].rhs = model.rhs(i);
+    rows[i].terms = model.row_terms(i);
+  }
+
+  // Removes column j, substituting the pinned value into every live row.
+  const auto fix_column = [&](int j, double value) {
+    cols[j].alive = false;
+    for (int i = 0; i < m; ++i) {
+      WorkRow& row = rows[i];
+      if (!row.alive) continue;
+      std::size_t w = 0;
+      for (const Term& t : row.terms) {
+        if (t.col == j) {
+          row.rhs -= t.coef * value;
+          // If this equality row later empties out and is dropped, j's
+          // canonical column (nonzero here) can stand basic for it.
+          if (row.rel == Relation::kEqual) row_cover_[i] = j;
+        } else {
+          row.terms[w++] = t;
+        }
+      }
+      row.terms.resize(w);
+    }
+    stack_.push_back({StackEntry::Kind::kFixedValue, j, value, 0.0, 0.0, {}});
+  };
+
+  bool changed = true;
+  while (changed && stats_.passes < kMaxPasses) {
+    changed = false;
+    ++stats_.passes;
+
+    // Recount live nonzeros (cheap: one sweep over the live matrix).
+    for (WorkCol& c : cols) c.count = 0;
+    for (const WorkRow& row : rows) {
+      if (!row.alive) continue;
+      for (const Term& t : row.terms) ++cols[t.col].count;
+    }
+
+    // --- Row rules: empty, singleton, redundant. ---
+    for (int i = 0; i < m; ++i) {
+      WorkRow& row = rows[i];
+      if (!row.alive) continue;
+
+      if (row.terms.empty()) {
+        // 0 (rel) rhs: vacuous or infeasible, never anything else.
+        if (violates(row.rel, 0.0, row.rhs)) return PresolveStatus::kInfeasible;
+        row.alive = false;
+        ++stats_.empty_rows_removed;
+        changed = true;
+        continue;
+      }
+
+      if (row.terms.size() == 1) {
+        // a * x (rel) b becomes a bound on x; the row itself goes away.
+        const int j = row.terms[0].col;
+        const double a = row.terms[0].coef;
+        if (std::abs(a) < kPivotTol) continue;  // leave numeric garbage alone
+        WorkCol& c = cols[j];
+        const double v = row.rhs / a;
+        double new_lower = c.lower, new_upper = c.upper;
+        if (row.rel == Relation::kEqual) {
+          new_lower = std::max(new_lower, v);
+          new_upper = std::min(new_upper, v);
+        } else {
+          // a > 0 keeps the sense; a < 0 flips it.
+          const bool caps_above = (row.rel == Relation::kLessEqual) == (a > 0);
+          if (caps_above) {
+            new_upper = std::min(new_upper, v);
+          } else {
+            new_lower = std::max(new_lower, v);
+          }
+        }
+        if (new_lower > new_upper + kInfeasTol * (1.0 + std::abs(v)))
+          return PresolveStatus::kInfeasible;
+        if (new_lower > new_upper) new_upper = new_lower;  // snap near-ties
+        if (new_lower != c.lower || new_upper != c.upper)
+          ++stats_.bounds_tightened;
+        c.lower = new_lower;
+        c.upper = new_upper;
+        if (row.rel == Relation::kEqual) row_cover_[i] = j;
+        row.alive = false;
+        --c.count;
+        ++stats_.singleton_rows_removed;
+        changed = true;
+        continue;
+      }
+
+      // Activity bounds from the live columns' bounds. A row every point
+      // of the box satisfies is redundant; removal requires the EXACT
+      // comparison (no tolerance), which keeps it answer-preserving.
+      double min_act = 0.0, max_act = 0.0;
+      for (const Term& t : row.terms) {
+        const WorkCol& c = cols[t.col];
+        if (t.coef > 0) {
+          min_act += t.coef * c.lower;
+          max_act += t.coef * c.upper;
+        } else {
+          min_act += t.coef * c.upper;
+          max_act += t.coef * c.lower;
+        }
+        if (std::isnan(min_act) || std::isnan(max_act)) break;
+      }
+      if (std::isnan(min_act) || std::isnan(max_act)) continue;  // inf*0 etc.
+      if ((std::isfinite(min_act) && violates(row.rel, min_act, row.rhs) &&
+           min_act > row.rhs) ||
+          (std::isfinite(max_act) && violates(row.rel, max_act, row.rhs) &&
+           max_act < row.rhs)) {
+        // Even the most favourable corner of the box violates the row.
+        return PresolveStatus::kInfeasible;
+      }
+      const bool redundant =
+          row.rel == Relation::kLessEqual
+              ? max_act <= row.rhs
+              : (row.rel == Relation::kGreaterEqual ? min_act >= row.rhs
+                                                    : false);
+      if (redundant) {
+        row.alive = false;
+        for (const Term& t : row.terms) --cols[t.col].count;
+        ++stats_.redundant_rows_removed;
+        changed = true;
+      }
+    }
+
+    // --- Column rules: fixed, empty, free / implied-free singleton. ---
+    for (int j = 0; j < n; ++j) {
+      WorkCol& c = cols[j];
+      if (!c.alive) continue;
+
+      if (c.upper - c.lower <= 0.0 && std::isfinite(c.lower)) {
+        fix_column(j, c.lower);
+        ++stats_.fixed_cols_removed;
+        changed = true;
+        continue;
+      }
+
+      if (c.count == 0) {
+        // Unconstrained: sits at its cheapest bound. If that bound is
+        // infinite the model is unbounded-or-infeasible, a call presolve
+        // cannot make exactly — abandon and let the simplex decide.
+        double value = 0.0;
+        if (c.obj > 0.0) {
+          if (!std::isfinite(c.lower)) return PresolveStatus::kAbandoned;
+          value = c.lower;
+        } else if (c.obj < 0.0) {
+          if (!std::isfinite(c.upper)) return PresolveStatus::kAbandoned;
+          value = c.upper;
+        } else {
+          value = std::isfinite(c.lower)
+                      ? c.lower
+                      : (std::isfinite(c.upper) ? c.upper : 0.0);
+        }
+        fix_column(j, value);
+        ++stats_.empty_cols_removed;
+        changed = true;
+        continue;
+      }
+
+      if (c.count != 1) continue;
+      // Column singleton: find its one live row; substitution needs an
+      // equality row and a safe pivot.
+      int row_idx = -1;
+      double a = 0.0;
+      for (int i = 0; i < m && row_idx < 0; ++i) {
+        if (!rows[i].alive) continue;
+        for (const Term& t : rows[i].terms) {
+          if (t.col == j) {
+            row_idx = i;
+            a = t.coef;
+            break;
+          }
+        }
+      }
+      if (row_idx < 0 || rows[row_idx].rel != Relation::kEqual ||
+          std::abs(a) < kPivotTol) {
+        continue;
+      }
+      WorkRow& row = rows[row_idx];
+
+      bool substitutable = !std::isfinite(c.lower) && !std::isfinite(c.upper);
+      if (!substitutable) {
+        // Implied-free: the row alone confines x_j to [implied_lo,
+        // implied_hi]; when that interval sits inside the declared
+        // bounds, the bounds are inactive and x_j behaves as free.
+        double other_min = 0.0, other_max = 0.0;
+        for (const Term& t : row.terms) {
+          if (t.col == j) continue;
+          const WorkCol& o = cols[t.col];
+          if (t.coef > 0) {
+            other_min += t.coef * o.lower;
+            other_max += t.coef * o.upper;
+          } else {
+            other_min += t.coef * o.upper;
+            other_max += t.coef * o.lower;
+          }
+        }
+        if (std::isfinite(other_min) && std::isfinite(other_max)) {
+          const double lo =
+              (row.rhs - (a > 0 ? other_max : other_min)) / a;
+          const double hi =
+              (row.rhs - (a > 0 ? other_min : other_max)) / a;
+          substitutable = lo >= c.lower && hi <= c.upper;
+        }
+      }
+      if (!substitutable) continue;
+
+      // x_j = (rhs - sum_k a_k x_k) / a. Fold c_j through into the other
+      // columns' objective coefficients; the constant lands in the
+      // original-model objective at postsolve time.
+      StackEntry entry;
+      entry.kind = StackEntry::Kind::kFreeSubstitution;
+      entry.col = j;
+      entry.row_rhs = row.rhs;
+      entry.coef = a;
+      for (const Term& t : row.terms) {
+        if (t.col == j) continue;
+        entry.row_terms.push_back(t);
+        cols[t.col].obj -= c.obj * t.coef / a;
+        --cols[t.col].count;
+      }
+      stack_.push_back(std::move(entry));
+      c.alive = false;
+      row_cover_[row_idx] = j;
+      row.alive = false;
+      ++stats_.free_cols_substituted;
+      changed = true;
+    }
+  }
+
+  // --- Assemble the reduced model in original index order. ---
+  col_map_.assign(static_cast<std::size_t>(n), -1);
+  row_map_.assign(static_cast<std::size_t>(m), -1);
+  for (int j = 0; j < n; ++j) {
+    if (!cols[j].alive) continue;
+    col_map_[j] = reduced_.add_variable(cols[j].lower, cols[j].upper,
+                                        cols[j].obj, model.variable_name(j));
+  }
+  for (int i = 0; i < m; ++i) {
+    if (!rows[i].alive) continue;
+    std::vector<Term> terms;
+    terms.reserve(rows[i].terms.size());
+    for (const Term& t : rows[i].terms)
+      terms.push_back({col_map_[t.col], t.coef});
+    row_map_[i] = reduced_.add_constraint(rows[i].rel, rows[i].rhs,
+                                          std::move(terms),
+                                          model.constraint_name(i));
+  }
+  return PresolveStatus::kReduced;
+}
+
+std::vector<double> Presolve::postsolve_solution(
+    const std::vector<double>& reduced_x) const {
+  CCA_CHECK(static_cast<int>(reduced_x.size()) == reduced_.num_variables());
+  std::vector<double> x(static_cast<std::size_t>(original_.num_variables()),
+                        0.0);
+  for (int j = 0; j < original_.num_variables(); ++j)
+    if (col_map_[j] >= 0) x[j] = reduced_x[col_map_[j]];
+  // Reverse replay: each entry only references columns that were still
+  // live when it was recorded, i.e. reduced columns or columns removed
+  // later — both already filled in by the time we reach it.
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->kind == StackEntry::Kind::kFixedValue) {
+      x[it->col] = it->value;
+    } else {
+      double acc = it->row_rhs;
+      for (const Term& t : it->row_terms) acc -= t.coef * x[t.col];
+      x[it->col] = acc / it->coef;
+    }
+  }
+  return x;
+}
+
+void Presolve::ensure_canonical() const {
+  if (!canon_original_) {
+    canon_original_ = std::make_unique<CanonicalForm>(original_);
+    canon_reduced_ = std::make_unique<CanonicalForm>(reduced_);
+  }
+}
+
+Basis Presolve::crush_basis(const Basis& original_basis) const {
+  if (original_basis.empty()) return {};
+  ensure_canonical();
+  const CanonicalForm& co = *canon_original_;
+  const CanonicalForm& cr = *canon_reduced_;
+  if (original_basis.num_rows() != co.num_rows()) return {};
+
+  // Original canonical column -> reduced canonical column (-1: no image).
+  std::vector<int> col_image(static_cast<std::size_t>(co.num_cols()), -1);
+  const auto map_col = [&](int from, int to) {
+    if (from >= 0 && to >= 0) col_image[from] = to;
+  };
+  for (int j = 0; j < original_.num_variables(); ++j) {
+    const int jr = col_map_[j];
+    if (jr < 0) continue;
+    map_col(co.column_for_variable(j), cr.column_for_variable(jr));
+    map_col(co.minus_column_for_variable(j), cr.minus_column_for_variable(jr));
+    const int uo = co.upper_bound_row_for_variable(j);
+    const int ur = cr.upper_bound_row_for_variable(jr);
+    if (uo >= 0 && ur >= 0)
+      map_col(co.slack_column_for_row(uo), cr.slack_column_for_row(ur));
+  }
+  for (int i = 0; i < original_.num_constraints(); ++i) {
+    if (row_map_[i] < 0) continue;
+    map_col(co.slack_column_for_row(i), cr.slack_column_for_row(row_map_[i]));
+  }
+
+  // Seed every reduced row with its identity slack (covers reduced rows
+  // with no original counterpart, e.g. an upper row a tightened bound
+  // introduced), then overwrite from the original basis.
+  Basis hint;
+  hint.basic.assign(static_cast<std::size_t>(cr.num_rows()), -1);
+  for (int i = 0; i < cr.num_rows(); ++i)
+    hint.basic[i] = cr.identity_slack_for_row(i);
+
+  const auto place = [&](int orig_row, int red_row) {
+    if (red_row < 0) return;
+    const int b = original_basis.basic[orig_row];
+    if (b < 0 || b >= co.num_cols()) return;
+    if (col_image[b] >= 0) hint.basic[red_row] = col_image[b];
+  };
+  for (int i = 0; i < original_.num_constraints(); ++i)
+    place(i, row_map_[i]);
+  for (int j = 0; j < original_.num_variables(); ++j) {
+    const int uo = co.upper_bound_row_for_variable(j);
+    if (uo < 0) continue;
+    const int jr = col_map_[j];
+    place(uo, jr >= 0 ? cr.upper_bound_row_for_variable(jr) : -1);
+  }
+
+  // Incomplete or duplicated translations cannot seed a factorization.
+  std::vector<char> used(static_cast<std::size_t>(cr.num_cols()), 0);
+  for (const int b : hint.basic) {
+    if (b < 0 || used[b]) return {};
+    used[b] = 1;
+  }
+  return hint;
+}
+
+Basis Presolve::postsolve_basis(const Basis& reduced_basis) const {
+  ensure_canonical();
+  const CanonicalForm& co = *canon_original_;
+  const CanonicalForm& cr = *canon_reduced_;
+  // An empty basis is only meaningful when presolve solved the whole
+  // model (0 reduced rows): then the basis below is assembled purely from
+  // slacks and cover columns.
+  if (reduced_basis.num_rows() != cr.num_rows()) return {};
+
+  // Reduced canonical column -> original canonical column.
+  std::vector<int> col_image(static_cast<std::size_t>(cr.num_cols()), -1);
+  const auto map_col = [&](int from, int to) {
+    if (from >= 0 && to >= 0) col_image[from] = to;
+  };
+  // Reduced canonical row -> original canonical row.
+  std::vector<int> row_image(static_cast<std::size_t>(cr.num_rows()), -1);
+  for (int j = 0; j < original_.num_variables(); ++j) {
+    const int jr = col_map_[j];
+    if (jr < 0) continue;
+    map_col(cr.column_for_variable(jr), co.column_for_variable(j));
+    map_col(cr.minus_column_for_variable(jr), co.minus_column_for_variable(j));
+    const int uo = co.upper_bound_row_for_variable(j);
+    const int ur = cr.upper_bound_row_for_variable(jr);
+    if (uo >= 0 && ur >= 0) {
+      row_image[ur] = uo;
+      map_col(cr.slack_column_for_row(ur), co.slack_column_for_row(uo));
+    }
+  }
+  for (int i = 0; i < original_.num_constraints(); ++i) {
+    const int ir = row_map_[i];
+    if (ir < 0) continue;
+    row_image[ir] = i;
+    map_col(cr.slack_column_for_row(ir), co.slack_column_for_row(i));
+  }
+
+  Basis out;
+  out.basic.assign(static_cast<std::size_t>(co.num_rows()), -1);
+  for (int ir = 0; ir < cr.num_rows(); ++ir) {
+    const int io = row_image[ir];
+    if (io < 0) continue;  // reduced-only row: nothing to carry back
+    const int b = reduced_basis.basic[ir];
+    if (b < 0 || b >= cr.num_cols() || col_image[b] < 0) return {};
+    out.basic[io] = col_image[b];
+  }
+  // Rows presolve eliminated re-enter with their own slack / surplus
+  // basic (at the postsolved point an eliminated inequality is satisfied,
+  // so its slack is the natural basic column; the warm-start validation
+  // re-checks primal feasibility regardless). Eliminated equality rows
+  // have no slack, so the column presolve eliminated them WITH — the
+  // pinned singleton, the substituted free column — goes basic there; it
+  // is guaranteed a nonzero in that row. No recorded cover: give up.
+  for (int i = 0; i < co.num_rows(); ++i) {
+    if (out.basic[i] >= 0) continue;
+    int candidate = co.slack_column_for_row(i);
+    if (candidate < 0 && i < co.num_user_rows() && row_cover_[i] >= 0) {
+      const int j = row_cover_[i];
+      candidate = co.column_for_variable(j) >= 0
+                      ? co.column_for_variable(j)
+                      : co.minus_column_for_variable(j);
+    }
+    if (candidate < 0) return {};
+    out.basic[i] = candidate;
+  }
+  std::vector<char> used(static_cast<std::size_t>(co.num_cols()), 0);
+  for (const int b : out.basic) {
+    if (b < 0 || used[b]) return {};
+    used[b] = 1;
+  }
+  return out;
+}
+
+}  // namespace cca::lp

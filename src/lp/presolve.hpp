@@ -1,0 +1,131 @@
+// LP presolve / postsolve (HiGHS-style, scaled to this repo's models).
+//
+// Presolve rewrites a Model into an equivalent smaller one before either
+// simplex lane runs, and records enough on a postsolve stack to map the
+// reduced optimum — primal point AND simplex basis — back to the
+// original model. The rule set:
+//
+//   - empty-row elimination (vacuous or proven infeasible)
+//   - singleton-row conversion to variable bounds
+//   - redundant-row removal by constraint-activity bounds
+//   - fixed-variable (lb == ub) removal, substituting the pinned value
+//   - empty-column elimination at the cheapest bound
+//   - free / implied-free column substitution out of equality rows
+//
+// Every reduction is *exactly* answer-preserving: any rule that would
+// need a tolerance call it cannot make exactly (an unbounded-improving
+// empty column, say, where unbounded-vs-infeasible depends on the rest of
+// the model) abandons presolve instead, and the solver falls back to the
+// original model. Basis translation (crush_basis / postsolve_basis) is
+// best-effort by the same principle: it returns an empty Basis whenever
+// the mapping between the two canonical spaces is not airtight, and the
+// solver's warm-start validation (see basis.hpp) remains the safety net —
+// a failed translation costs iterations, never correctness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lp/basis.hpp"
+#include "lp/canonical.hpp"
+#include "lp/model.hpp"
+
+namespace cca::lp {
+
+enum class PresolveStatus {
+  /// A reduced model is available via reduced() (possibly identical in
+  /// size if no rule fired — check reduced_anything()).
+  kReduced,
+  /// Presolve proved the original model infeasible; reduced() is invalid.
+  kInfeasible,
+  /// Presolve hit a reduction it could not perform exactly and gave up;
+  /// solve the original model. reduced() is invalid.
+  kAbandoned,
+};
+
+/// Reduction counters, reported through SolveStats / lp.* metrics.
+struct PresolveStats {
+  int passes = 0;
+  int empty_rows_removed = 0;
+  int singleton_rows_removed = 0;
+  int redundant_rows_removed = 0;
+  int fixed_cols_removed = 0;
+  int empty_cols_removed = 0;
+  int free_cols_substituted = 0;
+  int bounds_tightened = 0;
+
+  int rows_removed() const {
+    return empty_rows_removed + singleton_rows_removed +
+           redundant_rows_removed + free_cols_substituted;
+  }
+  int cols_removed() const {
+    return fixed_cols_removed + empty_cols_removed + free_cols_substituted;
+  }
+};
+
+class Presolve {
+ public:
+  /// Runs the reduction loop to a fixpoint. Keeps a copy of `model` for
+  /// basis translation, so the caller's model may go out of scope.
+  PresolveStatus run(const Model& model);
+
+  /// Only valid after run() returned kReduced.
+  const Model& reduced() const { return reduced_; }
+  const PresolveStats& stats() const { return stats_; }
+  bool reduced_anything() const {
+    return stats_.rows_removed() > 0 || stats_.cols_removed() > 0;
+  }
+
+  /// Reduced column index of original column j, -1 when eliminated.
+  int reduced_col(int j) const { return col_map_[j]; }
+  /// Reduced row index of original row i, -1 when eliminated.
+  int reduced_row(int i) const { return row_map_[i]; }
+
+  /// Replays the postsolve stack: lifts an optimal point of reduced()
+  /// back to a feasible, equal-objective point of the original model.
+  std::vector<double> postsolve_solution(
+      const std::vector<double>& reduced_x) const;
+
+  /// Translates a basis of the ORIGINAL model's canonical form into a
+  /// warm-start hint for the REDUCED model (crush), or an optimal basis
+  /// of the reduced model back into one for the original (postsolve).
+  /// Both return an empty Basis when the translation cannot be completed
+  /// (e.g. an eliminated equality row has no slack to make basic); the
+  /// caller then cold-starts, which is always safe.
+  Basis crush_basis(const Basis& original_basis) const;
+  Basis postsolve_basis(const Basis& reduced_basis) const;
+
+ private:
+  // One primal postsolve action, replayed in reverse order.
+  struct StackEntry {
+    enum class Kind { kFixedValue, kFreeSubstitution };
+    Kind kind = Kind::kFixedValue;
+    int col = -1;
+    double value = 0.0;            // kFixedValue
+    double row_rhs = 0.0;          // kFreeSubstitution: rhs at removal time
+    double coef = 0.0;             // kFreeSubstitution: col's coefficient
+    std::vector<Term> row_terms;   // kFreeSubstitution: the other columns
+  };
+
+  void ensure_canonical() const;
+
+  Model original_;
+  Model reduced_;
+  PresolveStats stats_;
+  std::vector<StackEntry> stack_;
+  std::vector<int> col_map_;  // original col -> reduced col or -1
+  std::vector<int> row_map_;  // original row -> reduced row or -1
+  // For each eliminated EQUALITY row: an original column whose canonical
+  // column has a nonzero in that row (the singleton it pinned, the column
+  // it was substituted into, or the last column fixed out of it). Dropped
+  // equality rows have no slack, so postsolve_basis makes this column
+  // basic there instead; -1 means no candidate (give up).
+  std::vector<int> row_cover_;
+  bool ran_ = false;
+
+  // Canonical forms of both models, built on first basis translation.
+  mutable std::unique_ptr<CanonicalForm> canon_original_;
+  mutable std::unique_ptr<CanonicalForm> canon_reduced_;
+};
+
+}  // namespace cca::lp

@@ -17,8 +17,15 @@
 //
 // A solve can be warm-started from the optimal basis of a previous related
 // solve (same canonical shape, moved costs/rhs): a valid, primal-feasible
-// hint skips phase 1 entirely. Invalid hints fall back to a cold start, so
-// warm starts affect iteration counts, never answers.
+// hint skips phase 1 entirely. When the rhs moved, the old optimal basis
+// is typically no longer primal feasible but remains DUAL feasible
+// (reduced costs do not depend on b); with SolverOptions::dual_lane the
+// solver then runs a dual simplex lane — leaving row by primal
+// infeasibility, entering column by the dual ratio test, on the same
+// LU/eta FTRAN-BTRAN machinery — to repair feasibility in a few pivots
+// instead of rebuilding it with phase 1. The lane is a pure accelerator:
+// on any trouble it abandons the hint and cold-starts, so hints and lanes
+// affect iteration counts, never answers.
 #pragma once
 
 #include "lp/basis.hpp"

@@ -66,7 +66,8 @@ struct SolveStats {
   /// Which implementation ran: "dense" or "revised".
   const char* backend = "";
   /// Pivots per phase (phase 1 drives artificials out; phase 2 optimizes
-  /// the real objective). Their sum equals Solution::iterations.
+  /// the real objective). Together with dual_iterations their sum equals
+  /// Solution::iterations.
   long phase1_iterations = 0;
   long phase2_iterations = 0;
   /// Basis-inverse rebuilds (revised simplex only; dense stays 0). With
@@ -86,16 +87,33 @@ struct SolveStats {
   /// candidate-list pricing this is the scan work saved vs Dantzig, whose
   /// count is ~(nonbasic columns) x iterations.
   long pricing_candidates = 0;
-  /// Warm start: whether a basis hint was offered, and whether it passed
-  /// validation (factorizable + primal feasible) and skipped phase 1.
+  /// Warm start: whether a basis hint was offered, and whether it let the
+  /// solve skip phase 1 — either directly (hint primal feasible) or via
+  /// the dual lane (hint dual feasible, lane restored primal feasibility).
   bool warm_start_attempted = false;
   bool warm_start_hit = false;
+  /// Dual simplex lane (revised backend, SolverOptions::dual_lane): the
+  /// hint was primal infeasible but priced out dual feasible, and the
+  /// lane ran. dual_iterations counts its pivots; when the lane gives up
+  /// they are still included (the work happened) and a cold start
+  /// follows, so warm_start_hit stays false.
+  bool dual_lane_attempted = false;
+  long dual_iterations = 0;
+  /// Presolve reductions applied before the backend ran (all zero when
+  /// SolverOptions::presolve is off or nothing fired).
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
+  int presolve_passes = 0;
   /// Wall-clock per phase and for the whole solve, milliseconds.
+  double presolve_ms = 0.0;
   double phase1_ms = 0.0;
+  double dual_ms = 0.0;
   double phase2_ms = 0.0;
   double total_ms = 0.0;
 
-  long iterations() const { return phase1_iterations + phase2_iterations; }
+  long iterations() const {
+    return phase1_iterations + dual_iterations + phase2_iterations;
+  }
 };
 
 /// What lp::Solver::solve returns: the solution plus the stats that
@@ -124,6 +142,10 @@ long default_refactor_interval();
 void set_default_refactor_interval(long interval);
 bool default_warm_start();
 void set_default_warm_start(bool enabled);
+bool default_dual_lane();
+void set_default_dual_lane(bool enabled);
+bool default_presolve();
+void set_default_presolve(bool enabled);
 /// Parses "dantzig" / "candidate" (returns false on anything else).
 bool parse_pricing(const std::string& text, PricingRule* out);
 
@@ -144,6 +166,13 @@ struct SolverOptions {
   PricingRule pricing = default_pricing();
   /// Whether Solver::solve may use a provided/cached basis hint.
   bool warm_start = default_warm_start();
+  /// RevisedSimplex: when a warm-start hint is primal infeasible but dual
+  /// feasible (the post-rhs-perturbation shape), repair it with the dual
+  /// simplex lane instead of discarding it and cold-starting phase 1.
+  bool dual_lane = default_dual_lane();
+  /// Solver: run the presolve/postsolve pass (lp/presolve.hpp) around the
+  /// backend. Ignored by the backends themselves.
+  bool presolve = default_presolve();
 };
 
 }  // namespace cca::lp

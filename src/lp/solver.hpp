@@ -1,9 +1,19 @@
-// Solver facade: picks the right simplex implementation for the problem
-// size. Small programs go to the dense tableau (lower constant factors,
-// easiest to audit); anything larger goes to the revised simplex, whose
-// memory footprint is O(nnz + LU fill) rather than O(m * n). A warm-start
-// basis hint forces the revised backend (the dense tableau cannot use
-// one), so repeated related solves always get basis reuse.
+// Solver facade: presolve + backend choice + postsolve.
+//
+// When SolverOptions::presolve is on (the default), every solve first
+// runs the reduction pass of lp/presolve.hpp, solves the smaller model,
+// and maps the optimum — primal point and basis — back to the caller's
+// model, so WarmStartCache entries keep working transparently across
+// presolve: cached bases are crushed into the reduced space on the way
+// in and postsolved back on the way out.
+//
+// The backend choice then picks the right simplex implementation for the
+// problem size. Small programs go to the dense tableau (lower constant
+// factors, easiest to audit); anything larger goes to the revised
+// simplex, whose memory footprint is O(nnz + LU fill) rather than
+// O(m * n). A warm-start basis hint forces the revised backend (the dense
+// tableau cannot use one), so repeated related solves always get basis
+// reuse — including the dual warm-restart lane (see revised_simplex.hpp).
 #pragma once
 
 #include <string>
@@ -15,9 +25,18 @@
 namespace cca::lp {
 
 enum class SolverKind {
+  /// Size-based dense/revised choice; the dual lane follows
+  /// SolverOptions::dual_lane (process default: on).
   kAuto,
   kDense,
+  /// Revised simplex with the dual warm-restart lane disabled — the PR-4
+  /// primal-only behaviour, kept addressable for ablations.
   kRevised,
+  /// Revised simplex with the dual lane forced on.
+  kDual,
+  /// Size-based choice with the dual lane forced on (hinted solves still
+  /// go revised, where the lane lives).
+  kAutoDual,
 };
 
 /// Process-wide default used when a Solver is constructed with kAuto,
@@ -25,7 +44,8 @@ enum class SolverKind {
 /// choice" as usual.
 SolverKind default_solver_kind();
 void set_default_solver_kind(SolverKind kind);
-/// Parses "auto" / "dense" / "revised" (returns false on anything else).
+/// Parses "auto" / "dense" / "revised" / "dual" / "auto-dual" (returns
+/// false on anything else).
 bool parse_solver_kind(const std::string& text, SolverKind* out);
 
 class Solver {

@@ -1,0 +1,420 @@
+// Presolve / postsolve and the dual warm-restart lane.
+//
+// Presolve is only allowed to change iteration counts and model sizes,
+// never answers: every test here pits a presolved solve against the same
+// solve with presolve off (or against a hand-computed optimum) and
+// demands identical status and equal objectives. The dual-lane tests
+// lock the tentpole behaviour — an rhs perturbation leaves the old
+// optimal basis dual feasible, the lane repairs it without phase 1, and
+// a primal-only solver rejects the same hint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lp/basis.hpp"
+#include "lp/model.hpp"
+#include "lp/presolve.hpp"
+#include "lp/solver.hpp"
+
+namespace cca::lp {
+namespace {
+
+SolverOptions with_presolve(bool on) {
+  SolverOptions options;
+  options.presolve = on;
+  return options;
+}
+
+/// Seeded LP with the structures presolve targets: vacuous and singleton
+/// rows, fixed and unused variables, a free variable in an equality row,
+/// plus a random feasible core built around a known interior point.
+Model presolvable_lp(std::uint64_t seed) {
+  common::Rng rng(seed);
+  const int num_vars = 4 + static_cast<int>(rng.next_below(10));
+  Model m;
+  std::vector<double> xstar(static_cast<std::size_t>(num_vars));
+  for (int j = 0; j < num_vars; ++j) {
+    xstar[j] = rng.next_double() * 4.0;
+    const double cost = rng.next_double() * 4.0 - 2.0;
+    const double roll = rng.next_double();
+    if (roll < 0.15) {
+      m.add_variable(xstar[j], xstar[j], cost);  // fixed
+    } else if (roll < 0.25) {
+      m.add_variable(0.0, 9.0, std::abs(cost));  // never touched by a row
+      xstar[j] = 0.0;
+    } else {
+      m.add_variable(0.0, 10.0, cost);
+    }
+  }
+  const int num_rows = 3 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.next_double() >= 0.4) continue;
+      const double coef = rng.next_double() * 6.0 - 3.0;
+      terms.push_back({j, coef});
+      lhs += coef * xstar[static_cast<std::size_t>(j)];
+    }
+    if (terms.empty()) continue;
+    const double margin = rng.next_double() * 2.0;
+    const double u = rng.next_double();
+    if (u < 0.4) {
+      m.add_constraint(Relation::kLessEqual, lhs + margin, std::move(terms));
+    } else if (u < 0.8) {
+      m.add_constraint(Relation::kGreaterEqual, lhs - margin,
+                       std::move(terms));
+    } else {
+      m.add_constraint(Relation::kEqual, lhs, std::move(terms));
+    }
+  }
+  // Structures presolve must chew through.
+  m.add_constraint(Relation::kLessEqual, 1.0 + rng.next_double(), {});
+  m.add_constraint(Relation::kLessEqual, 8.0, {{0, 1.0}});  // singleton
+  return m;
+}
+
+TEST(Presolve, RemovesEmptyAndSingletonRows) {
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 2.0);
+  m.add_constraint(Relation::kLessEqual, 5.0, {});             // vacuous
+  m.add_constraint(Relation::kGreaterEqual, -1.0, {});         // vacuous
+  m.add_constraint(Relation::kLessEqual, 7.0, {{x, 1.0}});     // bound
+  m.add_constraint(Relation::kGreaterEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+
+  Presolve pre;
+  ASSERT_EQ(pre.run(m), PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats().empty_rows_removed, 2);
+  EXPECT_EQ(pre.stats().singleton_rows_removed, 1);
+  EXPECT_EQ(pre.reduced().num_constraints(), 1);
+  // The singleton became a bound on x.
+  EXPECT_DOUBLE_EQ(pre.reduced().upper_bound(pre.reduced_col(x)), 7.0);
+
+  const std::vector<double> reduced_x = {3.0, 0.0};
+  const std::vector<double> full = pre.postsolve_solution(reduced_x);
+  EXPECT_LT(m.max_violation(full), 1e-9);
+}
+
+TEST(Presolve, DetectsInfeasibleEmptyRow) {
+  Model m;
+  m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint(Relation::kGreaterEqual, 3.0, {});
+  Presolve pre;
+  EXPECT_EQ(pre.run(m), PresolveStatus::kInfeasible);
+  // The solver must report the same status with presolve on and off.
+  EXPECT_EQ(Solver(SolverKind::kAuto, with_presolve(true)).solve(m).status(),
+            SolveStatus::kInfeasible);
+  EXPECT_EQ(Solver(SolverKind::kAuto, with_presolve(false)).solve(m).status(),
+            SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, DetectsInfeasibleSingletonPair) {
+  // x >= 8 and x <= 2 via singleton rows: the bounds cross in presolve.
+  Model m;
+  m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint(Relation::kGreaterEqual, 8.0, {{0, 1.0}});
+  m.add_constraint(Relation::kLessEqual, 2.0, {{0, 1.0}});
+  Presolve pre;
+  EXPECT_EQ(pre.run(m), PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, RemovesFixedAndEmptyColumns) {
+  Model m;
+  const int fixed = m.add_variable(2.5, 2.5, 10.0);
+  const int idle = m.add_variable(1.0, 6.0, 3.0);   // in no row: sits at lb
+  const int live = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint(Relation::kGreaterEqual, 4.0, {{fixed, 1.0}, {live, 1.0}});
+
+  Presolve pre;
+  ASSERT_EQ(pre.run(m), PresolveStatus::kReduced);
+  // The rules cascade: the fixed value substitutes into the row, which
+  // becomes the singleton live >= 1.5, which becomes a bound, which
+  // leaves live an empty column pinned at that bound — nothing remains.
+  EXPECT_EQ(pre.stats().fixed_cols_removed, 1);
+  EXPECT_EQ(pre.stats().empty_cols_removed, 2);
+  EXPECT_EQ(pre.stats().singleton_rows_removed, 1);
+  EXPECT_EQ(pre.reduced_col(fixed), -1);
+  EXPECT_EQ(pre.reduced_col(idle), -1);
+  EXPECT_EQ(pre.reduced_col(live), -1);
+  EXPECT_EQ(pre.reduced().num_constraints(), 0);
+
+  const SolveResult on = Solver(SolverKind::kAuto, with_presolve(true)).solve(m);
+  const SolveResult off =
+      Solver(SolverKind::kAuto, with_presolve(false)).solve(m);
+  ASSERT_TRUE(on.optimal());
+  ASSERT_TRUE(off.optimal());
+  EXPECT_STREQ(on.stats.backend, "presolve");
+  EXPECT_NEAR(on.solution.objective, off.solution.objective, 1e-8);
+  EXPECT_NEAR(on.solution.x[fixed], 2.5, 1e-12);
+  EXPECT_NEAR(on.solution.x[idle], 1.0, 1e-12);
+  EXPECT_NEAR(on.solution.x[live], 1.5, 1e-12);
+}
+
+TEST(Presolve, AbandonsOnUnboundedEmptyColumn) {
+  // An unused variable with negative cost and no upper bound makes the
+  // model unbounded-or-infeasible; presolve cannot decide which exactly,
+  // so it must hand the original model to the simplex (which says
+  // unbounded here, since the rest is feasible).
+  Model m;
+  m.add_variable(0.0, kInfinity, -1.0);
+  const int y = m.add_variable(0.0, 5.0, 1.0);
+  m.add_constraint(Relation::kLessEqual, 4.0, {{y, 1.0}});
+  Presolve pre;
+  EXPECT_EQ(pre.run(m), PresolveStatus::kAbandoned);
+  EXPECT_EQ(Solver(SolverKind::kAuto, with_presolve(true)).solve(m).status(),
+            SolveStatus::kUnbounded);
+}
+
+TEST(Presolve, SubstitutesFreeColumnFromEqualityRow) {
+  // z is free and appears only in the equality row: z = 6 - x - y gets
+  // substituted, folding its cost into x and y.
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0);
+  const int y = m.add_variable(0.0, 10.0, 2.0);
+  const int z = m.add_variable(-kInfinity, kInfinity, 3.0);
+  m.add_constraint(Relation::kEqual, 6.0, {{x, 1.0}, {y, 1.0}, {z, 1.0}});
+  m.add_constraint(Relation::kGreaterEqual, 2.0, {{x, 1.0}, {y, 1.0}});
+
+  Presolve pre;
+  ASSERT_EQ(pre.run(m), PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats().free_cols_substituted, 1);
+  EXPECT_EQ(pre.reduced_col(z), -1);
+  // Substituted objective: min x + 2y + 3(6 - x - y) = -2x - y + 18, so
+  // both remaining costs went negative.
+  EXPECT_DOUBLE_EQ(pre.reduced().objective_coef(pre.reduced_col(x)), -2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced().objective_coef(pre.reduced_col(y)), -1.0);
+
+  const SolveResult on = Solver(SolverKind::kAuto, with_presolve(true)).solve(m);
+  const SolveResult off =
+      Solver(SolverKind::kAuto, with_presolve(false)).solve(m);
+  ASSERT_TRUE(on.optimal());
+  ASSERT_TRUE(off.optimal());
+  EXPECT_NEAR(on.solution.objective, off.solution.objective, 1e-8);
+  // The substituted variable still lands exactly on its row.
+  EXPECT_LT(m.max_violation(on.solution.x), 1e-9);
+}
+
+TEST(Presolve, RemovesRedundantRowByActivityBounds) {
+  Model m;
+  const int x = m.add_variable(0.0, 3.0, -1.0);
+  const int y = m.add_variable(0.0, 4.0, -1.0);
+  m.add_constraint(Relation::kLessEqual, 7.0, {{x, 1.0}, {y, 1.0}});  // =max
+  m.add_constraint(Relation::kLessEqual, 5.0, {{x, 1.0}, {y, 1.0}});  // binds
+  Presolve pre;
+  ASSERT_EQ(pre.run(m), PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats().redundant_rows_removed, 1);
+  EXPECT_EQ(pre.reduced().num_constraints(), 1);
+
+  const SolveResult on = Solver(SolverKind::kAuto, with_presolve(true)).solve(m);
+  ASSERT_TRUE(on.optimal());
+  EXPECT_NEAR(on.solution.objective, -5.0, 1e-9);
+}
+
+TEST(Presolve, SolvesFullyReducibleModelAlone) {
+  // Fixed + singleton-bounded + empty: nothing is left for the simplex.
+  Model m;
+  const int a = m.add_variable(1.0, 1.0, 2.0);
+  const int b = m.add_variable(0.0, 5.0, 1.0);
+  m.add_constraint(Relation::kLessEqual, 4.0, {{b, 1.0}});
+  const SolveResult r = Solver(SolverKind::kAuto, with_presolve(true)).solve(m);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_STREQ(r.stats.backend, "presolve");
+  EXPECT_NEAR(r.solution.x[a], 1.0, 1e-12);
+  EXPECT_NEAR(r.solution.x[b], 0.0, 1e-12);
+  EXPECT_NEAR(r.solution.objective, 2.0, 1e-12);
+  EXPECT_GT(r.stats.presolve_rows_removed, 0);
+  EXPECT_GT(r.stats.presolve_cols_removed, 0);
+}
+
+TEST(Presolve, RandomizedEquivalenceSweep) {
+  // Presolve on vs off across a seeded population: same status always,
+  // equal objectives and a feasible postsolved point when optimal.
+  int reduced_models = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Model m = presolvable_lp(seed);
+    const SolveResult on =
+        Solver(SolverKind::kAuto, with_presolve(true)).solve(m);
+    const SolveResult off =
+        Solver(SolverKind::kAuto, with_presolve(false)).solve(m);
+    ASSERT_EQ(on.status(), off.status()) << "seed " << seed;
+    if (on.stats.presolve_rows_removed > 0) ++reduced_models;
+    if (!on.optimal()) continue;
+    EXPECT_NEAR(on.solution.objective, off.solution.objective,
+                1e-6 * (1.0 + std::abs(off.solution.objective)))
+        << "seed " << seed;
+    EXPECT_LT(m.max_violation(on.solution.x), 1e-6) << "seed " << seed;
+  }
+  // The generator plants removable structure in every model.
+  EXPECT_GT(reduced_models, 50);
+}
+
+TEST(Presolve, BasisSurvivesPresolveThroughWarmStartCache) {
+  // Solve, cache, re-solve the same model: the cached ORIGINAL-space
+  // basis must crush into the reduced space and skip phase 1.
+  const Model m = presolvable_lp(7);
+  WarmStartCache cache;
+  const Solver solver(SolverKind::kRevised, with_presolve(true));
+  const SolveResult cold = solver.solve(m, &cache);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_FALSE(cold.basis.empty());
+
+  const SolveResult warm = solver.solve(m, &cache);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_start_attempted);
+  EXPECT_TRUE(warm.stats.warm_start_hit);
+  EXPECT_EQ(warm.stats.phase1_iterations, 0);
+  EXPECT_NEAR(warm.solution.objective, cold.solution.objective, 1e-9);
+}
+
+// ---- Dual warm-restart lane. ----
+
+/// Small transportation LP: supplies 3 sources, demands 4 sinks, unique
+/// costs so the optimal vertex (and basis) is unique.
+Model transport_lp(const std::vector<double>& demand) {
+  const std::vector<double> supply = {9.0, 7.0, 8.0};
+  Model m;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j)
+      m.add_variable(0.0, kInfinity, 1.0 + 0.37 * i + 0.11 * j * j +
+                                         0.05 * i * j);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Term> terms;
+    for (int j = 0; j < 4; ++j) terms.push_back({4 * i + j, 1.0});
+    m.add_constraint(Relation::kLessEqual, supply[i], std::move(terms));
+  }
+  for (int j = 0; j < 4; ++j) {
+    std::vector<Term> terms;
+    for (int i = 0; i < 3; ++i) terms.push_back({4 * i + j, 1.0});
+    m.add_constraint(Relation::kEqual, demand[j], std::move(terms));
+  }
+  return m;
+}
+
+TEST(DualLane, RepairsRhsPerturbedWarmStart) {
+  SolverOptions options = with_presolve(false);
+  options.dual_lane = true;
+  const Solver solver(SolverKind::kDual, options);
+
+  const Model base = transport_lp({5.0, 6.0, 4.0, 5.0});
+  Basis basis;
+  {
+    const SolveResult r = solver.solve(base);
+    ASSERT_TRUE(r.optimal());
+    ASSERT_FALSE(r.basis.empty());
+    basis = r.basis;
+  }
+  // Perturbed demands: the old basis prices out dual feasible (costs are
+  // unchanged) but its basic values go negative.
+  const Model moved = transport_lp({4.0, 2.0, 7.0, 8.0});
+  const SolveResult warm = solver.solve(moved, &basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_start_attempted);
+  EXPECT_TRUE(warm.stats.dual_lane_attempted);
+  EXPECT_TRUE(warm.stats.warm_start_hit);
+  EXPECT_EQ(warm.stats.phase1_iterations, 0);
+  EXPECT_GT(warm.stats.dual_iterations, 0);
+
+  // Same optimum as a cold solve, in fewer total pivots.
+  const SolveResult cold =
+      Solver(SolverKind::kRevised, options).solve(moved);
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_NEAR(warm.solution.objective, cold.solution.objective, 1e-8);
+  EXPECT_LT(warm.solution.iterations, cold.solution.iterations);
+}
+
+TEST(DualLane, PrimalOnlyBackendRejectsTheSameHint) {
+  // SolverKind::kRevised pins the PR-4 behaviour: the perturbed hint is
+  // primal infeasible, the lane is off, so the solve falls back to a
+  // cold start with phase 1 — same answer, more work.
+  const Model base = transport_lp({5.0, 6.0, 4.0, 5.0});
+  SolverOptions options = with_presolve(false);
+  const Solver dual(SolverKind::kDual, options);
+  const Solver primal(SolverKind::kRevised, options);
+
+  Basis basis = dual.solve(base).basis;
+  ASSERT_FALSE(basis.empty());
+  const Model moved = transport_lp({4.0, 2.0, 7.0, 8.0});
+  const SolveResult rejected = primal.solve(moved, &basis);
+  ASSERT_TRUE(rejected.optimal());
+  EXPECT_TRUE(rejected.stats.warm_start_attempted);
+  EXPECT_FALSE(rejected.stats.warm_start_hit);
+  EXPECT_FALSE(rejected.stats.dual_lane_attempted);
+  EXPECT_GT(rejected.stats.phase1_iterations, 0);
+  EXPECT_EQ(rejected.stats.dual_iterations, 0);
+
+  const SolveResult repaired = dual.solve(moved, &basis);
+  ASSERT_TRUE(repaired.optimal());
+  EXPECT_NEAR(repaired.solution.objective, rejected.solution.objective,
+              1e-8);
+}
+
+TEST(DualLane, ComposesWithPresolveAndCache) {
+  // The full production path: presolve on, cache threaded through, rhs
+  // moving every step — every re-solve after the first must skip phase 1
+  // (pure phase-2 warm start or dual-lane repair) and match the cold
+  // objective. kDual (not kAutoDual) so the first, unhinted solve of this
+  // deliberately small model also runs revised and seeds the cache — the
+  // dense tableau exports no basis.
+  SolverOptions options = with_presolve(true);
+  options.dual_lane = true;
+  const Solver solver(SolverKind::kDual, options);
+  WarmStartCache cache;
+  for (int step = 0; step < 4; ++step) {
+    const double d = 0.5 * step;
+    const Model m = transport_lp({5.0 + d, 6.0 - 0.5 * d, 4.0 + d, 5.0 - d});
+    const SolveResult warm = solver.solve(m, &cache);
+    const SolveResult cold =
+        Solver(SolverKind::kRevised, with_presolve(false)).solve(m);
+    ASSERT_TRUE(warm.optimal()) << "step " << step;
+    ASSERT_TRUE(cold.optimal()) << "step " << step;
+    EXPECT_NEAR(warm.solution.objective, cold.solution.objective, 1e-8)
+        << "step " << step;
+    if (step > 0) {
+      EXPECT_TRUE(warm.stats.warm_start_hit) << "step " << step;
+      EXPECT_EQ(warm.stats.phase1_iterations, 0) << "step " << step;
+    }
+  }
+}
+
+TEST(DualLane, RandomizedRhsPerturbationSweep) {
+  // Across seeds: perturb every rhs, warm-restart from the old basis
+  // with the dual lane, and demand agreement with a cold solve. Statuses
+  // may differ from optimal (a perturbation can cut feasibility) — the
+  // lane must track the cold answer in every case.
+  int repaired = 0;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    const Model base = presolvable_lp(seed);
+    SolverOptions options = with_presolve(false);
+    options.dual_lane = true;
+    const Solver solver(SolverKind::kDual, options);
+    const SolveResult first = solver.solve(base);
+    if (!first.optimal() || first.basis.empty()) continue;
+
+    common::Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+    Model moved;
+    for (int j = 0; j < base.num_variables(); ++j)
+      moved.add_variable(base.lower_bound(j), base.upper_bound(j),
+                         base.objective_coef(j));
+    for (int i = 0; i < base.num_constraints(); ++i)
+      moved.add_constraint(base.relation(i),
+                           base.rhs(i) + rng.next_double() * 3.0 - 1.5,
+                           base.row_terms(i));
+
+    const SolveResult warm = solver.solve(moved, &first.basis);
+    const SolveResult cold = solver.solve(moved);
+    ASSERT_EQ(warm.status(), cold.status()) << "seed " << seed;
+    if (warm.stats.dual_lane_attempted && warm.stats.warm_start_hit)
+      ++repaired;
+    if (!warm.optimal()) continue;
+    EXPECT_NEAR(warm.solution.objective, cold.solution.objective,
+                1e-6 * (1.0 + std::abs(cold.solution.objective)))
+        << "seed " << seed;
+  }
+  EXPECT_GT(repaired, 5);  // the lane fires on a healthy share of seeds
+}
+
+}  // namespace
+}  // namespace cca::lp
