@@ -27,11 +27,8 @@ int main(int argc, char** argv) {
   const bench::Testbed tb = bench::Testbed::build(cfg);
   tb.print_banner("Ablation G — Bloom-assisted intersection vs placement");
 
-  core::PartialOptimizerConfig opt_cfg;
-  opt_cfg.num_nodes = nodes;
-  opt_cfg.scope = scope;
-  opt_cfg.seed = cfg.seed;
-  opt_cfg.rounding.trials = 16;
+  const core::PartialOptimizerConfig opt_cfg = tb.optimizer_config(nodes,
+                                                                   scope);
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
   const double capacity =
       opt_cfg.capacity_slack * tb.total_index_bytes / nodes;
@@ -44,13 +41,14 @@ int main(int argc, char** argv) {
        {"random-hash", "greedy",
         "multilevel", "lprr"}) {
     const core::PlacementPlan plan = optimizer.run(strategy);
+    const auto map = tb.build_map(plan.keyword_to_node, nodes);
     sim::Cluster classic_cluster(nodes, capacity);
-    classic_cluster.install_placement(plan.keyword_to_node, tb.sizes);
+    classic_cluster.install_placement(map, tb.sizes);
     const sim::ReplayStats classic = sim::replay_trace(
         classic_cluster, tb.index, tb.february,
         sim::OperationKind::kIntersection);
     sim::Cluster bloom_cluster(nodes, capacity);
-    bloom_cluster.install_placement(plan.keyword_to_node, tb.sizes);
+    bloom_cluster.install_placement(map, tb.sizes);
     const sim::ReplayStats bloom = sim::replay_trace(
         bloom_cluster, tb.index, tb.february,
         sim::OperationKind::kIntersectionBloom);

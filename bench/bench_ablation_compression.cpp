@@ -63,11 +63,8 @@ int main(int argc, char** argv) {
                        "storage imbalance"});
   std::vector<std::set<trace::KeywordId>> scopes;
   for (const ModelRun& model : models) {
-    core::PartialOptimizerConfig opt_cfg;
-    opt_cfg.num_nodes = nodes;
-    opt_cfg.scope = scope;
-    opt_cfg.seed = cfg.seed;
-    opt_cfg.rounding.trials = 16;
+    const core::PartialOptimizerConfig opt_cfg =
+        tb.optimizer_config(nodes, scope);
     const core::PartialOptimizer optimizer(tb.january, model.sizes, opt_cfg);
 
     double total_bytes = 0.0;
@@ -83,7 +80,8 @@ int main(int argc, char** argv) {
         scopes.emplace_back(plan.scope.begin(), plan.scope.end());
       sim::Cluster cluster(nodes,
                            opt_cfg.capacity_slack * total_bytes / nodes);
-      cluster.install_placement(plan.keyword_to_node, model.sizes);
+      cluster.install_placement(tb.build_map(plan.keyword_to_node, nodes),
+                                model.sizes);
       const sim::ReplayStats stats =
           sim::replay_trace(cluster, tb.index, tb.february,
                             sim::OperationKind::kIntersection, model.sizes);

@@ -42,12 +42,8 @@ int main(int argc, char** argv) {
               return freq[a] != freq[b] ? freq[a] > freq[b] : a < b;
             });
 
-  core::PartialOptimizerConfig opt_cfg;
-  opt_cfg.num_nodes = nodes;
-  opt_cfg.scope = scope;
-  opt_cfg.seed = cfg.seed;
-  opt_cfg.rounding.trials = 16;
-  const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
+  const core::PartialOptimizer optimizer(tb.january, tb.sizes,
+                                         tb.optimizer_config(nodes, scope));
   const search::QueryEngine engine(tb.index);
 
   common::Table table({"replicated R", "strategy", "KiB moved", "saving",
@@ -67,9 +63,13 @@ int main(int argc, char** argv) {
     for (const std::string_view strategy :
          {"random-hash", "lprr"}) {
       const core::PlacementPlan plan = optimizer.run(strategy);
+      // Replicated keywords resolve to the full-degree set (a copy on
+      // every node); the rest to their placement's singleton.
       const auto placement = [&](trace::KeywordId k) {
-        return replicated[k] ? search::kEverywhere
-                             : plan.keyword_to_node[k];
+        return replicated[k]
+                   ? core::ReplicaSet{plan.keyword_to_node[k], nodes - 1,
+                                      nodes}
+                   : core::ReplicaSet{plan.keyword_to_node[k], 0, nodes};
       };
       std::uint64_t total_bytes = 0;
       for (const trace::Query& query : tb.february.queries())

@@ -6,8 +6,9 @@
 // into the trace replay and asks two questions:
 //
 //   Table 1 — serving under faults: fault rate x replication degree x
-//   strategy. Replicas follow the placement (sim::ReplicaTable), so
-//   failover preserves the co-location the optimizer paid for; degree 0
+//   strategy. Replicas follow the placement (core::PlacementMap replica
+//   sets), so failover preserves the co-location the optimizer paid for;
+//   degree 0
 //   is the replica-free baseline, degree N-1 the full-replication limit.
 //   Availability counts fully-served queries; coverage credits partial
 //   results; p99 includes the retry/timeout penalties queries paid
@@ -42,7 +43,6 @@
 #include "common/table.hpp"
 #include "core/recovery.hpp"
 #include "sim/faults.hpp"
-#include "sim/lookup_table.hpp"
 #include "testbed.hpp"
 
 using namespace cca;
@@ -84,11 +84,8 @@ int main(int argc, char** argv) {
   const bench::Testbed tb = bench::Testbed::build(cfg);
   tb.print_banner("Fault tolerance — availability and recovery");
 
-  core::PartialOptimizerConfig opt_cfg;
-  opt_cfg.num_nodes = nodes;
-  opt_cfg.scope = scope;
-  opt_cfg.seed = cfg.seed;
-  opt_cfg.rounding.trials = 16;
+  const core::PartialOptimizerConfig opt_cfg = tb.optimizer_config(nodes,
+                                                                   scope);
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
   const double capacity =
       opt_cfg.capacity_slack * tb.total_index_bytes / nodes;
@@ -119,10 +116,9 @@ int main(int argc, char** argv) {
     for (const int degree : {0, 1, nodes - 1}) {
       for (const std::string& strategy : strategies) {
         const core::PlacementPlan plan = optimizer.run(strategy);
+        const auto map = tb.build_map(plan.keyword_to_node, nodes, degree);
         sim::Cluster cluster(nodes, capacity);
-        cluster.install_placement(plan.keyword_to_node, tb.sizes);
-        const sim::ReplicaTable replicas =
-            sim::ReplicaTable::build(plan.keyword_to_node, nodes, degree);
+        cluster.install_placement(map, tb.sizes);
 
         sim::FaultReplayConfig replay_cfg;
         replay_cfg.faults = &schedule;
@@ -130,10 +126,9 @@ int main(int argc, char** argv) {
         replay_cfg.arrival_rate_qps = arrival_qps;
         replay_cfg.arrival_seed = cfg.seed;
         const sim::FaultReplayStats stats = sim::replay_trace_with_faults(
-            cluster, tb.index, tb.february, replicas, replay_cfg);
+            cluster, tb.index, tb.february, replay_cfg);
 
-        const double replica_kib =
-            static_cast<double>(replicas.bytes()) / 1024.0;
+        const double replica_kib = static_cast<double>(map->bytes()) / 1024.0;
         table.add_row(
             {common::Table::num(sched_cfg.mttf_ms / 1000.0, 0),
              std::to_string(degree), strategy,
@@ -156,7 +151,7 @@ int main(int argc, char** argv) {
             << ", \"failovers\": " << stats.failovers
             << ", \"unserved_keywords\": " << stats.unserved_keywords
             << ", \"total_bytes\": " << stats.base.total_bytes
-            << ", \"replica_bytes\": " << replicas.bytes() << "}";
+            << ", \"replica_bytes\": " << map->bytes() << "}";
         json_rows.push_back(row.str());
       }
     }

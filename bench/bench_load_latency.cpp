@@ -41,11 +41,8 @@ int main(int argc, char** argv) {
   std::cout << "NIC bandwidth " << nic_mbps << " Mbit/s per node, "
             << sim_queries << " Poisson arrivals per cell\n\n";
 
-  core::PartialOptimizerConfig opt_cfg;
-  opt_cfg.num_nodes = nodes;
-  opt_cfg.scope = scope;
-  opt_cfg.seed = cfg.seed;
-  opt_cfg.rounding.trials = 16;
+  const core::PartialOptimizerConfig opt_cfg = tb.optimizer_config(nodes,
+                                                                   scope);
   const core::PartialOptimizer optimizer(tb.january, tb.sizes, opt_cfg);
   const double capacity =
       opt_cfg.capacity_slack * tb.total_index_bytes / nodes;
@@ -56,7 +53,8 @@ int main(int argc, char** argv) {
     for (const std::string& strategy : strategies) {
       const core::PlacementPlan plan = optimizer.run(strategy);
       sim::Cluster cluster(nodes, capacity);
-      cluster.install_placement(plan.keyword_to_node, tb.sizes);
+      cluster.install_placement(tb.build_map(plan.keyword_to_node, nodes),
+                                tb.sizes);
 
       sim::EventSimConfig sim_cfg;
       sim_cfg.arrival_rate_qps = qps;

@@ -1,0 +1,119 @@
+"""Validates a bench_churn --json grid dump.
+
+Checks that the dump is valid JSON with the per-cell schema and that
+coverage is strict: both hash tails appear, every strategy appears under
+BOTH tails, and every (tail, strategy) cell carries the same churn
+script (equal transition counts — a missing or truncated cell fails).
+
+On top of coverage it asserts the consistent-hashing headline on every
+grow transition with a non-trivial tail: the jump tail moves a small
+fraction of its hash-ruled keywords (< 0.5 — expectation 1/(N+1)), the
+md5 tail reshuffles most of them (> 0.5 — expectation N/(N+1)), and per
+strategy the jump cell moves strictly fewer tail keywords than the md5
+cell on the same event.
+
+Usage: python3 check_churn_grid.py <grid.json>
+"""
+import json
+import sys
+
+REQUIRED = {
+    "seed", "threads", "tail", "strategy", "nodes", "scope", "queries",
+    "total_bytes", "mean_bytes_per_query", "p99_bytes_per_query",
+    "local_queries", "final_epoch", "final_nodes", "wall_ms", "transitions",
+}
+
+TRANSITION_REQUIRED = {
+    "from_epoch", "to_epoch", "time_ms", "nodes_before", "nodes_after",
+    "moved_objects", "moved_bytes", "tail_objects", "moved_tail_objects",
+    "disrupted_queries",
+}
+
+# Only judge the headline where the tail is big enough to behave
+# statistically (the expectation arguments are over many keywords).
+MIN_TAIL = 50
+
+
+def tail_fraction(transition):
+    return transition["moved_tail_objects"] / transition["tail_objects"]
+
+
+def main(path):
+    with open(path) as f:
+        cells = json.load(f)
+    if not cells:
+        raise SystemExit("churn grid dump is empty")
+    by_cell = {}
+    for cell in cells:
+        missing = REQUIRED - set(cell)
+        if missing:
+            raise SystemExit(f"cell {cell} missing keys {sorted(missing)}")
+        if cell["tail"] not in ("md5", "jump"):
+            raise SystemExit(f"unknown tail {cell['tail']!r}")
+        if cell["queries"] <= 0:
+            raise SystemExit(f"cell replayed no queries: {cell}")
+        key = (cell["tail"], cell["strategy"])
+        if key in by_cell:
+            raise SystemExit(f"duplicate cell {key}")
+        for t in cell["transitions"]:
+            missing = TRANSITION_REQUIRED - set(t)
+            if missing:
+                raise SystemExit(
+                    f"transition {t} missing keys {sorted(missing)}")
+            if t["to_epoch"] != t["from_epoch"] + 1:
+                raise SystemExit(f"non-consecutive epochs: {t}")
+        epochs = [t["to_epoch"] for t in cell["transitions"]]
+        if cell["final_epoch"] != (epochs[-1] if epochs else 0):
+            raise SystemExit(f"final_epoch disagrees with transitions: {cell}")
+        by_cell[key] = cell
+
+    tails = {tail for tail, _ in by_cell}
+    strategies = {strategy for _, strategy in by_cell}
+    if tails != {"md5", "jump"}:
+        raise SystemExit(f"grid lacks a hash tail: only {sorted(tails)}")
+    for strategy in sorted(strategies):
+        for tail in ("md5", "jump"):
+            if (tail, strategy) not in by_cell:
+                raise SystemExit(f"missing cell ({tail}, {strategy})")
+    swaps = {key: len(cell["transitions"]) for key, cell in by_cell.items()}
+    if len(set(swaps.values())) != 1:
+        raise SystemExit(f"cells ran different churn scripts: {swaps}")
+
+    # The headline: per strategy and grow event, jump barely moves its
+    # tail while md5 reshuffles it.
+    grows_judged = 0
+    for strategy in sorted(strategies):
+        md5_cell = by_cell[("md5", strategy)]
+        jump_cell = by_cell[("jump", strategy)]
+        for md5_t, jump_t in zip(md5_cell["transitions"],
+                                 jump_cell["transitions"]):
+            grow = md5_t["nodes_after"] > md5_t["nodes_before"]
+            if not grow or min(md5_t["tail_objects"],
+                               jump_t["tail_objects"]) < MIN_TAIL:
+                continue
+            md5_frac, jump_frac = tail_fraction(md5_t), tail_fraction(jump_t)
+            if jump_frac >= 0.5:
+                raise SystemExit(
+                    f"{strategy}: jump tail moved {jump_frac:.2f} on a grow "
+                    f"(expected ~1/N): {jump_t}")
+            if md5_frac <= 0.5:
+                raise SystemExit(
+                    f"{strategy}: md5 tail moved only {md5_frac:.2f} on a "
+                    f"grow (expected ~(N-1)/N): {md5_t}")
+            if jump_frac >= md5_frac:
+                raise SystemExit(
+                    f"{strategy}: jump ({jump_frac:.2f}) did not beat md5 "
+                    f"({md5_frac:.2f}) on a grow event")
+            grows_judged += 1
+    total_swaps = next(iter(swaps.values()))
+    if total_swaps > 0 and grows_judged == 0:
+        raise SystemExit(
+            "churn script had swaps but no judgeable grow event "
+            "(add a grow with a >= 50-keyword tail)")
+    print(f"{len(cells)} cells, {len(strategies)} strategies x 2 tails, "
+          f"{total_swaps} swaps each; judged {grows_judged} grow events "
+          f"(jump < 0.5 <= md5 tail movement everywhere)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -1,0 +1,22 @@
+# Smoke contract: bench_churn's --json dump is valid JSON with the
+# per-cell schema, covers the full (hash-tail x strategy) grid, and shows
+# the consistent-hashing headline — a grow event moves a small fraction
+# of the jump tail and most of the md5 tail. Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DPYTHON=... -DCHECKER=...
+#         -DOUT_DIR=... -P <this>
+set(grid_file ${OUT_DIR}/smoke_churn_grid.json)
+
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --json=${grid_file}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_churn failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${grid_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "churn grid contract failed: ${out}${err}")
+endif()
+message(STATUS "${out}")

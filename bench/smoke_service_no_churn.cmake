@@ -1,0 +1,36 @@
+# Smoke contract: with an empty churn script the placement-service path
+# degenerates to exactly one offline replay — bench_churn stdout is
+# byte-identical between --service=on and --service=off, and identical
+# across thread counts except the banner's threads= token. Driven by
+# ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DOUT_DIR=... -P <this>
+function(run_bench out_var)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench ${ARGN} failed with exit code ${rc}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_bench(offline_t2 --threads=2 --service=off)
+run_bench(service_t2 --threads=2 --service=on)
+run_bench(service_t1 --threads=1 --service=on)
+run_bench(service_t8 --threads=8 --service=on)
+
+if(NOT service_t2 STREQUAL offline_t2)
+  message(FATAL_ERROR
+    "--service=on with no churn perturbed bench_churn stdout")
+endif()
+
+# Cross-thread comparison: only the banner's "threads=N" token may differ.
+foreach(var offline_t2 service_t1 service_t8)
+  string(REGEX REPLACE "threads=[0-9]+" "threads=X" ${var}_norm "${${var}}")
+endforeach()
+if(NOT service_t1_norm STREQUAL offline_t2_norm)
+  message(FATAL_ERROR "stdout differs between --threads=1 and --threads=2")
+endif()
+if(NOT service_t8_norm STREQUAL offline_t2_norm)
+  message(FATAL_ERROR "stdout differs between --threads=8 and --threads=2")
+endif()

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,10 +33,12 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/partial_optimizer.hpp"
+#include "core/placement_map.hpp"
 #include "lp/solver.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
+#include "sim/placement_service.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -65,6 +68,13 @@ struct TestbedConfig {
   /// optimizer built from this testbed. Default exact — the historical
   /// byte-identical pipeline.
   core::MinerOptions miner;
+  /// --hash-tail={md5,jump}: the hash rule placing out-of-scope keywords
+  /// and backing every installed PlacementMap. Default md5 — the paper's
+  /// baseline and the historical byte-identical output.
+  core::HashTail hash_tail = core::HashTail::kMd5;
+  /// --churn=add:t,node;remove:t,node — membership events on the
+  /// query-arrival clock, parsed strictly (empty = no churn).
+  std::vector<sim::ChurnEvent> churn;
 
   static TestbedConfig from_cli(const common::CliArgs& args) {
     TestbedConfig cfg;
@@ -113,6 +123,10 @@ struct TestbedConfig {
                                         ? std::string()
                                         : " (did you mean '" + hint + "'?)"));
     };
+    const std::string tail = args.get_string("hash-tail", "");
+    if (!tail.empty() && !core::parse_hash_tail(tail, &cfg.hash_tail))
+      enum_error("hash-tail", tail, {"md5", "jump"});
+    cfg.churn = sim::parse_churn_script(args.get_string("churn", ""));
     const std::string pricing = args.get_string("lp-pricing", "");
     if (!pricing.empty()) {
       lp::PricingRule rule;
@@ -340,25 +354,48 @@ struct Testbed {
               << "KiB\n\n";
   }
 
-  /// Runs one strategy end-to-end and replays the February trace.
-  sim::ReplayStats measure(std::string_view strategy, int nodes,
-                           std::size_t scope,
-                           core::PlacementPlan* plan_out = nullptr,
-                           double capacity_slack = 2.0) const {
+  /// The optimizer config every strategy run starts from, so benches that
+  /// build their own optimizers stay parameter-for-parameter comparable.
+  core::PartialOptimizerConfig optimizer_config(int nodes, std::size_t scope,
+                                                double capacity_slack =
+                                                    2.0) const {
     core::PartialOptimizerConfig cfg;
     cfg.num_nodes = nodes;
     cfg.scope = scope;
     cfg.seed = config.seed;
     cfg.capacity_slack = capacity_slack;
+    cfg.hash_tail = config.hash_tail;
     cfg.miner = config.miner;
     cfg.rounding.trials = 16;
-    const core::PartialOptimizer optimizer(january, sizes, cfg);
+    return cfg;
+  }
+
+  /// Wraps a finished plan as the placement epoch the serving side
+  /// installs (this testbed's hash tail; epoch 0).
+  std::shared_ptr<const core::PlacementMap> build_map(
+      const std::vector<core::NodeId>& keyword_to_node, int nodes,
+      int degree = 0) const {
+    core::PlacementMapConfig map_cfg;
+    map_cfg.num_nodes = nodes;
+    map_cfg.degree = degree;
+    map_cfg.hash_tail = config.hash_tail;
+    return std::make_shared<const core::PlacementMap>(
+        core::PlacementMap::build(keyword_to_node, map_cfg));
+  }
+
+  /// Runs one strategy end-to-end and replays the February trace.
+  sim::ReplayStats measure(std::string_view strategy, int nodes,
+                           std::size_t scope,
+                           core::PlacementPlan* plan_out = nullptr,
+                           double capacity_slack = 2.0) const {
+    const core::PartialOptimizer optimizer(
+        january, sizes, optimizer_config(nodes, scope, capacity_slack));
     const core::PlacementPlan plan = optimizer.run(strategy);
     if (plan_out) *plan_out = plan;
 
     sim::Cluster cluster(nodes,
                          capacity_slack * total_index_bytes / nodes);
-    cluster.install_placement(plan.keyword_to_node, sizes);
+    cluster.install_placement(build_map(plan.keyword_to_node, nodes), sizes);
     return sim::replay_trace(cluster, index, february);
   }
 

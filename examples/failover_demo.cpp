@@ -4,26 +4,28 @@
 // The walkthrough shows the three layers the serving stack stacks up
 // against fail-stop faults:
 //   1. replication + failover — each keyword's replica set follows the
-//      placement (sim::ReplicaTable); a dead primary costs a timeout and
-//      a retry, not the query;
+//      placement (core::PlacementMap resolve); a dead primary costs a
+//      timeout and a retry, not the query;
 //   2. degraded results — when every reachable replica of a keyword is
 //      down, the query is answered over the keywords that remain and
 //      reports partial coverage instead of failing outright;
 //   3. recovery — core::RecoveryPlanner re-places the dead nodes'
 //      objects onto survivors under a migration budget, most valuable
-//      (query-frequent) first.
+//      (query-frequent) first; the repaired placement is published as
+//      the next PlacementMap epoch (with_placement).
 //
 //   ./failover_demo [--nodes=6] [--degree=1] [--mttf=4000] [--mttr=1500]
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/partial_optimizer.hpp"
+#include "core/placement_map.hpp"
 #include "core/recovery.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
-#include "sim/lookup_table.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -84,18 +86,23 @@ int main(int argc, char** argv) {
             << mttf_ms / 1000.0 << "s, mttr " << mttr_ms / 1000.0
             << "s)\n\n";
 
-  // Serve the same trace healthy, unreplicated, and replicated.
+  // Serve the same trace healthy, unreplicated, and replicated. The
+  // replica set of every keyword comes from the installed PlacementMap:
+  // degree r puts copies on the r placement-following successor nodes.
   const auto serve = [&](const sim::FaultSchedule* faults, int deg) {
+    core::PlacementMapConfig map_cfg;
+    map_cfg.num_nodes = nodes;
+    map_cfg.degree = deg;
     sim::Cluster cluster(nodes, capacity);
-    cluster.install_placement(plan.keyword_to_node, sizes);
-    const sim::ReplicaTable replicas =
-        sim::ReplicaTable::build(plan.keyword_to_node, nodes, deg);
+    cluster.install_placement(
+        std::make_shared<const core::PlacementMap>(
+            core::PlacementMap::build(plan.keyword_to_node, map_cfg)),
+        sizes);
     sim::FaultReplayConfig cfg;
     cfg.faults = faults;
     cfg.arrival_rate_qps =
         static_cast<double>(serving.size()) * 1000.0 / fault_cfg.horizon_ms;
-    return sim::replay_trace_with_faults(cluster, index, serving, replicas,
-                                         cfg);
+    return sim::replay_trace_with_faults(cluster, index, serving, cfg);
   };
 
   common::Table table({"configuration", "avail", "coverage", "p99 ms",
@@ -151,6 +158,24 @@ int main(int argc, char** argv) {
             << " KiB migrated (budget "
             << common::Table::pct(rec_cfg.migration_budget_fraction)
             << " of scope bytes)\n";
+
+  // Publish the repaired placement as the next epoch: in-flight queries
+  // keep resolving against the old map; new ones see the repair.
+  std::vector<int> repaired = plan.keyword_to_node;
+  for (std::size_t i = 0; i < plan.scope.size(); ++i)
+    repaired[plan.scope[i]] = result.placement[i];
+  core::PlacementMapConfig map_cfg;
+  map_cfg.num_nodes = nodes;
+  const core::PlacementMap before =
+      core::PlacementMap::build(plan.keyword_to_node, map_cfg);
+  const core::PlacementMap after = before.with_placement(repaired);
+  std::size_t moved = 0;
+  for (trace::KeywordId k = 0;
+       k < static_cast<trace::KeywordId>(repaired.size()); ++k)
+    if (after.primary(k) != before.primary(k)) ++moved;
+  std::cout << "published repaired placement as epoch " << after.epoch()
+            << " (" << moved << " keywords moved, exception table "
+            << after.bytes() << " bytes)\n";
   std::cout << "\n(The planner lands each object on the survivor holding"
                " its correlated siblings, so the co-location the optimizer"
                " paid for outlives the node that hosted it.)\n";

@@ -13,12 +13,13 @@
 // strategy registered at startup can be compared without editing this
 // example.
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/partial_optimizer.hpp"
+#include "core/placement_map.hpp"
 #include "search/inverted_index.hpp"
-#include "sim/lookup_table.hpp"
 #include "sim/cluster.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
@@ -83,8 +84,12 @@ int main(int argc, char** argv) {
   std::uint64_t random_bytes = 0;
   for (const std::string& strategy : strategies) {
     const core::PlacementPlan plan = optimizer.run(strategy);
+    core::PlacementMapConfig map_cfg;
+    map_cfg.num_nodes = nodes;
+    const auto map = std::make_shared<const core::PlacementMap>(
+        core::PlacementMap::build(plan.keyword_to_node, map_cfg));
     sim::Cluster cluster(nodes, capacity);
-    cluster.install_placement(plan.keyword_to_node, sizes);
+    cluster.install_placement(map, sizes);
     const sim::ReplayStats stats =
         sim::replay_trace(cluster, index, february);
     if (strategy == "random-hash") random_bytes = stats.total_bytes;
@@ -99,8 +104,7 @@ int main(int argc, char** argv) {
                  : 0.0),
          common::Table::num(stats.p99_latency_ms, 2),
          common::Table::num(stats.storage_imbalance, 2),
-         std::to_string(
-             sim::LookupTable::build(plan.keyword_to_node, nodes).entries())});
+         std::to_string(map->entries())});
     if (strategy == "lprr" && random_bytes > 0) {
       const double saving =
           1.0 - static_cast<double>(stats.total_bytes) /

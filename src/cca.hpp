@@ -9,9 +9,9 @@
 //   core/    — the paper: CCA instances, LP formulation, rounding,
 //              baselines, partial optimization; extensions: multilevel
 //              partitioning, incremental re-optimization, plan I/O,
-//              recovery re-placement
-//   sim/     — cluster model, replay, lookup tables, latency, load
-//              simulation, document partitioning, fault injection
+//              recovery re-placement, versioned placement maps
+//   sim/     — cluster model, replay, latency, load simulation, document
+//              partitioning, fault injection, the placement service
 //
 // Most applications want core/partial_optimizer.hpp (the end-to-end
 // pipeline) plus sim/replay.hpp (measurement); see examples/.
@@ -30,6 +30,7 @@
 #include "core/migration.hpp"
 #include "core/multilevel.hpp"
 #include "core/partial_optimizer.hpp"
+#include "core/placement_map.hpp"
 #include "core/placements.hpp"
 #include "core/plan_io.hpp"
 #include "core/recovery.hpp"
@@ -50,7 +51,7 @@
 #include "sim/event_sim.hpp"
 #include "sim/faults.hpp"
 #include "sim/latency.hpp"
-#include "sim/lookup_table.hpp"
+#include "sim/placement_service.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/pair_stats.hpp"

@@ -6,7 +6,6 @@
 
 #include "common/check.hpp"
 #include "common/metrics.hpp"
-#include "hash/md5.hpp"
 
 namespace cca::core {
 
@@ -36,11 +35,10 @@ PartialOptimizer::PartialOptimizer(
   // Hash nodes for every keyword; only tail keywords actually use them,
   // but kRandom reuses the full map.
   tail_nodes_.resize(vocab);
-  const auto n = static_cast<std::uint64_t>(config.num_nodes);
   for (std::size_t k = 0; k < vocab; ++k)
     tail_nodes_[k] = static_cast<NodeId>(
-        hash::Md5::digest64(trace::keyword_name(
-            static_cast<trace::KeywordId>(k))) % n);
+        tail_node(config.hash_tail, static_cast<trace::KeywordId>(k),
+                  config.num_nodes));
 
   tail_loads_.assign(static_cast<std::size_t>(config.num_nodes), 0.0);
   double total_bytes = 0.0;

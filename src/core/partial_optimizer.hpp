@@ -26,6 +26,7 @@
 #include "core/correlation.hpp"
 #include "core/instance.hpp"
 #include "core/multilevel.hpp"
+#include "core/placement_map.hpp"
 #include "core/placements.hpp"
 #include "core/rounding.hpp"
 #include "core/strategy.hpp"
@@ -38,6 +39,10 @@ struct PartialOptimizerConfig {
   int num_nodes = 10;
   std::size_t scope = 1000;      // most-important keywords to optimize
   double capacity_slack = 2.0;   // paper: twice the average per-node load
+  /// Hash rule placing the out-of-scope tail (and "random-hash"). kMd5 is
+  /// the paper's production baseline; kJump keeps tail movement at ~1/N
+  /// under cluster growth (see core/placement_map.hpp).
+  HashTail hash_tail = HashTail::kMd5;
   OperationModel operation_model = OperationModel::kSmallestPair;
   /// Correlation miner feeding the importance ranking and the scoped
   /// instance. kExact (default) is bit-for-bit the historical pipeline;

@@ -1,0 +1,150 @@
+#include "core/placement_map.hpp"
+
+#include "hash/md5.hpp"
+
+namespace cca::core {
+
+bool parse_hash_tail(std::string_view text, HashTail* out) {
+  if (text == "md5") {
+    *out = HashTail::kMd5;
+    return true;
+  }
+  if (text == "jump") {
+    *out = HashTail::kJump;
+    return true;
+  }
+  return false;
+}
+
+const char* hash_tail_name(HashTail tail) {
+  return tail == HashTail::kMd5 ? "md5" : "jump";
+}
+
+std::int32_t jump_consistent_hash(std::uint64_t key,
+                                  std::int32_t num_buckets) {
+  CCA_CHECK(num_buckets >= 1);
+  // Lamping & Veach (2014): each iteration jumps to the next bucket count
+  // at which the key would move; the last jump landing below num_buckets
+  // is the answer.
+  std::int64_t b = -1, j = 0;
+  while (j < num_buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::int32_t>(b);
+}
+
+int tail_node(HashTail tail, trace::KeywordId keyword, int num_nodes) {
+  CCA_CHECK(num_nodes >= 1);
+  const std::uint64_t key = hash::Md5::digest64(trace::keyword_name(keyword));
+  if (tail == HashTail::kMd5)
+    return static_cast<int>(key % static_cast<std::uint64_t>(num_nodes));
+  return static_cast<int>(jump_consistent_hash(key, num_nodes));
+}
+
+namespace {
+
+void check_config(const PlacementMapConfig& config) {
+  CCA_CHECK(config.num_nodes >= 1);
+  CCA_CHECK_MSG(config.degree >= 0 && config.degree < config.num_nodes,
+                "replication degree " << config.degree << " needs more than "
+                                      << config.num_nodes << " nodes");
+}
+
+}  // namespace
+
+PlacementMap PlacementMap::build(const std::vector<int>& keyword_to_node,
+                                 const PlacementMapConfig& config) {
+  check_config(config);
+  PlacementMap map;
+  map.primary_ = keyword_to_node;
+  map.pinned_.assign(keyword_to_node.size(), 0);
+  map.num_nodes_ = config.num_nodes;
+  map.degree_ = config.degree;
+  map.hash_tail_ = config.hash_tail;
+  map.epoch_ = config.epoch;
+  for (std::size_t k = 0; k < keyword_to_node.size(); ++k) {
+    const int node = keyword_to_node[k];
+    CCA_CHECK_MSG(node >= 0 && node < config.num_nodes,
+                  "keyword " << k << " placed on unknown node " << node);
+    const auto keyword = static_cast<trace::KeywordId>(k);
+    if (node != tail_node(config.hash_tail, keyword, config.num_nodes)) {
+      map.pinned_[k] = 1;
+      ++map.pinned_count_;
+    }
+  }
+  return map;
+}
+
+PlacementMap PlacementMap::hashed(std::size_t vocabulary,
+                                  const PlacementMapConfig& config) {
+  check_config(config);
+  PlacementMap map;
+  map.primary_.resize(vocabulary);
+  map.pinned_.assign(vocabulary, 0);
+  map.num_nodes_ = config.num_nodes;
+  map.degree_ = config.degree;
+  map.hash_tail_ = config.hash_tail;
+  map.epoch_ = config.epoch;
+  for (std::size_t k = 0; k < vocabulary; ++k)
+    map.primary_[k] = tail_node(config.hash_tail,
+                                static_cast<trace::KeywordId>(k),
+                                config.num_nodes);
+  return map;
+}
+
+std::size_t PlacementMap::node_id_bytes() const {
+  if (num_nodes_ <= 0x100) return 1;
+  if (num_nodes_ <= 0x10000) return 2;
+  if (num_nodes_ <= 0x1000000) return 3;
+  return 4;
+}
+
+PlacementMap PlacementMap::rebalanced(int new_num_nodes) const {
+  CCA_CHECK(new_num_nodes >= 1);
+  CCA_CHECK_MSG(degree_ < new_num_nodes,
+                "replication degree " << degree_ << " needs more than "
+                                      << new_num_nodes << " nodes");
+  PlacementMap next;
+  next.primary_.resize(primary_.size());
+  next.pinned_.assign(primary_.size(), 0);
+  next.num_nodes_ = new_num_nodes;
+  next.degree_ = degree_;
+  next.hash_tail_ = hash_tail_;
+  next.epoch_ = epoch_ + 1;
+  for (std::size_t k = 0; k < primary_.size(); ++k) {
+    const auto keyword = static_cast<trace::KeywordId>(k);
+    const int tail = tail_node(hash_tail_, keyword, new_num_nodes);
+    if (pinned_[k] && primary_[k] < new_num_nodes) {
+      next.primary_[k] = primary_[k];
+      if (primary_[k] != tail) {
+        next.pinned_[k] = 1;
+        ++next.pinned_count_;
+      }
+    } else {
+      // Unpinned, or pinned to a retired node: the tail rule decides.
+      next.primary_[k] = tail;
+    }
+  }
+  return next;
+}
+
+PlacementMap PlacementMap::with_placement(
+    const std::vector<int>& keyword_to_node) const {
+  CCA_CHECK_MSG(keyword_to_node.size() == primary_.size(),
+                "new placement covers " << keyword_to_node.size()
+                                        << " keywords, map has "
+                                        << primary_.size());
+  PlacementMapConfig config;
+  config.num_nodes = num_nodes_;
+  config.degree = degree_;
+  config.hash_tail = hash_tail_;
+  config.epoch = epoch_ + 1;
+  return build(keyword_to_node, config);
+}
+
+}  // namespace cca::core

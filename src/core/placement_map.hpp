@@ -1,0 +1,216 @@
+// Versioned, immutable placement views — the serving-side resolution API.
+//
+// The paper's pipeline is offline: mine correlations, solve, replay a
+// frozen keyword -> node vector. A serving system instead needs a
+// swappable VIEW of the placement (cf. DAOS placement maps): queries
+// resolve against the epoch they started with while a background lane
+// builds the next one. PlacementMap is that view:
+//
+//   * an EPOCH number (monotonic; each published successor increments it);
+//   * the cluster size and replica degree;
+//   * an optimized-EXCEPTION table: only keywords whose optimized node
+//     differs from the hash rule cost an entry (the paper's Sec. 4.1
+//     observation that partial optimization keeps the table small);
+//   * a pluggable HASH-TAIL rule for everything else — the historical
+//     MD5-mod-N, plus a jump-consistent-hash lane whose defining property
+//     is that growing N -> N+1 moves only ~1/(N+1) of the tail (Lamping &
+//     Veach), vs the (N-1)/N reshuffle of mod-N rehashing.
+//
+// resolve(keyword) -> ReplicaSet is the single entry point every consumer
+// (replay, event_sim, query engine, recovery, benches) uses; it subsumes
+// the former sim::LookupTable (degree 0), sim::ReplicaTable (degree > 0)
+// and the search::kEverywhere sentinel (degree = N-1: a full-degree set
+// contains every node, so it never causes a transfer).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::core {
+
+// ---------------------------------------------------------------------------
+// Hash-tail rules.
+// ---------------------------------------------------------------------------
+
+enum class HashTail {
+  kMd5,   // MD5(keyword name) mod N — the paper's production baseline
+  kJump,  // jump consistent hash over the MD5 key — ~1/N movement on grow
+};
+
+/// Parses "md5"/"jump"; returns false on anything else (callers attach
+/// their own did-you-mean error, see bench/testbed.hpp).
+bool parse_hash_tail(std::string_view text, HashTail* out);
+const char* hash_tail_name(HashTail tail);
+
+/// Lamping & Veach's jump consistent hash: maps `key` to a bucket in
+/// [0, num_buckets) such that going from n to n+1 buckets moves exactly
+/// the keys whose bucket becomes n — an expected 1/(n+1) fraction.
+std::int32_t jump_consistent_hash(std::uint64_t key, std::int32_t num_buckets);
+
+/// The node the tail rule assigns to `keyword` in an `num_nodes`-cluster.
+int tail_node(HashTail tail, trace::KeywordId keyword, int num_nodes);
+
+// ---------------------------------------------------------------------------
+// ReplicaSet: the result of a resolution.
+// ---------------------------------------------------------------------------
+
+/// Ordered replica set of one keyword. Slot 0 is the primary (the node
+/// the placement computed); replica r lives on (primary + r) mod N —
+/// placement-relative, so co-placed correlated keywords share replica
+/// nodes and failover preserves co-location. A full-degree set
+/// (degree = N-1) has a copy on every node and never causes a transfer.
+///
+/// `num_nodes == 0` means "unbounded ring": a degree-0 singleton whose
+/// ring the caller never materialized (ad-hoc test placements). Such a
+/// set is never `everywhere()`.
+struct ReplicaSet {
+  int primary = 0;
+  int degree = 0;     // copies beyond the primary
+  int num_nodes = 0;  // 0 = unbounded (see above)
+
+  /// A one-node set on an unbounded ring (degree 0, never everywhere).
+  static constexpr ReplicaSet single(int node) { return {node, 0, 0}; }
+
+  /// Replica at failover position `slot` in [0, degree].
+  int node(int slot) const {
+    return num_nodes > 0 ? (primary + slot) % num_nodes : primary + slot;
+  }
+
+  /// True when the set has a copy on every node of its ring.
+  bool everywhere() const { return num_nodes > 0 && degree + 1 >= num_nodes; }
+
+  /// True when some replica lives on `n`.
+  bool contains(int n) const {
+    if (num_nodes <= 0) return n >= primary && n - primary <= degree;
+    const int offset = ((n - primary) % num_nodes + num_nodes) % num_nodes;
+    return offset <= degree;
+  }
+
+  /// First alive replica in failover order, trying at most `max_attempts`
+  /// slots; returns its node and the slot via `slot_out` (0 = primary),
+  /// or -1 / slot -1 when every tried replica is dead. `alive` is indexed
+  /// by node.
+  int first_alive(const std::vector<char>& alive, int max_attempts,
+                  int* slot_out = nullptr) const {
+    const int tries = max_attempts < degree + 1 ? max_attempts : degree + 1;
+    for (int slot = 0; slot < tries; ++slot) {
+      const int n = node(slot);
+      if (alive[static_cast<std::size_t>(n)]) {
+        if (slot_out) *slot_out = slot;
+        return n;
+      }
+    }
+    if (slot_out) *slot_out = -1;
+    return -1;
+  }
+
+  bool operator==(const ReplicaSet&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// PlacementMap.
+// ---------------------------------------------------------------------------
+
+struct PlacementMapConfig {
+  int num_nodes = 1;
+  /// Replicas beyond the primary, in [0, num_nodes - 1]. degree = N-1
+  /// replicates everywhere.
+  int degree = 0;
+  HashTail hash_tail = HashTail::kMd5;
+  std::uint64_t epoch = 0;
+};
+
+/// Immutable epoch of the serving placement. Thread-safe by construction:
+/// once built it never changes, so any number of replay shards may
+/// resolve against it while a service publishes a successor.
+class PlacementMap {
+ public:
+  /// Builds the map for an explicit keyword -> node placement: entries
+  /// (pins) only where the placement differs from the hash-tail rule.
+  static PlacementMap build(const std::vector<int>& keyword_to_node,
+                            const PlacementMapConfig& config);
+
+  /// The pure hash placement (no entries at all): every keyword on its
+  /// tail node. What "random-hash" serves, and the churn baseline.
+  static PlacementMap hashed(std::size_t vocabulary,
+                             const PlacementMapConfig& config);
+
+  /// THE resolution entry point: the keyword's replica set. Matches the
+  /// installed placement exactly (tested invariant).
+  ReplicaSet resolve(trace::KeywordId keyword) const {
+    return ReplicaSet{primary(keyword), degree_, num_nodes_};
+  }
+
+  /// Slot 0 of resolve(): the node the placement computed.
+  int primary(trace::KeywordId keyword) const {
+    CCA_CHECK_MSG(keyword < primary_.size(),
+                  "keyword " << keyword << " outside vocabulary");
+    return primary_[keyword];
+  }
+
+  /// True when `keyword` has an exception entry (optimized off its tail
+  /// node); pinned keywords keep their node across tail rebalances.
+  bool pinned(trace::KeywordId keyword) const {
+    CCA_CHECK_MSG(keyword < pinned_.size(),
+                  "keyword " << keyword << " outside vocabulary");
+    return pinned_[keyword] != 0;
+  }
+
+  /// The node the tail rule alone would assign.
+  int tail_of(trace::KeywordId keyword) const {
+    return tail_node(hash_tail_, keyword, num_nodes_);
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+  int num_nodes() const { return num_nodes_; }
+  int degree() const { return degree_; }
+  HashTail hash_tail() const { return hash_tail_; }
+  std::size_t vocabulary_size() const { return primary_.size(); }
+
+  /// Exception-table entries (pinned keywords). Any replication forces an
+  /// entry per keyword: the hash rule alone locates only degree-0 tails.
+  std::size_t entries() const {
+    return degree_ == 0 ? pinned_count_ : primary_.size();
+  }
+
+  /// Bytes per stored node ID, derived from the cluster size (a 2-byte ID
+  /// overflows past 65536 nodes — the former hard-coded 6-byte entry was
+  /// wrong there).
+  std::size_t node_id_bytes() const;
+
+  /// Serialized table size: entries * (4-byte keyword ID +
+  /// node_id_bytes() per stored replica slot).
+  std::size_t bytes() const {
+    return entries() *
+           (4 + node_id_bytes() * static_cast<std::size_t>(degree_ + 1));
+  }
+
+  /// The next epoch after resizing the cluster: pinned keywords keep
+  /// their node (pins on retired nodes fall back to the tail rule),
+  /// unpinned keywords are re-placed by the tail rule at the new size.
+  /// With the jump tail a single-node grow moves ~1/N of the tail; the
+  /// md5 tail reshuffles ~(N-1)/N of it.
+  PlacementMap rebalanced(int new_num_nodes) const;
+
+  /// The next epoch carrying a new optimized placement (same tail rule,
+  /// degree, and cluster size; epoch + 1) — the re-optimize lane's
+  /// publish path.
+  PlacementMap with_placement(const std::vector<int>& keyword_to_node) const;
+
+ private:
+  PlacementMap() = default;
+
+  std::vector<int> primary_;
+  std::vector<std::uint8_t> pinned_;  // 1 = exception entry
+  std::size_t pinned_count_ = 0;
+  int num_nodes_ = 1;
+  int degree_ = 0;
+  HashTail hash_tail_ = HashTail::kMd5;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace cca::core

@@ -19,8 +19,10 @@
 // placement + budget.
 //
 // Where the moved bytes come from is out of scope here: with replication
-// (sim::ReplicaTable) the surviving replica is the source; without it,
-// re-placement models restoring from a backing store. Either way the
+// (core::PlacementMap replica sets) the surviving replica is the source;
+// without it, re-placement models restoring from a backing store. The
+// replanned placement becomes the next serving epoch via
+// core::PlacementMap::with_placement. Either way the
 // shipped bytes are the object's index size, the same unit query and
 // drift-migration traffic use.
 #pragma once

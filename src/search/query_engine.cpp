@@ -116,40 +116,40 @@ QueryCost QueryEngine::execute_intersection(const trace::Query& query,
   });
 
   // Step 1: the two smallest lists. The smaller ships to the larger's
-  // node — unless either is replicated everywhere, in which case the step
-  // is free and executes at the other's node.
+  // primary — unless some replica of one already lives at the other's
+  // primary (full-degree sets live everywhere), which makes the step free.
   const PostingList& first = index_->postings(order[0].id);
   const PostingList& second = index_->postings(order[1].id);
-  const int node0 = placement(order[0].id);
-  const int node1 = placement(order[1].id);
+  const core::ReplicaSet set0 = placement(order[0].id);
+  const core::ReplicaSet set1 = placement(order[1].id);
   int current_node;
-  if (node1 == kEverywhere) {
-    current_node = node0 == kEverywhere ? 0 : node0;
-  } else if (node0 == kEverywhere) {
-    current_node = node1;
+  if (set1.everywhere()) {
+    current_node = set0.everywhere() ? 0 : set0.primary;
+  } else if (set0.everywhere() || set0.contains(set1.primary)) {
+    current_node = set1.primary;
+  } else if (set1.contains(set0.primary)) {
+    current_node = set0.primary;
   } else {
-    current_node = node1;
-    if (node0 != current_node) {
-      const std::uint64_t shipped = order[0].bytes;
-      cost.bytes_transferred += shipped;
-      ++cost.messages;
-      cost.local = false;
-      if (observer) observer(node0, current_node, shipped);
-    }
+    current_node = set1.primary;
+    const std::uint64_t shipped = order[0].bytes;
+    cost.bytes_transferred += shipped;
+    ++cost.messages;
+    cost.local = false;
+    if (observer) observer(set0.primary, current_node, shipped);
   }
   PostingList running = intersect(first, second);
 
   // Step 2: fold in the remaining keywords; the running intersection (which
-  // only shrinks) travels to each keyword's node when needed. Replicated
-  // keywords are present locally and never force a move.
+  // only shrinks) travels to each keyword's primary when no replica is
+  // already co-located with it.
   for (std::size_t t = 2; t < order.size(); ++t) {
-    const int node = placement(order[t].id);
-    if (node != current_node && node != kEverywhere) {
+    const core::ReplicaSet set = placement(order[t].id);
+    if (!set.contains(current_node)) {
       cost.bytes_transferred += running.size_bytes();
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(current_node, node, running.size_bytes());
-      current_node = node;
+      if (observer) observer(current_node, set.primary, running.size_bytes());
+      current_node = set.primary;
     }
     running = intersect(running, index_->postings(order[t].id));
   }
@@ -180,18 +180,23 @@ QueryCost QueryEngine::execute_intersection_bloom(
 
   const PostingList& small = index_->postings(order[0].id);
   const PostingList& large = index_->postings(order[1].id);
-  const int small_node = placement(order[0].id);
-  const int large_node = placement(order[1].id);
+  const core::ReplicaSet small_set = placement(order[0].id);
+  const core::ReplicaSet large_set = placement(order[1].id);
   PostingList running = intersect(small, large);
   int current_node;
-  if (large_node == kEverywhere) {
-    current_node = small_node == kEverywhere ? 0 : small_node;
+  bool apart = false;
+  if (large_set.everywhere()) {
+    current_node = small_set.everywhere() ? 0 : small_set.primary;
+  } else if (small_set.everywhere() || small_set.contains(large_set.primary)) {
+    current_node = large_set.primary;
+  } else if (large_set.contains(small_set.primary)) {
+    current_node = small_set.primary;
   } else {
-    current_node = large_node;
+    current_node = large_set.primary;
+    apart = true;
   }
 
-  if (small_node != large_node && small_node != kEverywhere &&
-      large_node != kEverywhere) {
+  if (apart) {
     cost.local = false;
     // Option A (classic): ship the small list to the large list's node.
     const std::uint64_t ship_bytes = order[0].bytes;
@@ -208,10 +213,10 @@ QueryCost QueryEngine::execute_intersection_bloom(
       cost.bytes_transferred += bloom_bytes;
       cost.messages += 2;
       if (observer) {
-        observer(small_node, large_node, filter.size_bytes());
-        observer(large_node, small_node, 8 * candidates);
+        observer(small_set.primary, large_set.primary, filter.size_bytes());
+        observer(large_set.primary, small_set.primary, 8 * candidates);
       }
-      current_node = small_node;  // candidates returned; finish locally
+      current_node = small_set.primary;  // candidates returned; finish locally
       if (common::metrics_enabled()) {
         SearchMetrics& m = SearchMetrics::get();
         m.bloom_wins.add();
@@ -221,7 +226,7 @@ QueryCost QueryEngine::execute_intersection_bloom(
     } else {
       cost.bytes_transferred += ship_bytes;
       ++cost.messages;
-      if (observer) observer(small_node, large_node, ship_bytes);
+      if (observer) observer(small_set.primary, large_set.primary, ship_bytes);
       if (common::metrics_enabled()) SearchMetrics::get().bloom_classic.add();
     }
   }
@@ -230,13 +235,13 @@ QueryCost QueryEngine::execute_intersection_bloom(
   // classic ship-the-running-result step is used (a Bloom round trip
   // cannot beat shipping a list that is at most the filter's size).
   for (std::size_t t = 2; t < order.size(); ++t) {
-    const int node = placement(order[t].id);
-    if (node != current_node && node != kEverywhere) {
+    const core::ReplicaSet set = placement(order[t].id);
+    if (!set.contains(current_node)) {
       cost.bytes_transferred += running.size_bytes();
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(current_node, node, running.size_bytes());
-      current_node = node;
+      if (observer) observer(current_node, set.primary, running.size_bytes());
+      current_node = set.primary;
     }
     running = intersect(running, index_->postings(order[t].id));
   }
@@ -256,28 +261,29 @@ QueryCost QueryEngine::execute_union(const trace::Query& query,
     record_postings(query, total);
   }
 
-  // Destination: the node hosting the largest NON-replicated object
-  // (Sec. 3.2); replicated keywords are present everywhere and never
+  // Destination: the primary of the largest NOT-fully-replicated object
+  // (Sec. 3.2); full-degree keywords are present everywhere and never
   // determine or pay for transfers.
-  int dest = kEverywhere;
+  int dest = -1;
   std::uint64_t largest_bytes = 0;
   for (trace::KeywordId k : query.keywords) {
-    if (placement(k) == kEverywhere) continue;
-    if (dest == kEverywhere || bytes_of(k) > largest_bytes) {
-      dest = placement(k);
+    const core::ReplicaSet set = placement(k);
+    if (set.everywhere()) continue;
+    if (dest < 0 || bytes_of(k) > largest_bytes) {
+      dest = set.primary;
       largest_bytes = bytes_of(k);
     }
   }
-  if (dest == kEverywhere) dest = 0;  // everything replicated: free union
+  if (dest < 0) dest = 0;  // everything replicated: free union
 
   PostingList running;
   for (trace::KeywordId k : query.keywords) {
-    const int node = placement(k);
-    if (node != dest && node != kEverywhere) {
+    const core::ReplicaSet set = placement(k);
+    if (!set.contains(dest)) {
       cost.bytes_transferred += bytes_of(k);
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(node, dest, bytes_of(k));
+      if (observer) observer(set.primary, dest, bytes_of(k));
     }
     running = unite(running, index_->postings(k));
   }

@@ -1,14 +1,15 @@
 // Distributed multi-keyword query execution with byte-level communication
 // accounting — the measurement side of the paper's prototype (Sec. 4.1).
 //
-// Given an index placement (keyword -> node), a query executes as the paper
-// describes for intersection-like operations: process the two smallest
-// posting lists first (shipping the smaller to the larger's node when they
-// are apart), then fold in the remaining keywords in ascending size order,
-// shipping the — typically tiny — running intersection to each keyword's
-// node. Union-like operations instead ship every list to the largest
-// object's node. The returned byte counts are what the evaluation figures
-// report; result-return traffic is excluded, as in the paper.
+// Given an index placement (keyword -> replica set), a query executes as
+// the paper describes for intersection-like operations: process the two
+// smallest posting lists first (shipping the smaller to the larger's node
+// when no shared replica makes the step free), then fold in the remaining
+// keywords in ascending size order, shipping the — typically tiny —
+// running intersection to each keyword's node. Union-like operations
+// instead ship every list to the largest object's node. The returned byte
+// counts are what the evaluation figures report; result-return traffic is
+// excluded, as in the paper.
 #pragma once
 
 #include <cstdint>
@@ -16,26 +17,25 @@
 #include <vector>
 
 #include "common/function_ref.hpp"
+#include "core/placement_map.hpp"
 #include "search/inverted_index.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::search {
 
-/// Keyword -> node assignment used during execution. A placement may
-/// return kEverywhere for a fully replicated keyword (cf. the authors'
-/// companion work on replication-degree customization): such a keyword is
-/// co-located with every node, so it never causes a transfer and any
-/// intersection step involving it executes wherever its partner lives.
+/// Keyword -> replica set used during execution — the signature of
+/// core::PlacementMap::resolve. A step involving a keyword whose set
+/// contains the current node is free (the copy is local); a full-degree
+/// set (ReplicaSet::everywhere) never causes a transfer, which is how
+/// hot-keyword replication (cf. the authors' companion work on
+/// replication-degree customization) is expressed.
 ///
 /// PlacementFn/TransferObserver are the OWNING types, for callers that
 /// store a callback. The execute_* hot paths take the non-owning *Ref
 /// forms below, so passing a lambda (or a stored PlacementFn) costs two
 /// pointers per call instead of a std::function conversion per query.
-using PlacementFn = std::function<int(trace::KeywordId)>;
-using PlacementRef = common::FunctionRef<int(trace::KeywordId)>;
-
-/// PlacementFn sentinel: the keyword has a replica on every node.
-inline constexpr int kEverywhere = -1;
+using PlacementFn = std::function<core::ReplicaSet(trace::KeywordId)>;
+using PlacementRef = common::FunctionRef<core::ReplicaSet(trace::KeywordId)>;
 
 /// Optional per-transfer observer (from-node, to-node, bytes); lets a
 /// cluster simulator attribute traffic to node pairs.

@@ -14,25 +14,43 @@ Cluster::Cluster(int num_nodes, double capacity_bytes)
 }
 
 void Cluster::install_placement(
-    const std::vector<int>& keyword_to_node,
+    std::shared_ptr<const core::PlacementMap> map,
     const std::vector<std::uint64_t>& index_sizes) {
-  CCA_CHECK_MSG(keyword_to_node.size() == index_sizes.size(),
+  CCA_CHECK(map != nullptr);
+  CCA_CHECK_MSG(map->num_nodes() == num_nodes(),
+                "placement map covers " << map->num_nodes()
+                                        << " nodes, cluster has "
+                                        << num_nodes());
+  CCA_CHECK_MSG(map->vocabulary_size() == index_sizes.size(),
                 "placement and sizes disagree on vocabulary size");
   for (NodeStats& node : nodes_) node = NodeStats{};
   total_network_bytes_ = 0;
-  keyword_to_node_ = keyword_to_node;
-  for (std::size_t k = 0; k < keyword_to_node_.size(); ++k) {
-    const int node = keyword_to_node_[k];
-    CCA_CHECK_MSG(node >= 0 && node < num_nodes(),
-                  "keyword " << k << " placed on unknown node " << node);
+  map_ = std::move(map);
+  for (std::size_t k = 0; k < index_sizes.size(); ++k) {
+    const int node = map_->primary(static_cast<trace::KeywordId>(k));
     nodes_[node].stored_bytes += static_cast<double>(index_sizes[k]);
   }
 }
 
+void Cluster::install_placement(
+    const std::vector<int>& keyword_to_node,
+    const std::vector<std::uint64_t>& index_sizes) {
+  CCA_CHECK_MSG(keyword_to_node.size() == index_sizes.size(),
+                "placement and sizes disagree on vocabulary size");
+  core::PlacementMapConfig config;
+  config.num_nodes = num_nodes();
+  install_placement(std::make_shared<const core::PlacementMap>(
+                        core::PlacementMap::build(keyword_to_node, config)),
+                    index_sizes);
+}
+
+const core::PlacementMap& Cluster::map() const {
+  CCA_CHECK_MSG(map_ != nullptr, "cluster has no placement installed");
+  return *map_;
+}
+
 int Cluster::node_of(trace::KeywordId keyword) const {
-  CCA_CHECK_MSG(keyword < keyword_to_node_.size(),
-                "keyword " << keyword << " has no placement installed");
-  return keyword_to_node_[keyword];
+  return map().primary(keyword);
 }
 
 void Cluster::record_transfer(int from, int to, std::uint64_t bytes) {

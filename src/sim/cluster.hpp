@@ -2,14 +2,18 @@
 // indices under some placement.
 //
 // This is the measurement substrate mirroring the paper's prototype
-// (Sec. 4.1): a placement is installed as a keyword -> node lookup table
-// (the paper's per-node location table), per-node storage is accounted,
-// and the query replay (replay.hpp) charges byte transfers against it.
+// (Sec. 4.1): a placement epoch (core::PlacementMap) is installed, per-node
+// storage is accounted, and the query replay (replay.hpp) charges byte
+// transfers against it. Resolution goes through the map's resolve() — the
+// cluster adds only the byte bookkeeping.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <vector>
 
+#include "core/placement_map.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::sim {
@@ -54,12 +58,33 @@ class Cluster {
   /// statistics expose by how much.
   Cluster(int num_nodes, double capacity_bytes);
 
-  /// Installs a full keyword -> node placement with per-keyword index
-  /// byte sizes; resets all statistics.
+  /// Installs a placement epoch with per-keyword index byte sizes; resets
+  /// all statistics. Storage charges each keyword's primary copy (replica
+  /// copies are the fault model's storage overhead, reported separately).
+  void install_placement(std::shared_ptr<const core::PlacementMap> map,
+                         const std::vector<std::uint64_t>& index_sizes);
+
+  /// Convenience overload for a raw degree-0 plan: wraps the vector in a
+  /// PlacementMap (md5 tail, epoch 0) and installs it.
   void install_placement(const std::vector<int>& keyword_to_node,
                          const std::vector<std::uint64_t>& index_sizes);
 
+  /// Exact match for brace-enclosed literal placements ({0, 1, 0}), which
+  /// would otherwise be ambiguous against the shared_ptr overload.
+  void install_placement(std::initializer_list<int> keyword_to_node,
+                         const std::vector<std::uint64_t>& index_sizes) {
+    install_placement(std::vector<int>(keyword_to_node), index_sizes);
+  }
+
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// The installed epoch (CCA_CHECKs that one is installed).
+  const core::PlacementMap& map() const;
+
+  /// Resolution shorthand over the installed epoch.
+  core::ReplicaSet resolve(trace::KeywordId keyword) const {
+    return map().resolve(keyword);
+  }
   int node_of(trace::KeywordId keyword) const;
 
   /// Charges `bytes` moving from node `from` to node `to`.
@@ -82,7 +107,7 @@ class Cluster {
 
  private:
   std::vector<NodeStats> nodes_;
-  std::vector<int> keyword_to_node_;
+  std::shared_ptr<const core::PlacementMap> map_;
   double capacity_bytes_ = 0.0;
   std::uint64_t total_network_bytes_ = 0;
 };

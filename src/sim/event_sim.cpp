@@ -48,24 +48,19 @@ EventSimStats simulate_load(const Cluster& cluster,
   CCA_CHECK(config.num_queries >= 1);
   const bool faulty = config.faults != nullptr;
   if (faulty) {
-    CCA_CHECK_MSG(config.replicas != nullptr,
-                  "fault injection needs a ReplicaTable (degree 0 is valid)");
     CCA_CHECK_MSG(config.faults->num_nodes() == cluster.num_nodes(),
                   "fault schedule covers " << config.faults->num_nodes()
                                            << " nodes, cluster has "
                                            << cluster.num_nodes());
-    CCA_CHECK_MSG(config.replicas->num_nodes() == cluster.num_nodes(),
-                  "replica table covers " << config.replicas->num_nodes()
-                                          << " nodes, cluster has "
-                                          << cluster.num_nodes());
   }
 
   // --- Extract each distinct trace query's transfer chain once (healthy
   // path; under faults the chain depends on the arrival instant, so it is
   // resolved per arrival below). ---
   const search::QueryEngine engine(index);
-  const auto placement = [&cluster](trace::KeywordId k) {
-    return cluster.node_of(k);
+  const core::PlacementMap& map = cluster.map();
+  const auto placement = [&map](trace::KeywordId k) {
+    return map.resolve(k);
   };
   std::vector<std::vector<Transfer>> chains(faulty ? 0 : trace.size());
   if (!faulty) {
@@ -100,16 +95,17 @@ EventSimStats simulate_load(const Cluster& cluster,
   if (faulty) {
     fault_chains.resize(config.num_queries);
     penalties.assign(config.num_queries, 0.0);
-    const ReplicaTable& replicas = *config.replicas;
     const int num_nodes = cluster.num_nodes();
-    const bool fully_replicated = replicas.degree() == num_nodes - 1;
+    const int degree = map.degree();
+    const bool fully_replicated = degree == num_nodes - 1;
     std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
     trace::Query sub;
-    std::vector<int> resolved;
+    std::vector<core::ReplicaSet> resolved;
     const auto sub_placement = [&](trace::KeywordId k) {
       for (std::size_t i = 0; i < sub.keywords.size(); ++i)
         if (sub.keywords[i] == k) return resolved[i];
-      return 0;  // unreachable: the engine only asks about sub's keywords
+      // Unreachable: the engine only asks about sub's keywords.
+      return core::ReplicaSet::single(0);
     };
     for (std::size_t q = 0; q < config.num_queries; ++q) {
       const trace::Query& query = trace[q % trace.size()];
@@ -126,17 +122,16 @@ EventSimStats simulate_load(const Cluster& cluster,
         if (fully_replicated) {
           if (alive_count > 0) {
             sub.keywords.push_back(k);
-            resolved.push_back(search::kEverywhere);
+            resolved.push_back(map.resolve(k));
           }
           continue;
         }
         int slot = -1;
-        const int node =
-            replicas.first_alive(k, alive, config.retry.max_attempts, &slot);
+        const int node = map.resolve(k).first_alive(
+            alive, config.retry.max_attempts, &slot);
         const int failed_attempts =
             node >= 0 ? slot
-                      : std::min(config.retry.max_attempts,
-                                 replicas.degree() + 1);
+                      : std::min(config.retry.max_attempts, degree + 1);
         if (failed_attempts > 0) {
           stats.retries += static_cast<std::uint64_t>(failed_attempts);
           penalties[q] += config.retry.penalty_ms(
@@ -147,7 +142,7 @@ EventSimStats simulate_load(const Cluster& cluster,
         if (node >= 0) {
           if (slot > 0) ++stats.failovers;
           sub.keywords.push_back(k);
-          resolved.push_back(node);
+          resolved.push_back(core::ReplicaSet::single(node));
         }
       }
       if (!sub.keywords.empty())

@@ -25,7 +25,6 @@
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
-#include "sim/lookup_table.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::sim {
@@ -43,11 +42,10 @@ struct EventSimConfig {
 
   // --- Fault injection (all optional; defaults reproduce the healthy
   // simulation byte for byte). ---
-  /// Fault timeline; nullptr simulates a healthy cluster.
+  /// Fault timeline; nullptr simulates a healthy cluster. Failover order
+  /// comes from the installed placement epoch's replica sets (a degree-0
+  /// map gives fail-stop behaviour with no failover).
   const FaultSchedule* faults = nullptr;
-  /// Failover order per keyword; required when `faults` is set (a
-  /// degree-0 table gives fail-stop behaviour with no failover).
-  const ReplicaTable* replicas = nullptr;
   /// Dead-contact reaction; the per-fetch penalty delays the query's
   /// first transfer (it does not occupy any NIC — timeouts burn client
   /// time, not server bandwidth).

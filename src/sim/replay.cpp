@@ -33,7 +33,7 @@ struct Shard {
 ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
                          const trace::QueryTrace& trace, OperationKind kind,
                          std::vector<std::uint64_t> keyword_bytes,
-                         const LatencyModel& latency) {
+                         const LatencyModel& latency, ReplayCapture* capture) {
   const search::QueryEngine engine =
       keyword_bytes.empty()
           ? search::QueryEngine(index)
@@ -56,8 +56,9 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
     shard.per_query_bytes.reserve(end - begin);
     shard.per_query_latency.reserve(end - begin);
 
-    const auto placement = [&cluster](trace::KeywordId k) {
-      return cluster.node_of(k);
+    const core::PlacementMap& map = cluster.map();
+    const auto placement = [&map](trace::KeywordId k) {
+      return map.resolve(k);
     };
     // Per-query latency accumulates through the observer: transfers
     // arrive in plan order, summed for sequential intersection steps and
@@ -128,6 +129,14 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
   }
   stats.max_storage_factor = cluster.max_storage_factor();
   stats.storage_imbalance = cluster.storage_imbalance();
+  if (capture) {
+    capture->per_query_bytes.insert(capture->per_query_bytes.end(),
+                                    per_query_bytes.begin(),
+                                    per_query_bytes.end());
+    capture->per_query_latency.insert(capture->per_query_latency.end(),
+                                      per_query_latency.begin(),
+                                      per_query_latency.end());
+  }
 
   // Replay accounting, recorded once per trace after the join. Bytes are
   // split by operation kind so the figure benches (intersection vs Bloom
@@ -192,12 +201,7 @@ std::uint64_t fetch_token(std::size_t query_index, trace::KeywordId k) {
 FaultReplayStats replay_trace_with_faults(Cluster& cluster,
                                           const search::InvertedIndex& index,
                                           const trace::QueryTrace& trace,
-                                          const ReplicaTable& replicas,
                                           const FaultReplayConfig& config) {
-  CCA_CHECK_MSG(replicas.num_nodes() == cluster.num_nodes(),
-                "replica table covers " << replicas.num_nodes()
-                                        << " nodes, cluster has "
-                                        << cluster.num_nodes());
   CCA_CHECK_MSG(config.arrival_rate_qps > 0.0, "arrival rate must be > 0");
   if (config.faults)
     CCA_CHECK_MSG(config.faults->num_nodes() == cluster.num_nodes(),
@@ -206,9 +210,11 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
                                            << cluster.num_nodes());
 
   const search::QueryEngine engine(index);
+  const core::PlacementMap& map = cluster.map();
   const std::vector<trace::Query>& queries = trace.queries();
   const int num_nodes = cluster.num_nodes();
-  const bool fully_replicated = replicas.degree() == num_nodes - 1;
+  const int degree = map.degree();
+  const bool fully_replicated = degree == num_nodes - 1;
 
   // Arrival instants, drawn sequentially so the timeline is identical for
   // any thread count (same procedure as sim/event_sim).
@@ -233,10 +239,11 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
     shard.per_query_latency.reserve(end - begin);
 
     std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
-    // Scratch per query: the served sub-query and its resolved nodes
-    // (kEverywhere for fully replicated keywords).
+    // Scratch per query: the served sub-query and its resolved sets — the
+    // full (everywhere) set for fully replicated keywords, else the
+    // singleton of whichever replica answered.
     trace::Query sub;
-    std::vector<int> resolved;  // parallel to sub.keywords
+    std::vector<core::ReplicaSet> resolved;  // parallel to sub.keywords
 
     double query_latency = 0.0;
     const bool parallel_fanout = config.kind == OperationKind::kUnion;
@@ -249,7 +256,8 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
     const auto placement = [&](trace::KeywordId k) {
       for (std::size_t i = 0; i < sub.keywords.size(); ++i)
         if (sub.keywords[i] == k) return resolved[i];
-      return 0;  // unreachable: the engine only asks about sub's keywords
+      // Unreachable: the engine only asks about sub's keywords.
+      return core::ReplicaSet::single(0);
     };
 
     for (std::size_t q = begin; q < end; ++q) {
@@ -273,19 +281,18 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
           // no remote contact to time out — iff anything is alive.
           if (alive_count > 0) {
             sub.keywords.push_back(k);
-            resolved.push_back(search::kEverywhere);
+            resolved.push_back(map.resolve(k));
           } else {
             ++shard.partial.unserved_keywords;
           }
           continue;
         }
         int slot = -1;
-        const int node =
-            replicas.first_alive(k, alive, config.retry.max_attempts, &slot);
+        const int node = map.resolve(k).first_alive(
+            alive, config.retry.max_attempts, &slot);
         const int failed_attempts =
             node >= 0 ? slot
-                      : std::min(config.retry.max_attempts,
-                                 replicas.degree() + 1);
+                      : std::min(config.retry.max_attempts, degree + 1);
         if (failed_attempts > 0) {
           shard.partial.retries +=
               static_cast<std::uint64_t>(failed_attempts);
@@ -295,7 +302,7 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
         if (node >= 0) {
           if (slot > 0) ++shard.partial.failovers;
           sub.keywords.push_back(k);
-          resolved.push_back(node);
+          resolved.push_back(core::ReplicaSet::single(node));
         } else {
           ++shard.partial.unserved_keywords;
         }

@@ -13,7 +13,6 @@
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
 #include "sim/latency.hpp"
-#include "sim/lookup_table.hpp"
 #include "trace/trace.hpp"
 
 namespace cca::sim {
@@ -38,6 +37,15 @@ struct ReplayStats {
   double storage_imbalance = 0.0;
 };
 
+/// Optional raw per-query series, in trace order. The placement service
+/// replays a churned trace as several epoch segments and needs the raw
+/// values to compute whole-run percentiles exactly (percentiles do not
+/// compose across segments).
+struct ReplayCapture {
+  std::vector<double> per_query_bytes;
+  std::vector<double> per_query_latency;
+};
+
 /// Replays `trace` through `cluster` (which must have a placement
 /// installed). Communication is attributed to node pairs via the cluster's
 /// transfer accounting. `keyword_bytes`, when non-empty, overrides the
@@ -47,12 +55,15 @@ struct ReplayStats {
 /// Execution shards the trace across the common::parallel pool: each shard
 /// replays with a private ClusterDelta and per-query vectors, merged in
 /// shard order after the join. Every reported statistic is bit-identical
-/// to a sequential replay for any thread count.
+/// to a sequential replay for any thread count. When `capture` is non-null
+/// the per-query series are APPENDED to it (callers accumulate across
+/// segments).
 ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
                          const trace::QueryTrace& trace,
                          OperationKind kind = OperationKind::kIntersection,
                          std::vector<std::uint64_t> keyword_bytes = {},
-                         const LatencyModel& latency = LatencyModel{});
+                         const LatencyModel& latency = LatencyModel{},
+                         ReplayCapture* capture = nullptr);
 
 // ---------------------------------------------------------------------------
 // Failure-aware replay.
@@ -98,13 +109,13 @@ struct FaultReplayStats {
 };
 
 /// Replays `trace` against `cluster` under the fault timeline in
-/// `config`, failing over along `replicas` (whose primaries must match
-/// the installed placement — byte accounting assumes it). Each keyword
-/// fetch walks the replica set in failover order, charging
-/// `config.retry` for every dead contact; keywords with no reachable
-/// replica within the attempt budget are dropped from the query, which
-/// then returns a PARTIAL result over the remaining keywords. Bytes are
-/// charged for the executed sub-query only.
+/// `config`, failing over along the installed placement epoch's replica
+/// sets (cluster.map().resolve — replica r of a keyword lives at
+/// (primary + r) mod N). Each keyword fetch walks its set in failover
+/// order, charging `config.retry` for every dead contact; keywords with
+/// no reachable replica within the attempt budget are dropped from the
+/// query, which then returns a PARTIAL result over the remaining
+/// keywords. Bytes are charged for the executed sub-query only.
 ///
 /// Liveness is evaluated at the query's arrival instant (transitions
 /// mid-query are not modelled). Sharded like replay_trace: bit-identical
@@ -112,7 +123,6 @@ struct FaultReplayStats {
 FaultReplayStats replay_trace_with_faults(Cluster& cluster,
                                           const search::InvertedIndex& index,
                                           const trace::QueryTrace& trace,
-                                          const ReplicaTable& replicas,
                                           const FaultReplayConfig& config);
 
 }  // namespace cca::sim

@@ -132,5 +132,49 @@ TEST_F(BenchFlags, LpWarmStartBadValueSuggests) {
       << message;
 }
 
+TEST_F(BenchFlags, HashTailAcceptsBothRules) {
+  EXPECT_EQ(parse({}).hash_tail, core::HashTail::kMd5);  // default
+  EXPECT_EQ(parse({"--hash-tail=md5"}).hash_tail, core::HashTail::kMd5);
+  EXPECT_EQ(parse({"--hash-tail=jump"}).hash_tail, core::HashTail::kJump);
+}
+
+TEST_F(BenchFlags, HashTailBadValueNamesFlagAndSuggests) {
+  const std::string message = error_of({"--hash-tail=jmup"});
+  EXPECT_NE(message.find("--hash-tail"), std::string::npos) << message;
+  EXPECT_NE(message.find("'jmup'"), std::string::npos) << message;
+  EXPECT_NE(message.find("'md5'"), std::string::npos) << message;
+  EXPECT_NE(message.find("did you mean 'jump'?"), std::string::npos)
+      << message;
+}
+
+TEST_F(BenchFlags, ChurnScriptParsesThroughTheTestbed) {
+  EXPECT_TRUE(parse({}).churn.empty());
+  const TestbedConfig cfg = parse({"--churn=add:1000,10;remove:2000,10"});
+  ASSERT_EQ(cfg.churn.size(), 2u);
+  EXPECT_EQ(cfg.churn[0].kind, sim::ChurnEvent::Kind::kAdd);
+  EXPECT_DOUBLE_EQ(cfg.churn[0].time_ms, 1000.0);
+  EXPECT_EQ(cfg.churn[0].node, 10);
+  EXPECT_EQ(cfg.churn[1].kind, sim::ChurnEvent::Kind::kRemove);
+}
+
+TEST_F(BenchFlags, ChurnBadKindNamesFlagAndSuggests) {
+  const std::string message = error_of({"--churn=addd:1000,10"});
+  EXPECT_NE(message.find("--churn"), std::string::npos) << message;
+  EXPECT_NE(message.find("did you mean 'add'?"), std::string::npos)
+      << message;
+}
+
+TEST_F(BenchFlags, ChurnMalformedEventNamesTheShape) {
+  const std::string message = error_of({"--churn=add:1000"});
+  EXPECT_NE(message.find("add:<time_ms>,<node>"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("missing ','"), std::string::npos) << message;
+}
+
+TEST_F(BenchFlags, ChurnNonmonotoneTimesAreRejected) {
+  const std::string message = error_of({"--churn=add:2000,10;add:1000,11"});
+  EXPECT_NE(message.find("nondecreasing"), std::string::npos) << message;
+}
+
 }  // namespace
 }  // namespace cca::bench

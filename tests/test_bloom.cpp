@@ -70,7 +70,7 @@ TEST(BloomIntersection, NeverWorseThanClassic) {
   const InvertedIndex index = skewed_index(2000);
   const QueryEngine engine(index);
   const auto placement = [](trace::KeywordId k) {
-    return static_cast<int>(k);
+    return core::ReplicaSet::single(static_cast<int>(k));
   };
   const QueryCost classic =
       engine.execute_intersection(trace::Query{{0, 1}}, placement);
@@ -112,7 +112,7 @@ TEST(BloomIntersection, WinsWhenSmallListIsStillLarge) {
       InvertedIndex::build(trace::Corpus(2, std::move(docs2)));
   const QueryEngine engine(index);
   const auto placement = [](trace::KeywordId k) {
-    return static_cast<int>(k);
+    return core::ReplicaSet::single(static_cast<int>(k));
   };
   const QueryCost classic =
       engine.execute_intersection(trace::Query{{0, 1}}, placement);
@@ -130,7 +130,8 @@ TEST(BloomIntersection, CoLocatedQueriesStayFree) {
   const InvertedIndex index = skewed_index(100);
   const QueryEngine engine(index);
   const QueryCost cost = engine.execute_intersection_bloom(
-      trace::Query{{0, 1}}, [](trace::KeywordId) { return 0; });
+      trace::Query{{0, 1}},
+      [](trace::KeywordId) { return core::ReplicaSet::single(0); });
   EXPECT_EQ(cost.bytes_transferred, 0u);
   EXPECT_TRUE(cost.local);
 }
@@ -141,7 +142,10 @@ TEST(BloomIntersection, ObserverSeesBothDirections) {
   std::uint64_t to_large = 0, to_small = 0;
   const QueryCost cost = engine.execute_intersection_bloom(
       trace::Query{{0, 1}},
-      [](trace::KeywordId k) { return static_cast<int>(k); }, 8.0,
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      },
+      8.0,
       [&](int from, int to, std::uint64_t bytes) {
         if (to == 0) to_large += bytes;  // kw0 = large list's node 0
         if (to == 1) to_small += bytes;

@@ -102,7 +102,9 @@ TEST(QueryEngineSizeModel, CustomBytesDriveCostAndOrder) {
   const QueryEngine engine(index, {4, 16});
   const QueryCost cost = engine.execute_intersection(
       trace::Query{{0, 1}},
-      [](trace::KeywordId k) { return static_cast<int>(k); });
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      });
   EXPECT_EQ(cost.bytes_transferred, 4u);
   EXPECT_EQ(cost.result_size, 2u);
 }
@@ -123,7 +125,9 @@ TEST(QueryEngineSizeModel, UnionUsesCustomSizes) {
   const QueryEngine engine(index, {2, 100});
   const QueryCost cost = engine.execute_union(
       trace::Query{{0, 1}},
-      [](trace::KeywordId k) { return static_cast<int>(k); });
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      });
   EXPECT_EQ(cost.bytes_transferred, 2u);
 }
 

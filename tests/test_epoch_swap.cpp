@@ -1,0 +1,133 @@
+// Epoch-swap determinism and publication safety under threads.
+//
+// Lives in the sanitize-labelled binary: the claims here — churned-replay
+// statistics bit-identical for any thread-pool size, and acquire/publish
+// safe against concurrent readers — are exactly what TSan should watch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/placement_map.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/placement_service.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::sim {
+namespace {
+
+std::shared_ptr<const core::PlacementMap> jump_map(std::size_t vocab,
+                                                   int nodes,
+                                                   std::uint64_t epoch = 0) {
+  core::PlacementMapConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.hash_tail = core::HashTail::kJump;
+  cfg.epoch = epoch;
+  return std::make_shared<const core::PlacementMap>(
+      core::PlacementMap::hashed(vocab, cfg));
+}
+
+TEST(EpochSwap, ChurnedReplayIsByteIdenticalAcrossThreadCounts) {
+  trace::CorpusConfig corpus;
+  corpus.num_documents = 300;
+  corpus.vocabulary_size = 150;
+  corpus.mean_distinct_words = 40.0;
+  corpus.seed = 31;
+  const search::InvertedIndex index =
+      search::InvertedIndex::build(trace::Corpus::generate(corpus));
+  trace::WorkloadConfig workload;
+  workload.vocabulary_size = 150;
+  workload.num_topics = 15;
+  workload.seed = 31;
+  const trace::QueryTrace trace =
+      trace::WorkloadModel(workload).generate(1500, 32);
+  const std::vector<ChurnEvent> churn =
+      parse_churn_script("add:400,4;add:900,5;remove:1200,5");
+  ServiceReplayConfig cfg;
+
+  const auto run = [&] {
+    PlacementService service(jump_map(150, 4));
+    return replay_trace_with_service(service, index, trace, churn, cfg);
+  };
+  common::set_global_threads(1);
+  const ServiceReplayStats t1 = run();
+  common::set_global_threads(2);
+  const ServiceReplayStats t2 = run();
+  common::set_global_threads(8);
+  const ServiceReplayStats t8 = run();
+  common::set_global_threads(2);
+
+  ASSERT_EQ(t1.transitions.size(), 3u);
+  for (const ServiceReplayStats* other : {&t2, &t8}) {
+    EXPECT_EQ(t1.base.queries, other->base.queries);
+    EXPECT_EQ(t1.base.total_bytes, other->base.total_bytes);
+    EXPECT_EQ(t1.base.total_messages, other->base.total_messages);
+    EXPECT_EQ(t1.base.local_queries, other->base.local_queries);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(t1.base.mean_bytes_per_query, other->base.mean_bytes_per_query);
+    EXPECT_EQ(t1.base.p99_bytes_per_query, other->base.p99_bytes_per_query);
+    EXPECT_EQ(t1.base.mean_latency_ms, other->base.mean_latency_ms);
+    EXPECT_EQ(t1.base.p99_latency_ms, other->base.p99_latency_ms);
+    EXPECT_EQ(t1.final_epoch, other->final_epoch);
+    EXPECT_EQ(t1.final_num_nodes, other->final_num_nodes);
+    ASSERT_EQ(t1.transitions.size(), other->transitions.size());
+    for (std::size_t i = 0; i < t1.transitions.size(); ++i) {
+      EXPECT_EQ(t1.transitions[i].moved_objects,
+                other->transitions[i].moved_objects);
+      EXPECT_EQ(t1.transitions[i].moved_bytes,
+                other->transitions[i].moved_bytes);
+      EXPECT_EQ(t1.transitions[i].moved_tail_objects,
+                other->transitions[i].moved_tail_objects);
+      EXPECT_EQ(t1.transitions[i].disrupted_queries,
+                other->transitions[i].disrupted_queries);
+    }
+  }
+}
+
+TEST(EpochSwap, ConcurrentReadersAlwaysSeeACoherentEpoch) {
+  // A publisher walks the service through 50 epochs while reader threads
+  // hammer acquire() and resolve against whatever epoch they pinned. Every
+  // pinned map must stay internally consistent (epoch monotone per reader,
+  // resolution in range) — TSan guards the shared_ptr handoff itself.
+  const std::size_t vocab = 64;
+  PlacementService service(jump_map(vocab, 4, 0));
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto map = service.acquire();
+        if (map->epoch() < last_epoch) ++failures;  // rollback = bug
+        last_epoch = map->epoch();
+        for (trace::KeywordId k = 0; k < vocab; ++k) {
+          const core::ReplicaSet set = map->resolve(k);
+          if (set.primary < 0 || set.primary >= map->num_nodes()) ++failures;
+        }
+      }
+    });
+  }
+
+  auto map = service.acquire();
+  for (int nodes = 4; nodes < 54; ++nodes) {
+    auto next = std::make_shared<const core::PlacementMap>(
+        map->rebalanced(nodes + 1));
+    service.publish(next);
+    map = std::move(next);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.epoch(), 50u);
+  EXPECT_EQ(service.acquire()->num_nodes(), 54);
+}
+
+}  // namespace
+}  // namespace cca::sim

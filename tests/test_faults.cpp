@@ -6,15 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "core/instance.hpp"
+#include "core/placement_map.hpp"
 #include "core/recovery.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
-#include "sim/lookup_table.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -148,37 +149,46 @@ TEST(RetryPolicy, JitterIsDeterministicBoundedAndTokenSensitive) {
   EXPECT_TRUE(saw_difference);
 }
 
-// ---------- ReplicaTable ----------
+// ---------- replica sets from the placement map ----------
 
-TEST(ReplicaTable, SlotsFollowThePlacement) {
-  const ReplicaTable table = ReplicaTable::build({2, 0, 1}, 4, 2);
-  EXPECT_EQ(table.primary(0), 2);
-  EXPECT_EQ(table.replica(0, 0), 2);
-  EXPECT_EQ(table.replica(0, 1), 3);
-  EXPECT_EQ(table.replica(0, 2), 0);
-  EXPECT_TRUE(table.hosted_on(0, 3));
-  EXPECT_FALSE(table.hosted_on(0, 1));
-  EXPECT_EQ(table.degree(), 2);
+TEST(ReplicaSetResolution, SlotsFollowThePlacement) {
+  core::PlacementMapConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.degree = 2;
+  const core::PlacementMap map = core::PlacementMap::build({2, 0, 1}, cfg);
+  const core::ReplicaSet set = map.resolve(0);
+  EXPECT_EQ(set.primary, 2);
+  EXPECT_EQ(set.node(0), 2);
+  EXPECT_EQ(set.node(1), 3);
+  EXPECT_EQ(set.node(2), 0);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_EQ(set.degree, 2);
 }
 
-TEST(ReplicaTable, FirstAliveWalksFailoverOrder) {
-  const ReplicaTable table = ReplicaTable::build({0}, 3, 2);
+TEST(ReplicaSetResolution, FirstAliveWalksFailoverOrder) {
+  const core::ReplicaSet set{0, 2, 3};
   std::vector<char> alive = {0, 1, 1};  // primary dead
   int slot = -1;
-  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), 1);
+  EXPECT_EQ(set.first_alive(alive, 3, &slot), 1);
   EXPECT_EQ(slot, 1);
   alive = {0, 0, 1};
-  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), 2);
+  EXPECT_EQ(set.first_alive(alive, 3, &slot), 2);
   EXPECT_EQ(slot, 2);
   // Attempt budget stops the walk before the live replica.
-  EXPECT_EQ(table.first_alive(0, alive, 2, &slot), -1);
+  EXPECT_EQ(set.first_alive(alive, 2, &slot), -1);
+  EXPECT_EQ(slot, -1);
   alive = {0, 0, 0};
-  EXPECT_EQ(table.first_alive(0, alive, 3, &slot), -1);
+  EXPECT_EQ(set.first_alive(alive, 3, &slot), -1);
 }
 
-TEST(ReplicaTable, RejectsBadDegree) {
-  EXPECT_THROW(ReplicaTable::build({0}, 2, 2), common::Error);
-  EXPECT_THROW(ReplicaTable::build({0}, 2, -1), common::Error);
+TEST(ReplicaSetResolution, RejectsBadDegree) {
+  core::PlacementMapConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.degree = 2;
+  EXPECT_THROW(core::PlacementMap::build({0}, cfg), common::Error);
+  cfg.degree = -1;
+  EXPECT_THROW(core::PlacementMap::build({0}, cfg), common::Error);
 }
 
 // ---------- failure-aware replay ----------
@@ -220,14 +230,19 @@ struct FaultBed {
 
   FaultReplayStats replay(const FaultSchedule* faults, int degree,
                           const std::vector<int>* custom = nullptr) {
-    const std::vector<int>& map = custom ? *custom : placement;
+    const std::vector<int>& keyword_to_node = custom ? *custom : placement;
+    core::PlacementMapConfig map_cfg;
+    map_cfg.num_nodes = nodes;
+    map_cfg.degree = degree;
     Cluster cluster(nodes, 1e9);
-    cluster.install_placement(map, sizes);
-    const ReplicaTable replicas = ReplicaTable::build(map, nodes, degree);
+    cluster.install_placement(
+        std::make_shared<const core::PlacementMap>(
+            core::PlacementMap::build(keyword_to_node, map_cfg)),
+        sizes);
     FaultReplayConfig cfg;
     cfg.faults = faults;
     cfg.arrival_rate_qps = 100.0;  // 1500 queries over ~15s
-    return replay_trace_with_faults(cluster, index, trace, replicas, cfg);
+    return replay_trace_with_faults(cluster, index, trace, cfg);
   }
 };
 
@@ -345,13 +360,12 @@ TEST(FaultReplay, HandComputedDegradedBytes) {
   t.add_query({0, 1});
   t.add_query({1, 3});
   t.add_query({2, 3});
-  const ReplicaTable replicas = ReplicaTable::build({0, 1, 0, 1}, 2, 0);
   const FaultSchedule schedule =
       FaultSchedule::from_events(2, {{0.0, 0, FaultEventKind::kCrash}});
   FaultReplayConfig cfg;
   cfg.faults = &schedule;
   const FaultReplayStats stats =
-      replay_trace_with_faults(cluster, index, t, replicas, cfg);
+      replay_trace_with_faults(cluster, index, t, cfg);
   EXPECT_EQ(stats.base.total_bytes, 0u);
   EXPECT_EQ(stats.unserved_keywords, 2u);
   EXPECT_EQ(stats.fully_served, 1u);

@@ -1,0 +1,251 @@
+// Placement serving: churn-script parsing, epoch publication rules, and
+// the churned replay's accounting (offline-equivalence, transitions,
+// disruption windows, rebuild lanes).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/placement_map.hpp"
+#include "search/inverted_index.hpp"
+#include "sim/cluster.hpp"
+#include "sim/placement_service.hpp"
+#include "sim/replay.hpp"
+#include "trace/documents.hpp"
+#include "trace/workload.hpp"
+
+namespace cca::sim {
+namespace {
+
+// ---------- churn scripts ----------
+
+TEST(ChurnScript, EmptyIsValid) {
+  EXPECT_TRUE(parse_churn_script("").empty());
+  EXPECT_TRUE(parse_churn_script(";;").empty());
+}
+
+TEST(ChurnScript, ParsesEventsInOrder) {
+  const std::vector<ChurnEvent> events =
+      parse_churn_script("add:1000,4;add:2500.5,5;remove:4000,5");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (ChurnEvent{ChurnEvent::Kind::kAdd, 1000.0, 4}));
+  EXPECT_EQ(events[1], (ChurnEvent{ChurnEvent::Kind::kAdd, 2500.5, 5}));
+  EXPECT_EQ(events[2], (ChurnEvent{ChurnEvent::Kind::kRemove, 4000.0, 5}));
+}
+
+TEST(ChurnScript, RejectsMalformedEvents) {
+  EXPECT_THROW(parse_churn_script("add"), common::Error);          // no ':'
+  EXPECT_THROW(parse_churn_script("add:1000"), common::Error);     // no ','
+  EXPECT_THROW(parse_churn_script("add:soon,4"), common::Error);   // bad time
+  EXPECT_THROW(parse_churn_script("add:-5,4"), common::Error);     // time < 0
+  EXPECT_THROW(parse_churn_script("add:1000,x"), common::Error);   // bad node
+  EXPECT_THROW(parse_churn_script("add:1000,-1"), common::Error);  // node < 0
+  EXPECT_THROW(parse_churn_script("grow:1000,4"), common::Error);  // bad kind
+  // Times must be nondecreasing across the script.
+  EXPECT_THROW(parse_churn_script("add:2000,4;add:1000,5"), common::Error);
+}
+
+TEST(ChurnScript, MisspelledKindGetsDidYouMean) {
+  try {
+    parse_churn_script("remvoe:1000,4");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean 'remove'"), std::string::npos) << what;
+  }
+}
+
+// ---------- epoch publication ----------
+
+std::shared_ptr<const core::PlacementMap> hashed_map(
+    std::size_t vocab, int nodes, std::uint64_t epoch = 0,
+    core::HashTail tail = core::HashTail::kMd5) {
+  core::PlacementMapConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.hash_tail = tail;
+  cfg.epoch = epoch;
+  return std::make_shared<const core::PlacementMap>(
+      core::PlacementMap::hashed(vocab, cfg));
+}
+
+TEST(PlacementService, AcquirePinsTheEpochAcrossPublish) {
+  PlacementService service(hashed_map(10, 4, 0));
+  const auto pinned = service.acquire();
+  EXPECT_EQ(pinned->epoch(), 0u);
+  service.publish(hashed_map(10, 5, 1));
+  // The reader's pinned epoch is untouched; the service moved on.
+  EXPECT_EQ(pinned->epoch(), 0u);
+  EXPECT_EQ(pinned->num_nodes(), 4);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(service.acquire()->num_nodes(), 5);
+}
+
+TEST(PlacementService, PublishMustAdvanceTheEpoch) {
+  PlacementService service(hashed_map(10, 4, 3));
+  EXPECT_THROW(service.publish(hashed_map(10, 4, 3)), common::Error);
+  EXPECT_THROW(service.publish(hashed_map(10, 4, 2)), common::Error);
+  service.publish(hashed_map(10, 4, 4));
+  EXPECT_EQ(service.epoch(), 4u);
+}
+
+// ---------- churned replay ----------
+
+/// A small generated testbed shared by the replay tests.
+struct ServiceBed {
+  search::InvertedIndex index;
+  trace::QueryTrace trace{0};
+  std::vector<std::uint64_t> sizes;
+
+  ServiceBed() {
+    trace::CorpusConfig corpus;
+    corpus.num_documents = 250;
+    corpus.vocabulary_size = 120;
+    corpus.mean_distinct_words = 30.0;
+    corpus.seed = 21;
+    index = search::InvertedIndex::build(trace::Corpus::generate(corpus));
+    sizes = index.index_sizes();
+    trace::WorkloadConfig workload;
+    workload.vocabulary_size = 120;
+    workload.num_topics = 12;
+    workload.seed = 21;
+    trace = trace::WorkloadModel(workload).generate(1200, 22);
+  }
+};
+
+TEST(ServiceReplay, NoChurnMatchesOfflineReplayExactly) {
+  // The smoke contract: an empty churn script degenerates to exactly one
+  // offline replay — every statistic bit-identical.
+  ServiceBed bed;
+  const auto map = hashed_map(bed.sizes.size(), 4);
+
+  ServiceReplayConfig cfg;
+  PlacementService service(map);
+  const ServiceReplayStats online =
+      replay_trace_with_service(service, bed.index, bed.trace, {}, cfg);
+
+  double total = 0.0;
+  for (std::uint64_t s : bed.sizes) total += static_cast<double>(s);
+  Cluster cluster(4, cfg.capacity_slack * total / 4);
+  cluster.install_placement(map, bed.sizes);
+  const ReplayStats offline = replay_trace(cluster, bed.index, bed.trace);
+
+  EXPECT_EQ(online.base.queries, offline.queries);
+  EXPECT_EQ(online.base.multi_keyword_queries, offline.multi_keyword_queries);
+  EXPECT_EQ(online.base.local_queries, offline.local_queries);
+  EXPECT_EQ(online.base.total_bytes, offline.total_bytes);
+  EXPECT_EQ(online.base.total_messages, offline.total_messages);
+  EXPECT_EQ(online.base.mean_bytes_per_query, offline.mean_bytes_per_query);
+  EXPECT_EQ(online.base.p99_bytes_per_query, offline.p99_bytes_per_query);
+  EXPECT_EQ(online.base.mean_latency_ms, offline.mean_latency_ms);
+  EXPECT_EQ(online.base.p99_latency_ms, offline.p99_latency_ms);
+  EXPECT_EQ(online.base.max_storage_factor, offline.max_storage_factor);
+  EXPECT_EQ(online.base.storage_imbalance, offline.storage_imbalance);
+  EXPECT_TRUE(online.transitions.empty());
+  EXPECT_EQ(online.final_epoch, 0u);
+  EXPECT_EQ(online.final_num_nodes, 4);
+}
+
+TEST(ServiceReplay, AddEventGrowsTheClusterAndReportsTheMove) {
+  ServiceBed bed;
+  PlacementService service(
+      hashed_map(bed.sizes.size(), 4, 0, core::HashTail::kJump));
+  ServiceReplayConfig cfg;
+  // 1200 queries at 1000 qps ~ 1.2 s; the add lands mid-run.
+  const std::vector<ChurnEvent> churn =
+      parse_churn_script("add:600,4");
+  const ServiceReplayStats stats =
+      replay_trace_with_service(service, bed.index, bed.trace, churn, cfg);
+
+  ASSERT_EQ(stats.transitions.size(), 1u);
+  const EpochTransition& t = stats.transitions[0];
+  EXPECT_EQ(t.from_epoch, 0u);
+  EXPECT_EQ(t.to_epoch, 1u);
+  EXPECT_EQ(t.nodes_before, 4);
+  EXPECT_EQ(t.nodes_after, 5);
+  EXPECT_EQ(t.tail_objects, bed.sizes.size());  // pure hash map: all tail
+  EXPECT_GT(t.moved_objects, 0u);
+  EXPECT_EQ(t.moved_objects, t.moved_tail_objects);
+  EXPECT_GT(t.moved_bytes, 0u);
+  // Jump tail: a single-node add moves ~1/5 of the tail, not most of it.
+  EXPECT_LT(t.moved_tail_objects, bed.sizes.size() / 2);
+  EXPECT_EQ(stats.final_epoch, 1u);
+  EXPECT_EQ(stats.final_num_nodes, 5);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(stats.base.queries, bed.trace.size());
+}
+
+TEST(ServiceReplay, RemoveEventValidatesTheRetiringNode) {
+  ServiceBed bed;
+  ServiceReplayConfig cfg;
+  {
+    PlacementService service(hashed_map(bed.sizes.size(), 4));
+    const ServiceReplayStats stats = replay_trace_with_service(
+        service, bed.index, bed.trace, parse_churn_script("remove:600,3"),
+        cfg);
+    EXPECT_EQ(stats.final_num_nodes, 3);
+    EXPECT_EQ(stats.transitions[0].nodes_after, 3);
+  }
+  {
+    // Only the highest node may retire.
+    PlacementService service(hashed_map(bed.sizes.size(), 4));
+    EXPECT_THROW(
+        replay_trace_with_service(service, bed.index, bed.trace,
+                                  parse_churn_script("remove:600,1"), cfg),
+        common::Error);
+  }
+  {
+    // Adds must append at the current cluster size.
+    PlacementService service(hashed_map(bed.sizes.size(), 4));
+    EXPECT_THROW(
+        replay_trace_with_service(service, bed.index, bed.trace,
+                                  parse_churn_script("add:600,9"), cfg),
+        common::Error);
+  }
+}
+
+TEST(ServiceReplay, DisruptionIsBoundedByTheWindow) {
+  // An md5-tail add reshuffles most of the tail, so some post-swap query
+  // touches a moved keyword — but disruption can never exceed the trace.
+  ServiceBed bed;
+  PlacementService service(hashed_map(bed.sizes.size(), 4));
+  ServiceReplayConfig cfg;
+  const ServiceReplayStats stats = replay_trace_with_service(
+      service, bed.index, bed.trace, parse_churn_script("add:600,4"), cfg);
+  ASSERT_EQ(stats.transitions.size(), 1u);
+  EXPECT_LE(stats.transitions[0].disrupted_queries, bed.trace.size());
+  EXPECT_GT(stats.transitions[0].disrupted_queries, 0u);
+}
+
+TEST(ServiceReplay, RebuildLanePublishesTheOptimizedSuccessor) {
+  ServiceBed bed;
+  PlacementService service(hashed_map(bed.sizes.size(), 4));
+  ServiceReplayConfig cfg;
+  // A deliberately lopsided re-optimize lane: everything onto node 0 at
+  // the new size. The replay must serve the tail of the trace on it.
+  cfg.rebuild = [](const core::PlacementMap& current,
+                   const ChurnEvent& event) {
+    core::PlacementMapConfig next_cfg;
+    next_cfg.num_nodes = event.kind == ChurnEvent::Kind::kAdd
+                             ? current.num_nodes() + 1
+                             : current.num_nodes() - 1;
+    next_cfg.degree = current.degree();
+    next_cfg.hash_tail = current.hash_tail();
+    next_cfg.epoch = current.epoch() + 1;
+    return std::make_shared<const core::PlacementMap>(
+        core::PlacementMap::build(
+            std::vector<int>(current.vocabulary_size(), 0), next_cfg));
+  };
+  const ServiceReplayStats stats = replay_trace_with_service(
+      service, bed.index, bed.trace, parse_churn_script("add:600,4"), cfg);
+  const auto final_map = service.acquire();
+  EXPECT_EQ(final_map->epoch(), 1u);
+  for (trace::KeywordId k = 0; k < bed.sizes.size(); ++k)
+    EXPECT_EQ(final_map->primary(k), 0);
+  // Everything co-located: the post-swap segment moved no bytes, so the
+  // run's total is exactly the pre-swap segment's.
+  EXPECT_GT(stats.base.queries, 0u);
+}
+
+}  // namespace
+}  // namespace cca::sim

@@ -1,5 +1,5 @@
-// Fully replicated keywords (PlacementFn returning kEverywhere): transfer
-// exemptions in all three execution paths.
+// Fully replicated keywords (PlacementFn returning a full-degree
+// ReplicaSet): transfer exemptions in all three execution paths.
 #include <gtest/gtest.h>
 
 #include "search/inverted_index.hpp"
@@ -18,12 +18,15 @@ InvertedIndex hand_index() {
   return InvertedIndex::build(trace::Corpus(4, std::move(docs)));
 }
 
-/// Keyword k lives on node k, except those in `replicated`.
+/// Keyword k lives on node k of a 4-node ring, except those in
+/// `replicated`, which carry a copy on every node (full-degree set).
 PlacementFn spread_except(std::vector<trace::KeywordId> replicated) {
+  constexpr int kNodes = 4;
   return [replicated](trace::KeywordId k) {
+    const int node = static_cast<int>(k);
     for (trace::KeywordId r : replicated)
-      if (r == k) return kEverywhere;
-    return static_cast<int>(k);
+      if (r == k) return core::ReplicaSet{node, kNodes - 1, kNodes};
+    return core::ReplicaSet{node, 0, kNodes};
   };
 }
 

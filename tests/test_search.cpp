@@ -104,7 +104,7 @@ TEST(QueryEngine, SingleKeywordIsFreeAndLocal) {
   const InvertedIndex index = hand_index();
   const QueryEngine engine(index);
   const QueryCost cost = engine.execute_intersection(
-      trace::Query{{2}}, [](trace::KeywordId) { return 0; });
+      trace::Query{{2}}, [](trace::KeywordId) { return core::ReplicaSet::single(0); });
   EXPECT_EQ(cost.bytes_transferred, 0u);
   EXPECT_TRUE(cost.local);
   EXPECT_EQ(cost.result_size, 3u);
@@ -114,7 +114,7 @@ TEST(QueryEngine, CoLocatedQueryIsFree) {
   const InvertedIndex index = hand_index();
   const QueryEngine engine(index);
   const QueryCost cost = engine.execute_intersection(
-      trace::Query{{0, 1, 2}}, [](trace::KeywordId) { return 3; });
+      trace::Query{{0, 1, 2}}, [](trace::KeywordId) { return core::ReplicaSet::single(3); });
   EXPECT_EQ(cost.bytes_transferred, 0u);
   EXPECT_EQ(cost.messages, 0u);
   EXPECT_TRUE(cost.local);
@@ -127,7 +127,9 @@ TEST(QueryEngine, SeparatedPairShipsSmallerList) {
   // kw1 (16 B) apart from kw0 (48 B): the smaller list travels.
   const QueryCost cost = engine.execute_intersection(
       trace::Query{{0, 1}},
-      [](trace::KeywordId k) { return k == 1 ? 0 : 1; });
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(k == 1 ? 0 : 1);
+      });
   EXPECT_EQ(cost.bytes_transferred, 16u);
   EXPECT_EQ(cost.messages, 1u);
   EXPECT_FALSE(cost.local);
@@ -142,7 +144,9 @@ TEST(QueryEngine, ThreeKeywordResidualShipsRunningIntersection) {
   // intersection {2,3} n {3,4,9} = {3} (8 B) then travels to kw0's node.
   const QueryCost cost = engine.execute_intersection(
       trace::Query{{0, 1, 2}},
-      [](trace::KeywordId k) { return static_cast<int>(k); });
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      });
   EXPECT_EQ(cost.bytes_transferred, 16u + 8u);
   EXPECT_EQ(cost.messages, 2u);
   EXPECT_EQ(cost.result_size, 1u);
@@ -153,9 +157,11 @@ TEST(QueryEngine, IntersectionResultIndependentOfPlacement) {
   const QueryEngine engine(index);
   const trace::Query q{{0, 1, 2}};
   const QueryCost together = engine.execute_intersection(
-      q, [](trace::KeywordId) { return 0; });
+      q, [](trace::KeywordId) { return core::ReplicaSet::single(0); });
   const QueryCost apart = engine.execute_intersection(
-      q, [](trace::KeywordId k) { return static_cast<int>(k); });
+      q, [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      });
   EXPECT_EQ(together.result_size, apart.result_size);
 }
 
@@ -166,7 +172,9 @@ TEST(QueryEngine, UnionShipsEverythingToLargestNode) {
   // 16 + 24 + 8 = 48 bytes. Union result covers docs {1..6, 9}.
   const QueryCost cost = engine.execute_union(
       trace::Query{{0, 1, 2, 3}},
-      [](trace::KeywordId k) { return k == 0 ? 7 : 1; });
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(k == 0 ? 7 : 1);
+      });
   EXPECT_EQ(cost.bytes_transferred, 48u);
   EXPECT_EQ(cost.messages, 3u);
   EXPECT_EQ(cost.result_size, 7u);
@@ -176,7 +184,7 @@ TEST(QueryEngine, UnionIsFreeWhenCoLocated) {
   const InvertedIndex index = hand_index();
   const QueryEngine engine(index);
   const QueryCost cost = engine.execute_union(
-      trace::Query{{1, 2, 3}}, [](trace::KeywordId) { return 2; });
+      trace::Query{{1, 2, 3}}, [](trace::KeywordId) { return core::ReplicaSet::single(2); });
   EXPECT_EQ(cost.bytes_transferred, 0u);
   EXPECT_TRUE(cost.local);
   EXPECT_EQ(cost.result_size, 4u);  // docs {2, 3, 4, 9}
@@ -188,7 +196,9 @@ TEST(QueryEngine, TransferObserverSeesAllBytes) {
   std::uint64_t observed = 0;
   const QueryCost cost = engine.execute_intersection(
       trace::Query{{0, 1, 2}},
-      [](trace::KeywordId k) { return static_cast<int>(k); },
+      [](trace::KeywordId k) {
+        return core::ReplicaSet::single(static_cast<int>(k));
+      },
       [&](int from, int to, std::uint64_t bytes) {
         EXPECT_NE(from, to);
         observed += bytes;
