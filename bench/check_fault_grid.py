@@ -1,0 +1,196 @@
+"""Validates a bench_fault_tolerance --json dump from a topology run.
+
+The dump mixes four row kinds, told apart by their keys: Table-1 serving
+cells ("mttf_ms"), recovery-budget cells ("recovery_budget"), domain
+outage grid cells ("granularity" + "spread"), and rebuild cells
+("rebuild_mode"). The checker enforces:
+
+  * coverage — the outage grid carries every (granularity, spread,
+    degree) cell exactly once, over at least the node and rack
+    granularities (a topology too small to host a rack outage cannot
+    exercise the headline and fails);
+  * monotonicity — availability never decreases with replication degree,
+    in Table 1 per (timeline, strategy) and in the grid per
+    (granularity, spread). Replica tails are nested across degrees, so a
+    higher degree only ever adds failover options;
+  * the spread headline — under a whole-rack outage, rack-spread
+    replicas beat flat replicas: strictly at degree >= 2, and never
+    worse at degree 1. Row-spread likewise never loses to flat under a
+    whole-row outage;
+  * the rebuild headline — whenever both modes re-place the same >= 2
+    lost objects, the declustered makespan is strictly below the
+    single-successor funnel's, and declustering uses at least as many
+    destinations;
+  * sanity — availabilities and coverages sit in [0, 1], latencies and
+    counters are non-negative.
+
+Usage: python3 check_fault_grid.py <grid.json>
+"""
+import json
+import sys
+
+GRID_REQUIRED = {
+    "seed", "threads", "granularity", "spread", "degree", "availability",
+    "mean_coverage", "p99_latency_ms", "retries", "failovers",
+    "unserved_keywords", "replica_bytes",
+}
+
+REBUILD_REQUIRED = {
+    "seed", "threads", "granularity", "rebuild_mode", "objects_lost",
+    "objects_recovered", "rebuild_destinations", "rebuild_makespan_ms",
+    "bytes_migrated",
+}
+
+
+def check_fraction(row, key):
+    if not 0.0 <= row[key] <= 1.0:
+        raise SystemExit(f"{key} outside [0, 1]: {row}")
+
+
+def main(path):
+    with open(path) as f:
+        rows = json.load(f)
+    if not rows:
+        raise SystemExit("fault grid dump is empty")
+
+    serving = [r for r in rows if "mttf_ms" in r]
+    grid = [r for r in rows if "granularity" in r and "spread" in r]
+    rebuild = [r for r in rows if "rebuild_mode" in r]
+    if not serving:
+        raise SystemExit("dump carries no Table-1 serving cells")
+    if not grid:
+        raise SystemExit(
+            "dump carries no outage grid cells (was --topology passed?)")
+    if not rebuild:
+        raise SystemExit("dump carries no rebuild cells")
+
+    # Table 1: availability monotone in degree per (timeline, strategy).
+    by_timeline = {}
+    for r in serving:
+        check_fraction(r, "availability")
+        check_fraction(r, "mean_coverage")
+        by_timeline.setdefault((r["mttf_ms"], r["strategy"]), []).append(r)
+    for (mttf, strategy), cells in sorted(by_timeline.items()):
+        cells.sort(key=lambda r: r["degree"])
+        for lo, hi in zip(cells, cells[1:]):
+            if hi["availability"] < lo["availability"]:
+                raise SystemExit(
+                    f"Table 1 ({mttf=}, {strategy}): availability fell from "
+                    f"{lo['availability']:.4f} (degree {lo['degree']}) to "
+                    f"{hi['availability']:.4f} (degree {hi['degree']})")
+
+    # Outage grid: schema, uniqueness, full (granularity x spread x
+    # degree) coverage.
+    by_cell = {}
+    for r in grid:
+        missing = GRID_REQUIRED - set(r)
+        if missing:
+            raise SystemExit(f"grid cell {r} missing keys {sorted(missing)}")
+        check_fraction(r, "availability")
+        check_fraction(r, "mean_coverage")
+        if r["p99_latency_ms"] < 0 or r["retries"] < 0 or r["failovers"] < 0:
+            raise SystemExit(f"negative latency/counter: {r}")
+        key = (r["granularity"], r["spread"], r["degree"])
+        if key in by_cell:
+            raise SystemExit(f"duplicate grid cell {key}")
+        by_cell[key] = r
+
+    granularities = {g for g, _, _ in by_cell}
+    spreads = {s for _, s, _ in by_cell}
+    degrees = {d for _, _, d in by_cell}
+    if not {"node", "rack"} <= granularities:
+        raise SystemExit(
+            f"grid lacks node+rack granularities: {sorted(granularities)} "
+            "(topology needs >= 2 racks to judge the spread headline)")
+    if not {"flat", "rack"} <= spreads:
+        raise SystemExit(f"grid lacks flat+rack spreads: {sorted(spreads)}")
+    for g in sorted(granularities):
+        for s in sorted(spreads):
+            for d in sorted(degrees):
+                if (g, s, d) not in by_cell:
+                    raise SystemExit(f"missing grid cell {(g, s, d)}")
+
+    # Grid monotonicity in degree per (granularity, spread).
+    for g in sorted(granularities):
+        for s in sorted(spreads):
+            cells = sorted((d, by_cell[(g, s, d)]) for d in degrees)
+            for (dlo, lo), (dhi, hi) in zip(cells, cells[1:]):
+                if hi["availability"] < lo["availability"]:
+                    raise SystemExit(
+                        f"grid ({g}, {s}): availability fell from "
+                        f"{lo['availability']:.4f} (degree {dlo}) to "
+                        f"{hi['availability']:.4f} (degree {dhi})")
+
+    # The spread headline under whole-domain outages.
+    judged_spread = 0
+    for domain in ("rack", "row"):
+        if domain not in granularities or domain not in spreads:
+            continue
+        for d in sorted(degrees):
+            flat = by_cell[(domain, "flat", d)]["availability"]
+            spread = by_cell[(domain, domain, d)]["availability"]
+            if spread < flat:
+                raise SystemExit(
+                    f"{domain}-spread ({spread:.4f}) lost to flat "
+                    f"({flat:.4f}) under a {domain} outage at degree {d}")
+            if d >= 2 and domain == "rack" and spread <= flat:
+                raise SystemExit(
+                    f"rack-spread ({spread:.4f}) did not strictly beat flat "
+                    f"({flat:.4f}) under a rack outage at degree {d}")
+            judged_spread += 1
+    if judged_spread == 0:
+        raise SystemExit("no whole-domain outage cell judged the headline")
+
+    # Rebuild: declustered beats the successor funnel whenever both modes
+    # re-placed the same non-trivial loss.
+    by_rebuild = {}
+    for r in rebuild:
+        missing = REBUILD_REQUIRED - set(r)
+        if missing:
+            raise SystemExit(
+                f"rebuild cell {r} missing keys {sorted(missing)}")
+        if r["rebuild_makespan_ms"] < 0 or r["rebuild_destinations"] < 0:
+            raise SystemExit(f"negative rebuild stats: {r}")
+        key = (r["granularity"], r["rebuild_mode"])
+        if key in by_rebuild:
+            raise SystemExit(f"duplicate rebuild cell {key}")
+        by_rebuild[key] = r
+    judged_rebuild = 0
+    for g in sorted(granularities):
+        if (g, "successor") not in by_rebuild:
+            raise SystemExit(f"missing rebuild cell ({g}, successor)")
+        if (g, "declustered") not in by_rebuild:
+            raise SystemExit(f"missing rebuild cell ({g}, declustered)")
+        succ = by_rebuild[(g, "successor")]
+        decl = by_rebuild[(g, "declustered")]
+        if succ["objects_lost"] != decl["objects_lost"]:
+            raise SystemExit(
+                f"rebuild modes saw different losses at {g}: "
+                f"{succ['objects_lost']} vs {decl['objects_lost']}")
+        if min(succ["objects_recovered"], decl["objects_recovered"]) < 2:
+            continue
+        if decl["rebuild_destinations"] < succ["rebuild_destinations"]:
+            raise SystemExit(
+                f"declustered used fewer destinations than the funnel at "
+                f"{g}: {decl['rebuild_destinations']} < "
+                f"{succ['rebuild_destinations']}")
+        if decl["rebuild_makespan_ms"] >= succ["rebuild_makespan_ms"]:
+            raise SystemExit(
+                f"declustered makespan ({decl['rebuild_makespan_ms']:.3f}ms) "
+                f"did not beat the successor funnel "
+                f"({succ['rebuild_makespan_ms']:.3f}ms) at {g}")
+        judged_rebuild += 1
+    if judged_rebuild == 0:
+        raise SystemExit(
+            "no rebuild pair recovered >= 2 objects; nothing judged "
+            "(grow the scope or the dead domain)")
+
+    print(f"{len(rows)} rows: {len(serving)} serving, {len(grid)} grid "
+          f"cells over {sorted(granularities)} x {sorted(spreads)} x "
+          f"degrees {sorted(degrees)}, {len(rebuild)} rebuild cells; "
+          f"judged {judged_spread} spread and {judged_rebuild} rebuild "
+          f"headlines")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

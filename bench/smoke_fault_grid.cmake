@@ -1,0 +1,44 @@
+# Smoke contract: the hierarchical failure-domain path. With a rack/row
+# topology the fault bench's stdout is byte-identical for
+# --threads=1/2/8 (the determinism contract extends through domain-fault
+# expansion and spread tails), and its --json dump passes
+# check_fault_grid.py — full outage-grid coverage, availability monotone
+# in degree, rack-spread beating flat under a rack loss, and declustered
+# rebuild beating the successor funnel. Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DPYTHON=... -DCHECKER=...
+#         -DOUT_DIR=... -P <this>
+set(grid_file ${OUT_DIR}/smoke_fault_grid.json)
+
+foreach(threads 1 2 8)
+  execute_process(
+    COMMAND ${BENCH} ${TB_ARGS} --threads=${threads}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out_${threads} ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "bench_fault_tolerance --threads=${threads} failed with ${rc}")
+  endif()
+  # The banner names the thread count; strip that one line before
+  # comparing so the contract covers every computed byte.
+  string(REGEX REPLACE "threads=${threads}" "threads=T"
+    out_${threads} "${out_${threads}}")
+endforeach()
+if(NOT out_1 STREQUAL out_2 OR NOT out_2 STREQUAL out_8)
+  message(FATAL_ERROR
+    "domain-fault stdout differs across --threads=1/2/8; the fault "
+    "layer broke the determinism contract")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --threads=2 --json=${grid_file}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_fault_tolerance --json failed with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${grid_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fault grid contract failed: ${out}${err}")
+endif()
+message(STATUS "${out}")

@@ -39,6 +39,7 @@
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
 #include "sim/placement_service.hpp"
+#include "sim/pool_map.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -115,13 +116,7 @@ struct TestbedConfig {
     // closest candidate.
     const auto enum_error = [](const char* flag, const std::string& got,
                                const std::vector<std::string>& accepted) {
-      const std::string hint = common::suggest_value(got, accepted);
-      CCA_CHECK_MSG(false, "--" << flag << " must be one of "
-                                << common::quote_candidates(accepted)
-                                << ", got '" << got << "'"
-                                << (hint.empty()
-                                        ? std::string()
-                                        : " (did you mean '" + hint + "'?)"));
+      common::reject_enum_value(flag, got, accepted);
     };
     const std::string tail = args.get_string("hash-tail", "");
     if (!tail.empty() && !core::parse_hash_tail(tail, &cfg.hash_tail))
@@ -188,6 +183,15 @@ struct TestbedConfig {
 /// Any bench that can simulate failures parses this next to its
 /// TestbedConfig; with --faults absent the group is inert and the bench
 /// must produce its healthy output byte for byte.
+///
+/// The hierarchical extension rides the same group: --topology installs
+/// the failure-domain tree (rows:racks:nodes, or @<script>),
+/// --replica-spread={flat,rack,row} picks the replica-tail rule,
+/// --rack-mttf/--row-mttf (with their --*-mttr) enable correlated
+/// whole-domain fault draws, and --fault-script pins an explicit event
+/// timeline (node- and domain-level). Everything is validated here, at
+/// parse time: spread or domain faults without a topology, malformed
+/// scripts, and nonsensical retry backoffs all fail before any work runs.
 struct FaultFlags {
   bool enabled = false;        // --faults
   double mttf_ms = 10000.0;    // --mttf: mean time to failure, ms
@@ -197,6 +201,19 @@ struct FaultFlags {
   int degree = 1;              // --degree: replicas beyond the primary
   double timeout_ms = 5.0;     // --timeout-ms: dead-contact timeout
   int max_attempts = 3;        // --max-attempts: contacts per fetch
+  double base_backoff_ms = 1.0;   // --base-backoff-ms: first retry wait
+  double max_backoff_ms = 64.0;   // --max-backoff-ms: backoff cap
+  double rack_mttf_ms = 0.0;      // --rack-mttf: 0 = no rack faults
+  double rack_mttr_ms = 2000.0;   // --rack-mttr
+  double row_mttf_ms = 0.0;       // --row-mttf: 0 = no row faults
+  double row_mttr_ms = 5000.0;    // --row-mttr
+  double rebuild_mbps = 800.0;    // --rebuild-mbps: per-node ingest
+  /// --replica-spread: how replica tails relate to the topology.
+  core::ReplicaSpread spread = core::ReplicaSpread::kFlat;
+  /// --topology: the failure-domain tree; null = flat cluster.
+  std::shared_ptr<const sim::PoolMap> pool;
+  /// --fault-script: explicit node/rack/row events (empty = generated).
+  std::vector<sim::DomainFaultEvent> script;
 
   static FaultFlags from_cli(const common::CliArgs& args) {
     FaultFlags f;
@@ -210,6 +227,40 @@ struct FaultFlags {
     f.timeout_ms = args.get_double("timeout-ms", f.timeout_ms);
     f.max_attempts =
         static_cast<int>(args.get_int("max-attempts", f.max_attempts));
+    f.base_backoff_ms =
+        args.get_double("base-backoff-ms", f.base_backoff_ms);
+    f.max_backoff_ms = args.get_double("max-backoff-ms", f.max_backoff_ms);
+    f.rack_mttf_ms = args.get_double("rack-mttf", f.rack_mttf_ms);
+    f.rack_mttr_ms = args.get_double("rack-mttr", f.rack_mttr_ms);
+    f.row_mttf_ms = args.get_double("row-mttf", f.row_mttf_ms);
+    f.row_mttr_ms = args.get_double("row-mttr", f.row_mttr_ms);
+    f.rebuild_mbps = args.get_double("rebuild-mbps", f.rebuild_mbps);
+    const std::string topology = args.get_string("topology", "");
+    if (!topology.empty())
+      f.pool = std::make_shared<const sim::PoolMap>(
+          sim::parse_topology(topology));
+    const std::string spread = args.get_string("replica-spread", "");
+    if (!spread.empty() && !core::parse_replica_spread(spread, &f.spread))
+      common::reject_enum_value("replica-spread", spread,
+                                {"flat", "rack", "row"});
+    f.script = sim::parse_fault_script(args.get_string("fault-script", ""));
+    CCA_CHECK_MSG(f.spread == core::ReplicaSpread::kFlat || f.pool,
+                  "--replica-spread="
+                      << core::replica_spread_name(f.spread)
+                      << " needs a failure-domain tree; pass --topology");
+    CCA_CHECK_MSG(f.rebuild_mbps > 0.0,
+                  "--rebuild-mbps must be positive, got " << f.rebuild_mbps);
+    if (!f.pool) {
+      CCA_CHECK_MSG(f.rack_mttf_ms == 0.0 && f.row_mttf_ms == 0.0,
+                    "--rack-mttf/--row-mttf model whole-domain faults; pass "
+                    "--topology");
+      for (const sim::DomainFaultEvent& ev : f.script)
+        CCA_CHECK_MSG(ev.domain == sim::FaultDomain::kNode,
+                      "--fault-script has rack/row events; pass --topology");
+    }
+    // Rejects zero/negative backoffs, attempts < 1, cap below base — at
+    // parse time, not mid-replay.
+    f.retry_policy().validate();
     return f;
   }
 
@@ -219,6 +270,10 @@ struct FaultFlags {
     cfg.mttr_ms = mttr_ms;
     cfg.horizon_ms = horizon_ms;
     cfg.seed = fault_seed;
+    cfg.rack_mttf_ms = rack_mttf_ms;
+    cfg.rack_mttr_ms = rack_mttr_ms;
+    cfg.row_mttf_ms = row_mttf_ms;
+    cfg.row_mttr_ms = row_mttr_ms;
     return cfg;
   }
 
@@ -226,8 +281,28 @@ struct FaultFlags {
     sim::RetryPolicy retry;
     retry.timeout_ms = timeout_ms;
     retry.max_attempts = max_attempts;
+    retry.base_backoff_ms = base_backoff_ms;
+    retry.max_backoff_ms = max_backoff_ms;
     retry.seed = fault_seed;
     return retry;
+  }
+
+  /// The fault timeline for an `nodes`-node cluster, honouring the whole
+  /// flag group: scripted events win, then hierarchical generation when
+  /// a topology is installed, else the per-node baseline (byte-identical
+  /// to the pre-topology behavior).
+  sim::FaultSchedule build_schedule(int nodes) const {
+    if (!script.empty()) {
+      // Node-only scripts without --topology expand against the
+      // single-rack flat pool (validated above).
+      if (pool) return sim::FaultSchedule::from_domain_events(*pool, script);
+      return sim::FaultSchedule::from_domain_events(sim::PoolMap::flat(nodes),
+                                                    script);
+    }
+    if (pool && (rack_mttf_ms > 0.0 || row_mttf_ms > 0.0))
+      return sim::FaultSchedule::generate_hierarchical(*pool,
+                                                       schedule_config());
+    return sim::FaultSchedule::generate(nodes, schedule_config());
   }
 };
 
@@ -371,14 +446,28 @@ struct Testbed {
   }
 
   /// Wraps a finished plan as the placement epoch the serving side
-  /// installs (this testbed's hash tail; epoch 0).
+  /// installs (this testbed's hash tail; epoch 0). Passing a pool map
+  /// and spread builds domain-aware replica tails; the flat default is
+  /// the historical behavior.
   std::shared_ptr<const core::PlacementMap> build_map(
       const std::vector<core::NodeId>& keyword_to_node, int nodes,
-      int degree = 0) const {
+      int degree = 0,
+      core::ReplicaSpread spread = core::ReplicaSpread::kFlat,
+      const sim::PoolMap* pool = nullptr) const {
     core::PlacementMapConfig map_cfg;
     map_cfg.num_nodes = nodes;
     map_cfg.degree = degree;
     map_cfg.hash_tail = config.hash_tail;
+    map_cfg.spread = spread;
+    if (pool) {
+      CCA_CHECK_MSG(pool->num_nodes() == nodes,
+                    "--topology describes " << pool->num_nodes()
+                                            << " nodes, bench wants "
+                                            << nodes);
+      map_cfg.node_rack = pool->node_rack();
+      map_cfg.rack_row = pool->rack_row();
+      map_cfg.pool_version = pool->version();
+    }
     return std::make_shared<const core::PlacementMap>(
         core::PlacementMap::build(keyword_to_node, map_cfg));
   }

@@ -135,6 +135,17 @@ bool CliArgs::get_bool(const std::string& key, bool fallback) const {
   return fallback;  // unreachable
 }
 
+void reject_enum_value(const std::string& flag, const std::string& got,
+                       const std::vector<std::string>& accepted) {
+  const std::string hint = suggest_value(got, accepted);
+  CCA_CHECK_MSG(false, "--" << flag << " must be one of "
+                            << quote_candidates(accepted) << ", got '" << got
+                            << "'"
+                            << (hint.empty()
+                                    ? std::string()
+                                    : " (did you mean '" + hint + "'?)"));
+}
+
 void CliArgs::reject_unused() const {
   for (const auto& [key, value] : values_) {
     (void)value;

@@ -45,4 +45,12 @@ std::string suggest_value(const std::string& value,
 /// bad-value error message.
 std::string quote_candidates(const std::vector<std::string>& candidates);
 
+/// Rejects a bad enum-valued flag with the house error shape:
+/// "--<flag> must be one of 'a', 'b', got '<got>' (did you mean 'a'?)".
+/// Shared by every bench flag parser so a typo'd value fails identically
+/// everywhere. Never returns.
+[[noreturn]] void reject_enum_value(const std::string& flag,
+                                    const std::string& got,
+                                    const std::vector<std::string>& accepted);
+
 }  // namespace cca::common

@@ -1,5 +1,7 @@
 #include "core/placement_map.hpp"
 
+#include <algorithm>
+
 #include "hash/md5.hpp"
 
 namespace cca::core {
@@ -18,6 +20,34 @@ bool parse_hash_tail(std::string_view text, HashTail* out) {
 
 const char* hash_tail_name(HashTail tail) {
   return tail == HashTail::kMd5 ? "md5" : "jump";
+}
+
+bool parse_replica_spread(std::string_view text, ReplicaSpread* out) {
+  if (text == "flat") {
+    *out = ReplicaSpread::kFlat;
+    return true;
+  }
+  if (text == "rack") {
+    *out = ReplicaSpread::kRack;
+    return true;
+  }
+  if (text == "row") {
+    *out = ReplicaSpread::kRow;
+    return true;
+  }
+  return false;
+}
+
+const char* replica_spread_name(ReplicaSpread spread) {
+  switch (spread) {
+    case ReplicaSpread::kFlat:
+      return "flat";
+    case ReplicaSpread::kRack:
+      return "rack";
+    case ReplicaSpread::kRow:
+      return "row";
+  }
+  return "flat";
 }
 
 std::int32_t jump_consistent_hash(std::uint64_t key,
@@ -53,6 +83,24 @@ void check_config(const PlacementMapConfig& config) {
   CCA_CHECK_MSG(config.degree >= 0 && config.degree < config.num_nodes,
                 "replication degree " << config.degree << " needs more than "
                                       << config.num_nodes << " nodes");
+  if (config.spread == ReplicaSpread::kFlat) return;
+  CCA_CHECK_MSG(config.node_rack.size() ==
+                    static_cast<std::size_t>(config.num_nodes),
+                "replica spread '" << replica_spread_name(config.spread)
+                                   << "' needs a rack per node: got "
+                                   << config.node_rack.size()
+                                   << " rack assignments for "
+                                   << config.num_nodes << " nodes");
+  CCA_CHECK_MSG(!config.rack_row.empty(),
+                "replica spread '" << replica_spread_name(config.spread)
+                                   << "' needs a rack -> row assignment");
+  const int racks = static_cast<int>(config.rack_row.size());
+  for (int rack : config.node_rack)
+    CCA_CHECK_MSG(rack >= 0 && rack < racks,
+                  "node rack id " << rack << " out of range [0, " << racks
+                                  << ")");
+  for (int row : config.rack_row)
+    CCA_CHECK_MSG(row >= 0, "rack row id " << row << " is negative");
 }
 
 }  // namespace
@@ -67,6 +115,10 @@ PlacementMap PlacementMap::build(const std::vector<int>& keyword_to_node,
   map.degree_ = config.degree;
   map.hash_tail_ = config.hash_tail;
   map.epoch_ = config.epoch;
+  map.spread_ = config.spread;
+  map.node_rack_ = config.node_rack;
+  map.rack_row_ = config.rack_row;
+  map.pool_version_ = config.pool_version;
   for (std::size_t k = 0; k < keyword_to_node.size(); ++k) {
     const int node = keyword_to_node[k];
     CCA_CHECK_MSG(node >= 0 && node < config.num_nodes,
@@ -77,6 +129,7 @@ PlacementMap PlacementMap::build(const std::vector<int>& keyword_to_node,
       ++map.pinned_count_;
     }
   }
+  map.build_spread_tails();
   return map;
 }
 
@@ -90,11 +143,76 @@ PlacementMap PlacementMap::hashed(std::size_t vocabulary,
   map.degree_ = config.degree;
   map.hash_tail_ = config.hash_tail;
   map.epoch_ = config.epoch;
+  map.spread_ = config.spread;
+  map.node_rack_ = config.node_rack;
+  map.rack_row_ = config.rack_row;
+  map.pool_version_ = config.pool_version;
   for (std::size_t k = 0; k < vocabulary; ++k)
     map.primary_[k] = tail_node(config.hash_tail,
                                 static_cast<trace::KeywordId>(k),
                                 config.num_nodes);
+  map.build_spread_tails();
   return map;
+}
+
+void PlacementMap::build_spread_tails() {
+  num_rows_ = 1;
+  for (int row : rack_row_) num_rows_ = std::max(num_rows_, row + 1);
+  tails_.clear();
+  if (spread_ == ReplicaSpread::kFlat || degree_ == 0) return;
+
+  // Mills et al.'s greedy spread, per primary: each successive copy goes
+  // to the node in the least-used failure domain (fewest copies already
+  // in its rack for kRack; fewest in its row, then rack, for kRow), ties
+  // broken by ring distance from the primary so the flat tail's
+  // locality survives where domains permit. The tail depends only on the
+  // primary, so co-placed correlated keywords still share replica nodes.
+  const int n_nodes = num_nodes_;
+  const int n_racks = static_cast<int>(rack_row_.size());
+  tails_.resize(static_cast<std::size_t>(n_nodes) *
+                static_cast<std::size_t>(degree_));
+  std::vector<char> used(static_cast<std::size_t>(n_nodes));
+  std::vector<int> rack_uses(static_cast<std::size_t>(n_racks));
+  std::vector<int> row_uses(static_cast<std::size_t>(num_rows_));
+  for (int p = 0; p < n_nodes; ++p) {
+    std::fill(used.begin(), used.end(), 0);
+    std::fill(rack_uses.begin(), rack_uses.end(), 0);
+    std::fill(row_uses.begin(), row_uses.end(), 0);
+    used[static_cast<std::size_t>(p)] = 1;
+    const auto rack_of = [&](int n) {
+      return node_rack_[static_cast<std::size_t>(n)];
+    };
+    const auto row_of = [&](int n) {
+      return rack_row_[static_cast<std::size_t>(rack_of(n))];
+    };
+    ++rack_uses[static_cast<std::size_t>(rack_of(p))];
+    ++row_uses[static_cast<std::size_t>(row_of(p))];
+    for (int slot = 0; slot < degree_; ++slot) {
+      int best = -1;
+      int best_major = 0, best_minor = 0;
+      for (int off = 1; off < n_nodes; ++off) {
+        const int n = (p + off) % n_nodes;
+        if (used[static_cast<std::size_t>(n)]) continue;
+        const int major = spread_ == ReplicaSpread::kRow
+                              ? row_uses[static_cast<std::size_t>(row_of(n))]
+                              : rack_uses[static_cast<std::size_t>(rack_of(n))];
+        const int minor = spread_ == ReplicaSpread::kRow
+                              ? rack_uses[static_cast<std::size_t>(rack_of(n))]
+                              : 0;
+        // First candidate in ring order wins ties: strict < comparison.
+        if (best < 0 || major < best_major ||
+            (major == best_major && minor < best_minor)) {
+          best = n;
+          best_major = major;
+          best_minor = minor;
+        }
+      }
+      used[static_cast<std::size_t>(best)] = 1;
+      ++rack_uses[static_cast<std::size_t>(rack_of(best))];
+      ++row_uses[static_cast<std::size_t>(row_of(best))];
+      tails_[static_cast<std::size_t>(p) * degree_ + slot] = best;
+    }
+  }
 }
 
 std::size_t PlacementMap::node_id_bytes() const {
@@ -109,6 +227,11 @@ PlacementMap PlacementMap::rebalanced(int new_num_nodes) const {
   CCA_CHECK_MSG(degree_ < new_num_nodes,
                 "replication degree " << degree_ << " needs more than "
                                       << new_num_nodes << " nodes");
+  CCA_CHECK_MSG(spread_ == ReplicaSpread::kFlat,
+                "cannot rebalance a '"
+                    << replica_spread_name(spread_)
+                    << "'-spread map to a bare node count — the new nodes "
+                       "have no rack; rebuild from a resized pool map");
   PlacementMap next;
   next.primary_.resize(primary_.size());
   next.pinned_.assign(primary_.size(), 0);
@@ -144,6 +267,10 @@ PlacementMap PlacementMap::with_placement(
   config.degree = degree_;
   config.hash_tail = hash_tail_;
   config.epoch = epoch_ + 1;
+  config.spread = spread_;
+  config.node_rack = node_rack_;
+  config.rack_row = rack_row_;
+  config.pool_version = pool_version_;
   return build(keyword_to_node, config);
 }
 

@@ -55,36 +55,74 @@ std::int32_t jump_consistent_hash(std::uint64_t key, std::int32_t num_buckets);
 int tail_node(HashTail tail, trace::KeywordId keyword, int num_nodes);
 
 // ---------------------------------------------------------------------------
+// Replica-spread rules.
+// ---------------------------------------------------------------------------
+
+/// How a keyword's replica tail relates to the failure-domain tree
+/// (sim::PoolMap, supplied through PlacementMapConfig::node_rack /
+/// rack_row). The PRIMARY always follows correlation co-location; the
+/// spread rule only governs where the copies beyond it land.
+enum class ReplicaSpread {
+  kFlat,  // (primary + r) mod N — domain-blind, the historical tail
+  kRack,  // greedy spread: each copy on the least-used rack (Mills et al.)
+  kRow,   // greedy spread: least-used row, then least-used rack within it
+};
+
+/// Parses "flat"/"rack"/"row"; returns false on anything else (callers
+/// attach their own did-you-mean error, see bench/testbed.hpp).
+bool parse_replica_spread(std::string_view text, ReplicaSpread* out);
+const char* replica_spread_name(ReplicaSpread spread);
+
+// ---------------------------------------------------------------------------
 // ReplicaSet: the result of a resolution.
 // ---------------------------------------------------------------------------
 
 /// Ordered replica set of one keyword. Slot 0 is the primary (the node
-/// the placement computed); replica r lives on (primary + r) mod N —
-/// placement-relative, so co-placed correlated keywords share replica
-/// nodes and failover preserves co-location. A full-degree set
-/// (degree = N-1) has a copy on every node and never causes a transfer.
+/// the placement computed); with a flat tail, replica r lives on
+/// (primary + r) mod N — placement-relative, so co-placed correlated
+/// keywords share replica nodes and failover preserves co-location.
+/// Under a domain spread (ReplicaSpread::kRack/kRow) the tail instead
+/// points into the map's precomputed per-primary successor table: still
+/// a pure function of the primary (co-location preserved), but each
+/// successive copy lands on the least-loaded failure domain. A
+/// full-degree set (degree = N-1) has a copy on every node and never
+/// causes a transfer.
 ///
 /// `num_nodes == 0` means "unbounded ring": a degree-0 singleton whose
 /// ring the caller never materialized (ad-hoc test placements). Such a
 /// set is never `everywhere()`.
+///
+/// `tail`, when set, borrows the owning PlacementMap's successor table:
+/// the set must not outlive the map it was resolved from (every current
+/// consumer resolves against an epoch it holds a reference to).
 struct ReplicaSet {
   int primary = 0;
   int degree = 0;     // copies beyond the primary
   int num_nodes = 0;  // 0 = unbounded (see above)
+  const int* tail = nullptr;  // degree domain-spread successors, or null
 
   /// A one-node set on an unbounded ring (degree 0, never everywhere).
   static constexpr ReplicaSet single(int node) { return {node, 0, 0}; }
 
   /// Replica at failover position `slot` in [0, degree].
   int node(int slot) const {
+    if (slot > 0 && tail) return tail[slot - 1];
     return num_nodes > 0 ? (primary + slot) % num_nodes : primary + slot;
   }
 
-  /// True when the set has a copy on every node of its ring.
+  /// True when the set has a copy on every node of its ring. (A spread
+  /// tail's successors are distinct nodes, so degree + 1 >= N covers the
+  /// ring there exactly as in the flat case.)
   bool everywhere() const { return num_nodes > 0 && degree + 1 >= num_nodes; }
 
   /// True when some replica lives on `n`.
   bool contains(int n) const {
+    if (tail) {
+      if (n == primary) return true;
+      for (int r = 0; r < degree; ++r)
+        if (tail[r] == n) return true;
+      return false;
+    }
     if (num_nodes <= 0) return n >= primary && n - primary <= degree;
     const int offset = ((n - primary) % num_nodes + num_nodes) % num_nodes;
     return offset <= degree;
@@ -122,6 +160,17 @@ struct PlacementMapConfig {
   int degree = 0;
   HashTail hash_tail = HashTail::kMd5;
   std::uint64_t epoch = 0;
+  /// Replica-tail spread rule. kFlat needs no topology and reproduces
+  /// the historical (primary + r) mod N tail byte-identically; kRack /
+  /// kRow require the domain vectors below (sim::PoolMap::node_rack() /
+  /// rack_row()).
+  ReplicaSpread spread = ReplicaSpread::kFlat;
+  std::vector<int> node_rack;  // rack of each node (size num_nodes)
+  std::vector<int> rack_row;   // row of each rack
+  /// Version of the pool map the domain vectors came from; co-published
+  /// with the epoch so a placement never outlives its topology
+  /// (sim::PlacementService enforces agreement on publish).
+  std::uint64_t pool_version = 0;
 };
 
 /// Immutable epoch of the serving placement. Thread-safe by construction:
@@ -140,9 +189,15 @@ class PlacementMap {
                              const PlacementMapConfig& config);
 
   /// THE resolution entry point: the keyword's replica set. Matches the
-  /// installed placement exactly (tested invariant).
+  /// installed placement exactly (tested invariant). Under a domain
+  /// spread the set borrows this map's successor table — it must not
+  /// outlive the epoch it came from.
   ReplicaSet resolve(trace::KeywordId keyword) const {
-    return ReplicaSet{primary(keyword), degree_, num_nodes_};
+    const int p = primary(keyword);
+    ReplicaSet set{p, degree_, num_nodes_};
+    if (!tails_.empty())
+      set.tail = tails_.data() + static_cast<std::size_t>(p) * degree_;
+    return set;
   }
 
   /// Slot 0 of resolve(): the node the placement computed.
@@ -169,6 +224,13 @@ class PlacementMap {
   int num_nodes() const { return num_nodes_; }
   int degree() const { return degree_; }
   HashTail hash_tail() const { return hash_tail_; }
+  ReplicaSpread spread() const { return spread_; }
+  std::uint64_t pool_version() const { return pool_version_; }
+  /// Domain counts under the spread's topology (1 rack / 1 row when flat).
+  int num_racks() const {
+    return rack_row_.empty() ? 1 : static_cast<int>(rack_row_.size());
+  }
+  int num_rows() const { return num_rows_; }
   std::size_t vocabulary_size() const { return primary_.size(); }
 
   /// Exception-table entries (pinned keywords). Any replication forces an
@@ -193,7 +255,9 @@ class PlacementMap {
   /// their node (pins on retired nodes fall back to the tail rule),
   /// unpinned keywords are re-placed by the tail rule at the new size.
   /// With the jump tail a single-node grow moves ~1/N of the tail; the
-  /// md5 tail reshuffles ~(N-1)/N of it.
+  /// md5 tail reshuffles ~(N-1)/N of it. Domain-spread maps cannot be
+  /// resized this way (the new nodes have no rack) — rebuild from a
+  /// resized pool map instead; checked.
   PlacementMap rebalanced(int new_num_nodes) const;
 
   /// The next epoch carrying a new optimized placement (same tail rule,
@@ -204,6 +268,8 @@ class PlacementMap {
  private:
   PlacementMap() = default;
 
+  void build_spread_tails();
+
   std::vector<int> primary_;
   std::vector<std::uint8_t> pinned_;  // 1 = exception entry
   std::size_t pinned_count_ = 0;
@@ -211,6 +277,15 @@ class PlacementMap {
   int degree_ = 0;
   HashTail hash_tail_ = HashTail::kMd5;
   std::uint64_t epoch_ = 0;
+  ReplicaSpread spread_ = ReplicaSpread::kFlat;
+  std::vector<int> node_rack_;  // empty when flat
+  std::vector<int> rack_row_;   // empty when flat
+  int num_rows_ = 1;
+  std::uint64_t pool_version_ = 0;
+  /// Per-primary spread successors, num_nodes x degree, row-major by
+  /// primary; empty when flat or degree 0 (resolve falls back to the
+  /// ring).
+  std::vector<int> tails_;
 };
 
 }  // namespace cca::core

@@ -21,6 +21,8 @@ RecoveryResult RecoveryPlanner::replan(const CcaInstance& instance,
                 "negative migration budget");
   CCA_CHECK_MSG(config_.capacity_headroom > 0.0,
                 "capacity headroom must be positive");
+  CCA_CHECK_MSG(config_.rebuild_mbps > 0.0,
+                "rebuild bandwidth must be positive");
   CCA_CHECK_MSG(std::count(alive.begin(), alive.end(), true) > 0,
                 "recovery needs at least one surviving node");
 
@@ -87,34 +89,78 @@ RecoveryResult RecoveryPlanner::replan(const CcaInstance& instance,
       incident[static_cast<std::size_t>(p.j)].push_back(&p);
     }
 
+    // Bytes each survivor has been assigned to rebuild, for the
+    // declustered destination rule and the makespan accounting.
+    std::vector<double> rebuild_bytes(
+        static_cast<std::size_t>(instance.num_nodes()), 0.0);
+
     for (const ObjectId i : lost) {
       const double size = instance.object_size(i);
       if (size > budget + 1e-9) continue;  // cannot afford this object
-      // Destination: highest affinity among survivors with headroom;
-      // ties broken by most free capacity, then lowest node id.
       NodeId best = -1;
-      double best_affinity = -1.0;
-      double best_free = -std::numeric_limits<double>::infinity();
-      for (int k = 0; k < instance.num_nodes(); ++k) {
-        if (!alive[static_cast<std::size_t>(k)]) continue;
-        const double ceiling =
-            config_.capacity_headroom * instance.node_capacity(k);
-        if (loads[static_cast<std::size_t>(k)] + size > ceiling + 1e-9)
-          continue;
-        const double a =
-            affinity[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
-        const double free = ceiling - loads[static_cast<std::size_t>(k)];
-        if (a > best_affinity ||
-            (a == best_affinity && free > best_free)) {
+      if (config_.rebuild_mode == RebuildMode::kSuccessor) {
+        // The classic funnel: first alive ring successor of the dead
+        // host with headroom. A contiguous dead rack drains through one
+        // neighbour — the baseline declustering beats.
+        for (int off = 1; off < instance.num_nodes(); ++off) {
+          const int k = (current[i] + off) % instance.num_nodes();
+          if (!alive[static_cast<std::size_t>(k)]) continue;
+          const double ceiling =
+              config_.capacity_headroom * instance.node_capacity(k);
+          if (loads[static_cast<std::size_t>(k)] + size > ceiling + 1e-9)
+            continue;
           best = k;
-          best_affinity = a;
-          best_free = free;
+          break;
+        }
+      } else if (config_.rebuild_mode == RebuildMode::kDeclustered) {
+        // Least rebuild-loaded survivor with headroom; ties by highest
+        // affinity (keep what co-location the balance allows), then
+        // lowest id via iteration order.
+        double best_assigned = std::numeric_limits<double>::infinity();
+        double best_affinity = -1.0;
+        for (int k = 0; k < instance.num_nodes(); ++k) {
+          if (!alive[static_cast<std::size_t>(k)]) continue;
+          const double ceiling =
+              config_.capacity_headroom * instance.node_capacity(k);
+          if (loads[static_cast<std::size_t>(k)] + size > ceiling + 1e-9)
+            continue;
+          const double assigned = rebuild_bytes[static_cast<std::size_t>(k)];
+          const double a = affinity[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(k)];
+          if (assigned < best_assigned ||
+              (assigned == best_assigned && a > best_affinity)) {
+            best = k;
+            best_assigned = assigned;
+            best_affinity = a;
+          }
+        }
+      } else {
+        // Destination: highest affinity among survivors with headroom;
+        // ties broken by most free capacity, then lowest node id.
+        double best_affinity = -1.0;
+        double best_free = -std::numeric_limits<double>::infinity();
+        for (int k = 0; k < instance.num_nodes(); ++k) {
+          if (!alive[static_cast<std::size_t>(k)]) continue;
+          const double ceiling =
+              config_.capacity_headroom * instance.node_capacity(k);
+          if (loads[static_cast<std::size_t>(k)] + size > ceiling + 1e-9)
+            continue;
+          const double a = affinity[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(k)];
+          const double free = ceiling - loads[static_cast<std::size_t>(k)];
+          if (a > best_affinity ||
+              (a == best_affinity && free > best_free)) {
+            best = k;
+            best_affinity = a;
+            best_free = free;
+          }
         }
       }
       if (best < 0) continue;  // no survivor has headroom for it
 
       result.placement[i] = best;
       loads[static_cast<std::size_t>(best)] += size;
+      rebuild_bytes[static_cast<std::size_t>(best)] += size;
       budget -= size;
       ++result.objects_recovered;
       result.weight_recovered += weight_of(i);
@@ -125,6 +171,18 @@ RecoveryResult RecoveryPlanner::replan(const CcaInstance& instance,
                 [static_cast<std::size_t>(best)] += p->cost();
       }
     }
+
+    // Destinations restore their slices concurrently, each bounded by
+    // its own ingest bandwidth (megabits/s = 125 bytes/ms): the rebuild
+    // finishes when the most-loaded one does.
+    double max_assigned = 0.0;
+    for (int k = 0; k < instance.num_nodes(); ++k) {
+      if (rebuild_bytes[static_cast<std::size_t>(k)] <= 0.0) continue;
+      ++result.rebuild_destinations;
+      max_assigned =
+          std::max(max_assigned, rebuild_bytes[static_cast<std::size_t>(k)]);
+    }
+    result.rebuild_makespan_ms = max_assigned / (config_.rebuild_mbps * 125.0);
   }
 
   // Optional second phase: spend what is left of the budget improving

@@ -35,6 +35,20 @@
 
 namespace cca::core {
 
+/// How recovery chooses the survivor each lost object lands on. The
+/// modes trade rebuild parallelism against co-location: after a whole
+/// rack dies, kSuccessor funnels everything through one ring neighbour
+/// (the classic chained-successor layout — its rebuild time is one
+/// node's ingest of the entire rack), while kDeclustered fans the loss
+/// across every survivor so each rebuilds a slice in parallel
+/// (DAOS-style declustered rebuild; makespan shrinks by ~the survivor
+/// count).
+enum class RebuildMode {
+  kAffinity,    // highest correlation affinity (the original planner)
+  kSuccessor,   // first alive ring successor of the dead node
+  kDeclustered, // least-loaded rebuild destination, affinity ties
+};
+
 struct RecoveryConfig {
   /// Migration byte budget as a fraction of the instance's total object
   /// bytes. 0 recovers nothing; >= 1 is effectively unlimited (recovery
@@ -50,6 +64,12 @@ struct RecoveryConfig {
   /// Passed through to IncrementalOptimizer when reoptimize_survivors.
   RoundingPolicy rounding;
   std::uint64_t seed = 1;
+  /// Destination rule for lost objects (see RebuildMode).
+  RebuildMode rebuild_mode = RebuildMode::kAffinity;
+  /// Per-destination rebuild ingest bandwidth, megabits/s: bounds how
+  /// fast one survivor can restore its assigned slice, which turns the
+  /// per-destination byte assignment into the makespan below.
+  double rebuild_mbps = 800.0;
 };
 
 struct RecoveryResult {
@@ -67,6 +87,13 @@ struct RecoveryResult {
   double coverage_restored = 0.0;
   /// Modeled communication cost of the result placement.
   double cost = 0.0;
+  /// Distinct survivors that received recovered objects. 1 under a
+  /// successor funnel of one dead domain; ~all survivors declustered.
+  int rebuild_destinations = 0;
+  /// Parallel rebuild completion time: every destination ingests its
+  /// assigned slice at rebuild_mbps concurrently, so the makespan is the
+  /// largest per-destination byte assignment over that bandwidth.
+  double rebuild_makespan_ms = 0.0;
 };
 
 class RecoveryPlanner {

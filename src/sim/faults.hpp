@@ -25,14 +25,20 @@
 //     per attempt on a dead node, which is how real clients discover
 //     failures;
 //   * crash and recovery instants are independent across nodes
-//     (exponential up/down times), matching the uncorrelated-failure
-//     baseline of the hierarchical-failure-domain literature.
+//     (exponential up/down times) in the baseline model; the
+//     hierarchical extension adds CORRELATED failures — whole-rack and
+//     whole-row fail-stop events drawn per domain (or scripted), where a
+//     domain crash downs every member node at once (a node is dead when
+//     itself, its rack, or its row is down).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cca::sim {
+
+class PoolMap;
 
 enum class FaultEventKind { kCrash, kRecover };
 
@@ -43,6 +49,27 @@ struct FaultEvent {
   FaultEventKind kind = FaultEventKind::kCrash;
 };
 
+/// Failure-domain granularity of a scripted fault (see PoolMap).
+enum class FaultDomain { kNode, kRack, kRow };
+
+/// One fail-stop transition of one domain — a rack crash downs every
+/// member node at its instant; a rack recovery revives every member
+/// still down.
+struct DomainFaultEvent {
+  double time_ms = 0.0;
+  FaultDomain domain = FaultDomain::kNode;
+  int id = 0;  // node / rack / row id per `domain`
+  FaultEventKind kind = FaultEventKind::kCrash;
+};
+
+/// Parses a `--fault-script` value: ';'-separated events, each
+/// `<kind>:<time_ms>,<id>` with kind one of crash, recover (node-level),
+/// rack, rack-recover, row, row-recover (domain-level). Malformed kinds
+/// fail with a did-you-mean suggestion; times and ids are strictly
+/// numeric. Domain ids are validated later, against the pool map, by
+/// FaultSchedule::from_domain_events.
+std::vector<DomainFaultEvent> parse_fault_script(const std::string& script);
+
 struct FaultScheduleConfig {
   /// Mean time to failure: each node's up-times are Exp(mttf_ms).
   double mttf_ms = 10000.0;
@@ -51,6 +78,13 @@ struct FaultScheduleConfig {
   /// Events are generated on [0, horizon_ms).
   double horizon_ms = 60000.0;
   std::uint64_t seed = 1;
+  /// Correlated whole-domain failures (generate_hierarchical only):
+  /// each rack/row additionally draws Exp(mttf)/Exp(mttr) down
+  /// intervals from its own substream. 0 disables that level.
+  double rack_mttf_ms = 0.0;
+  double rack_mttr_ms = 2000.0;
+  double row_mttf_ms = 0.0;
+  double row_mttr_ms = 5000.0;
 };
 
 /// A per-node timeline of fail-stop down intervals, queryable by time.
@@ -73,6 +107,27 @@ class FaultSchedule {
   /// alive state (checked). Nodes must be in [0, num_nodes).
   static FaultSchedule from_events(int num_nodes,
                                    std::vector<FaultEvent> events);
+
+  /// Scripted schedule with whole-domain events, expanded against the
+  /// pool map: a rack/row crash downs every member node alive at its
+  /// instant, a rack/row recovery revives every member still down
+  /// (including members that crashed individually beforehand — the
+  /// domain repair brings the whole domain back). Node-level events keep
+  /// from_events' strict alternation (recover-before-crash is an error),
+  /// and a domain event that would be a no-op — crashing an all-down
+  /// rack, recovering an all-alive one — is rejected as a script bug.
+  static FaultSchedule from_domain_events(const PoolMap& pool,
+                                          std::vector<DomainFaultEvent> events);
+
+  /// MTTF/MTTR-generated schedule with correlated domain failures: on
+  /// top of each node's own Exp(mttf)/Exp(mttr) timeline, each rack and
+  /// row draws down intervals from its dedicated substream when
+  /// config.rack_mttf_ms / row_mttf_ms are set; a node is dead while
+  /// itself, its rack, or its row is down. With both domain levels
+  /// disabled this reproduces generate(pool.num_nodes(), config)
+  /// exactly.
+  static FaultSchedule generate_hierarchical(const PoolMap& pool,
+                                             const FaultScheduleConfig& config);
 
   int num_nodes() const { return num_nodes_; }
 
@@ -135,6 +190,12 @@ struct RetryPolicy {
   /// Total time a fetch wastes performing `failed_attempts` contacts on
   /// dead nodes: timeouts plus the backoffs between them.
   double penalty_ms(int failed_attempts, std::uint64_t token) const;
+
+  /// Rejects nonsensical configurations (zero/negative backoff, no
+  /// attempts, max below base, jitter outside [0, 1)) with a
+  /// common::Error naming the offending field. Flag parsers call this so
+  /// a bad --base-backoff-ms dies at startup, not mid-replay.
+  void validate() const;
 };
 
 }  // namespace cca::sim

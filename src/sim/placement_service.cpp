@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sim/cluster.hpp"
+#include "sim/pool_map.hpp"
 
 namespace cca::sim {
 
@@ -107,7 +108,33 @@ void PlacementService::publish(
                 "publish must advance the epoch: current " << current->epoch()
                                                            << ", published "
                                                            << next->epoch());
+  const auto pool = pool_.load(std::memory_order_acquire);
+  if (pool)
+    CCA_CHECK_MSG(next->pool_version() == pool->version(),
+                  "published epoch " << next->epoch()
+                                     << " carries pool version "
+                                     << next->pool_version()
+                                     << ", installed pool map is version "
+                                     << pool->version());
   current_.store(std::move(next), std::memory_order_release);
+}
+
+void PlacementService::install_pool_map(std::shared_ptr<const PoolMap> pool) {
+  CCA_CHECK(pool != nullptr);
+  const auto current = acquire();
+  CCA_CHECK_MSG(current->pool_version() == pool->version(),
+                "current epoch " << current->epoch()
+                                 << " carries pool version "
+                                 << current->pool_version()
+                                 << ", installing pool map version "
+                                 << pool->version()
+                                 << " — rebuild the placement from the pool "
+                                    "before installing it");
+  pool_.store(std::move(pool), std::memory_order_release);
+}
+
+std::shared_ptr<const PoolMap> PlacementService::pool_map() const {
+  return pool_.load(std::memory_order_acquire);
 }
 
 // ---------------------------------------------------------------------------

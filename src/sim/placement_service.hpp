@@ -31,6 +31,8 @@
 
 namespace cca::sim {
 
+class PoolMap;
+
 // ---------------------------------------------------------------------------
 // Churn scripts.
 // ---------------------------------------------------------------------------
@@ -63,6 +65,11 @@ std::vector<ChurnEvent> parse_churn_script(const std::string& script);
 /// through one atomic shared_ptr (acquire/release): readers pin the epoch
 /// they started with — a published successor never mutates or frees a map
 /// an in-flight shard still resolves against.
+///
+/// Optionally co-versions the failure-domain topology: when a PoolMap is
+/// installed, every published epoch must carry that pool's version
+/// (PlacementMap::pool_version) — a domain-spread placement must never
+/// outlive the topology its replica tails were computed against.
 class PlacementService {
  public:
   explicit PlacementService(std::shared_ptr<const core::PlacementMap> initial);
@@ -71,13 +78,23 @@ class PlacementService {
   std::shared_ptr<const core::PlacementMap> acquire() const;
 
   /// Installs `next` as the current epoch. The epoch number must strictly
-  /// increase — publication is ordered, never a silent rollback.
+  /// increase — publication is ordered, never a silent rollback — and
+  /// with a pool map installed, next->pool_version() must match it.
   void publish(std::shared_ptr<const core::PlacementMap> next);
+
+  /// Installs the cluster's failure-domain topology. The current epoch
+  /// must already carry the pool's version (build the placement from the
+  /// pool first, then install both here).
+  void install_pool_map(std::shared_ptr<const PoolMap> pool);
+
+  /// The installed topology, or nullptr when the service is flat.
+  std::shared_ptr<const PoolMap> pool_map() const;
 
   std::uint64_t epoch() const { return acquire()->epoch(); }
 
  private:
   std::atomic<std::shared_ptr<const core::PlacementMap>> current_;
+  std::atomic<std::shared_ptr<const PoolMap>> pool_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,235 @@
+#include "sim/pool_map.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace cca::sim {
+
+namespace {
+
+constexpr const char* kHeaderPrefix = "# cca-poolmap v1 nodes=";
+
+/// Strict decimal parse: the whole of [begin, terminator) must be one
+/// in-range number. Returns false on empty input, trailing junk, or
+/// overflow (strtol's silent LONG_MAX clamp is checked via errno).
+bool parse_long(const char* begin, long* value, char terminator = '\0',
+                const char** rest = nullptr) {
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtol(begin, &end, 10);
+  if (rest) *rest = end;
+  return end != begin && end && *end == terminator && errno != ERANGE;
+}
+
+}  // namespace
+
+PoolMap PoolMap::flat(int num_nodes, std::uint64_t version) {
+  CCA_CHECK_MSG(num_nodes >= 1, "pool map needs at least one node");
+  return build(std::vector<int>(static_cast<std::size_t>(num_nodes), 0), {0},
+               version);
+}
+
+PoolMap PoolMap::grid(int rows, int racks_per_row, int nodes_per_rack,
+                      std::uint64_t version) {
+  CCA_CHECK_MSG(rows >= 1 && racks_per_row >= 1 && nodes_per_rack >= 1,
+                "topology grid dimensions must all be >= 1, got "
+                    << rows << ":" << racks_per_row << ":" << nodes_per_rack);
+  const long nodes =
+      static_cast<long>(rows) * racks_per_row * nodes_per_rack;
+  CCA_CHECK_MSG(nodes <= INT_MAX, "topology grid overflows node count");
+  const int racks = rows * racks_per_row;
+  std::vector<int> node_rack(static_cast<std::size_t>(nodes));
+  for (long n = 0; n < nodes; ++n)
+    node_rack[static_cast<std::size_t>(n)] =
+        static_cast<int>(n / nodes_per_rack);
+  std::vector<int> rack_row(static_cast<std::size_t>(racks));
+  for (int r = 0; r < racks; ++r) rack_row[static_cast<std::size_t>(r)] =
+      r / racks_per_row;
+  return build(std::move(node_rack), std::move(rack_row), version);
+}
+
+PoolMap PoolMap::build(std::vector<int> node_rack, std::vector<int> rack_row,
+                       std::uint64_t version) {
+  CCA_CHECK_MSG(!node_rack.empty(), "pool map needs at least one node");
+  CCA_CHECK_MSG(!rack_row.empty(), "pool map needs at least one rack");
+  const int racks = static_cast<int>(rack_row.size());
+  int rows = 0;
+  for (int row : rack_row) {
+    CCA_CHECK_MSG(row >= 0, "rack row id " << row << " is negative");
+    rows = std::max(rows, row + 1);
+  }
+  // Dense ids: every rack hosts a node, every row hosts a rack. A gap
+  // means the script numbered domains wrong — fail instead of silently
+  // modeling phantom (always-up, never-placed) domains.
+  std::vector<char> rack_used(static_cast<std::size_t>(racks), 0);
+  for (int rack : node_rack) {
+    CCA_CHECK_MSG(rack >= 0 && rack < racks,
+                  "node rack id " << rack << " out of range [0, " << racks
+                                  << ")");
+    rack_used[static_cast<std::size_t>(rack)] = 1;
+  }
+  for (int r = 0; r < racks; ++r)
+    CCA_CHECK_MSG(rack_used[static_cast<std::size_t>(r)],
+                  "rack " << r << " has no nodes");
+  std::vector<char> row_used(static_cast<std::size_t>(rows), 0);
+  for (int row : rack_row) row_used[static_cast<std::size_t>(row)] = 1;
+  for (int w = 0; w < rows; ++w)
+    CCA_CHECK_MSG(row_used[static_cast<std::size_t>(w)],
+                  "row " << w << " has no racks");
+
+  PoolMap out;
+  out.node_rack_ = std::move(node_rack);
+  out.rack_row_ = std::move(rack_row);
+  out.num_rows_ = rows;
+  out.version_ = version;
+  return out;
+}
+
+PoolMap PoolMap::from_script(std::istream& is, const std::string& source,
+                             std::uint64_t version) {
+  std::string header;
+  CCA_CHECK_MSG(std::getline(is, header),
+                source << ":1: empty topology stream");
+  CCA_CHECK_MSG(header.rfind(kHeaderPrefix, 0) == 0,
+                source << ":1: bad topology header: '" << header << "'");
+  const std::size_t prefix_len = std::string(kHeaderPrefix).size();
+  long nodes = 0;
+  CCA_CHECK_MSG(parse_long(header.c_str() + prefix_len, &nodes),
+                source << ":1: bad node count in topology header: '" << header
+                       << "'");
+  CCA_CHECK_MSG(nodes >= 1 && nodes <= INT_MAX,
+                source << ":1: node count " << nodes << " out of range");
+
+  std::vector<int> node_rack(static_cast<std::size_t>(nodes), -1);
+  std::vector<int> node_row(static_cast<std::size_t>(nodes), -1);
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    long node = 0, rack = 0, row = 0;
+    const char* rest = nullptr;
+    bool ok = parse_long(line.c_str(), &node, ' ', &rest);
+    if (ok) {
+      while (*rest == ' ') ++rest;
+      ok = parse_long(rest, &rack, ' ', &rest);
+    }
+    if (ok) {
+      while (*rest == ' ') ++rest;
+      ok = parse_long(rest, &row);
+    }
+    CCA_CHECK_MSG(ok, source << ":" << line_no
+                             << ": expected '<node> <rack> <row>', got '"
+                             << line << "'");
+    CCA_CHECK_MSG(node >= 0 && node < nodes,
+                  source << ":" << line_no << ": node " << node
+                         << " out of range [0, " << nodes << ")");
+    CCA_CHECK_MSG(rack >= 0 && rack < nodes,
+                  source << ":" << line_no << ": rack id " << rack
+                         << " out of range");
+    CCA_CHECK_MSG(row >= 0 && row < nodes,
+                  source << ":" << line_no << ": row id " << row
+                         << " out of range");
+    CCA_CHECK_MSG(node_rack[static_cast<std::size_t>(node)] < 0,
+                  source << ":" << line_no << ": node " << node
+                         << " assigned twice");
+    node_rack[static_cast<std::size_t>(node)] = static_cast<int>(rack);
+    node_row[static_cast<std::size_t>(node)] = static_cast<int>(row);
+  }
+  int racks = 0;
+  for (long n = 0; n < nodes; ++n) {
+    CCA_CHECK_MSG(node_rack[static_cast<std::size_t>(n)] >= 0,
+                  source << ": node " << n << " never assigned a rack");
+    racks = std::max(racks, node_rack[static_cast<std::size_t>(n)] + 1);
+  }
+  // Derive rack -> row from the per-node rows; a rack straddling two
+  // rows is a malformed tree.
+  std::vector<int> rack_row(static_cast<std::size_t>(racks), -1);
+  for (long n = 0; n < nodes; ++n) {
+    const int rack = node_rack[static_cast<std::size_t>(n)];
+    const int row = node_row[static_cast<std::size_t>(n)];
+    if (rack_row[static_cast<std::size_t>(rack)] < 0)
+      rack_row[static_cast<std::size_t>(rack)] = row;
+    CCA_CHECK_MSG(rack_row[static_cast<std::size_t>(rack)] == row,
+                  source << ": rack " << rack << " spans rows "
+                         << rack_row[static_cast<std::size_t>(rack)] << " and "
+                         << row << " — a rack lives in exactly one row");
+  }
+  return build(std::move(node_rack), std::move(rack_row), version);
+}
+
+int PoolMap::rack_of(int node) const {
+  CCA_CHECK_MSG(node >= 0 && node < num_nodes(),
+                "node " << node << " out of range [0, " << num_nodes() << ")");
+  return node_rack_[static_cast<std::size_t>(node)];
+}
+
+int PoolMap::row_of_rack(int rack) const {
+  CCA_CHECK_MSG(rack >= 0 && rack < num_racks(),
+                "rack " << rack << " out of range [0, " << num_racks() << ")");
+  return rack_row_[static_cast<std::size_t>(rack)];
+}
+
+std::vector<int> PoolMap::rack_members(int rack) const {
+  CCA_CHECK_MSG(rack >= 0 && rack < num_racks(),
+                "rack " << rack << " out of range [0, " << num_racks() << ")");
+  std::vector<int> out;
+  for (int n = 0; n < num_nodes(); ++n)
+    if (node_rack_[static_cast<std::size_t>(n)] == rack) out.push_back(n);
+  return out;
+}
+
+std::vector<int> PoolMap::row_members(int row) const {
+  CCA_CHECK_MSG(row >= 0 && row < num_rows_,
+                "row " << row << " out of range [0, " << num_rows_ << ")");
+  std::vector<int> out;
+  for (int n = 0; n < num_nodes(); ++n)
+    if (row_of_rack(node_rack_[static_cast<std::size_t>(n)]) == row)
+      out.push_back(n);
+  return out;
+}
+
+PoolMap PoolMap::with_version(std::uint64_t version) const {
+  PoolMap out = *this;
+  out.version_ = version;
+  return out;
+}
+
+PoolMap parse_topology(const std::string& text, std::uint64_t version) {
+  CCA_CHECK_MSG(!text.empty(),
+                "--topology needs 'rows:racks:nodes' or '@<script-path>'");
+  if (text[0] == '@') {
+    const std::string path = text.substr(1);
+    std::ifstream in(path);
+    CCA_CHECK_MSG(in.good(),
+                  "--topology script '" << path << "' cannot be opened");
+    return PoolMap::from_script(in, path, version);
+  }
+  long dims[3] = {0, 0, 0};
+  const char* cursor = text.c_str();
+  for (int i = 0; i < 3; ++i) {
+    const char* rest = nullptr;
+    const char terminator = (i < 2) ? ':' : '\0';
+    CCA_CHECK_MSG(parse_long(cursor, &dims[i], terminator, &rest),
+                  "--topology expects 'rows:racks:nodes' (three positive "
+                  "integers) or '@<script-path>', got '"
+                      << text << "'");
+    cursor = rest + 1;
+  }
+  CCA_CHECK_MSG(dims[0] >= 1 && dims[1] >= 1 && dims[2] >= 1,
+                "--topology dimensions must all be >= 1, got '" << text
+                                                                << "'");
+  CCA_CHECK_MSG(dims[0] <= INT_MAX && dims[1] <= INT_MAX && dims[2] <= INT_MAX,
+                "--topology dimension out of range in '" << text << "'");
+  return PoolMap::grid(static_cast<int>(dims[0]), static_cast<int>(dims[1]),
+                       static_cast<int>(dims[2]), version);
+}
+
+}  // namespace cca::sim

@@ -1,0 +1,107 @@
+// Hierarchical failure-domain pool map: node -> rack -> row.
+//
+// The fault layer (sim/faults.hpp) models independent per-node fail-stop
+// events; real clusters also fail by shared domain — a rack loses its
+// top-of-rack switch, a row loses power — taking every node inside down
+// at once. The PoolMap is the cluster's domain tree, after the DAOS
+// pool-map model: every node belongs to exactly one rack, every rack to
+// exactly one row. It is the shared vocabulary of
+//
+//   * domain-aware replica placement (core::PlacementMap spreads a
+//     keyword's replicas across distinct racks/rows per Mills et al.,
+//     "Optimal Replica Placement Under Correlated Failure in
+//     Hierarchical Failure Domains" — see PAPERS.md),
+//   * whole-domain fault events (FaultSchedule rack/row crashes expand
+//     to the member nodes), and
+//   * declustered rebuild (core::RecoveryPlanner spreads a lost
+//     domain's objects over many survivors).
+//
+// Versioning: a PoolMap carries a version number co-published with
+// placement epochs — a core::PlacementMap built from pool version v
+// records v, and sim::PlacementService refuses to publish an epoch whose
+// pool version disagrees with the installed pool map (a placement must
+// never outlive the topology it was spread against).
+//
+// Construction is strict: rack and row ids must be dense (0..R-1 /
+// 0..W-1, no gaps), every rack non-empty, every row non-empty. Script
+// files fail with source:line context, the same contract as
+// core/plan_io.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cca::sim {
+
+class PoolMap {
+ public:
+  /// Empty map (no nodes); placeholder only, not installable.
+  PoolMap() = default;
+
+  /// Every node in one rack in one row — the pre-topology cluster shape.
+  /// Domain faults degenerate to whole-cluster faults; rack/row spread
+  /// degenerates to flat.
+  static PoolMap flat(int num_nodes, std::uint64_t version = 0);
+
+  /// Uniform grid: `rows` rows x `racks_per_row` racks x
+  /// `nodes_per_rack` nodes. Node ids are assigned rack-major — rack r
+  /// holds nodes [r * nodes_per_rack, (r+1) * nodes_per_rack) — matching
+  /// how operators number contiguous machines, and making the flat
+  /// (primary+r) mod N replica tail's rack-blindness visible.
+  static PoolMap grid(int rows, int racks_per_row, int nodes_per_rack,
+                      std::uint64_t version = 0);
+
+  /// Explicit tree: `node_rack[n]` is node n's rack, `rack_row[r]` is
+  /// rack r's row. Ids must be dense and every domain non-empty
+  /// (checked).
+  static PoolMap build(std::vector<int> node_rack, std::vector<int> rack_row,
+                       std::uint64_t version = 0);
+
+  /// Parses a topology script. Format (one node per line, any order, all
+  /// of 0..N-1 exactly once; '#' starts a comment):
+  ///
+  ///   # cca-poolmap v1 nodes=<N>
+  ///   <node> <rack> <row>
+  ///
+  /// Malformed input is a hard error with `source`:line context.
+  static PoolMap from_script(std::istream& is, const std::string& source,
+                             std::uint64_t version = 0);
+
+  int num_nodes() const { return static_cast<int>(node_rack_.size()); }
+  int num_racks() const { return static_cast<int>(rack_row_.size()); }
+  int num_rows() const { return num_rows_; }
+
+  int rack_of(int node) const;
+  int row_of_rack(int rack) const;
+  int row_of(int node) const { return row_of_rack(rack_of(node)); }
+
+  /// Raw domain vectors, the shape core::PlacementMapConfig consumes.
+  const std::vector<int>& node_rack() const { return node_rack_; }
+  const std::vector<int>& rack_row() const { return rack_row_; }
+
+  /// Member nodes of one rack / row, ascending.
+  std::vector<int> rack_members(int rack) const;
+  std::vector<int> row_members(int row) const;
+
+  std::uint64_t version() const { return version_; }
+
+  /// The same tree under a new version — the republish path when the
+  /// topology is re-announced alongside a placement epoch.
+  PoolMap with_version(std::uint64_t version) const;
+
+ private:
+  std::vector<int> node_rack_;
+  std::vector<int> rack_row_;
+  int num_rows_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// Parses a `--topology` flag value: either `rows:racks:nodes` (a
+/// uniform grid — rows x racks-per-row x nodes-per-rack) or `@<path>`
+/// (a script file for PoolMap::from_script). Malformed input is a hard
+/// common::Error naming the flag and the accepted shapes.
+PoolMap parse_topology(const std::string& text, std::uint64_t version = 0);
+
+}  // namespace cca::sim

@@ -176,5 +176,100 @@ TEST_F(BenchFlags, ChurnNonmonotoneTimesAreRejected) {
   EXPECT_NE(message.find("nondecreasing"), std::string::npos) << message;
 }
 
+// ---------- hierarchical fault flags ----------
+
+FaultFlags parse_faults(std::initializer_list<const char*> flags) {
+  std::vector<const char*> argv{"bench"};
+  argv.insert(argv.end(), flags.begin(), flags.end());
+  const common::CliArgs args(static_cast<int>(argv.size()), argv.data());
+  return FaultFlags::from_cli(args);
+}
+
+std::string fault_error_of(std::initializer_list<const char*> flags) {
+  try {
+    parse_faults(flags);
+  } catch (const common::Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected common::Error";
+  return {};
+}
+
+TEST(FaultFlagsParsing, TopologyGridBuildsThePool) {
+  const FaultFlags f = parse_faults({"--topology=2:2:3"});
+  ASSERT_TRUE(f.pool);
+  EXPECT_EQ(f.pool->num_nodes(), 12);
+  EXPECT_EQ(f.pool->num_racks(), 4);
+  EXPECT_EQ(f.pool->num_rows(), 2);
+}
+
+TEST(FaultFlagsParsing, TopologyBadShapeNamesTheFlag) {
+  const std::string message = fault_error_of({"--topology=2:2"});
+  EXPECT_NE(message.find("--topology"), std::string::npos) << message;
+  EXPECT_NE(message.find("rows:racks:nodes"), std::string::npos) << message;
+}
+
+TEST(FaultFlagsParsing, ReplicaSpreadParsesAndSuggestsOnTypo) {
+  const FaultFlags f =
+      parse_faults({"--topology=1:2:2", "--replica-spread=rack"});
+  EXPECT_EQ(f.spread, core::ReplicaSpread::kRack);
+  const std::string message = fault_error_of({"--replica-spread=rak"});
+  EXPECT_NE(message.find("--replica-spread"), std::string::npos) << message;
+  EXPECT_NE(message.find("'flat', 'rack', 'row'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("did you mean 'rack'?"), std::string::npos)
+      << message;
+}
+
+TEST(FaultFlagsParsing, SpreadWithoutTopologyIsRejected) {
+  const std::string message = fault_error_of({"--replica-spread=rack"});
+  EXPECT_NE(message.find("--topology"), std::string::npos) << message;
+}
+
+TEST(FaultFlagsParsing, FaultScriptDomainEventsNeedTopology) {
+  // Node-only scripts work on flat clusters.
+  const FaultFlags node_only = parse_faults({"--fault-script=crash:10,0"});
+  EXPECT_EQ(node_only.script.size(), 1u);
+  // Rack events without a topology are rejected at parse time.
+  const std::string message = fault_error_of({"--fault-script=rack:10,0"});
+  EXPECT_NE(message.find("--topology"), std::string::npos) << message;
+  // With a topology they parse.
+  const FaultFlags f =
+      parse_faults({"--topology=1:2:2", "--fault-script=rack:10,0"});
+  EXPECT_EQ(f.script.size(), 1u);
+  EXPECT_EQ(f.script[0].domain, sim::FaultDomain::kRack);
+}
+
+TEST(FaultFlagsParsing, FaultScriptBadKindSuggests) {
+  const std::string message = fault_error_of({"--fault-script=rck:10,0"});
+  EXPECT_NE(message.find("did you mean"), std::string::npos) << message;
+}
+
+TEST(FaultFlagsParsing, DomainMttfNeedsTopology) {
+  const std::string message = fault_error_of({"--rack-mttf=1000"});
+  EXPECT_NE(message.find("--topology"), std::string::npos) << message;
+}
+
+TEST(FaultFlagsParsing, DegenerateRetryAndRebuildRejectedAtParseTime) {
+  EXPECT_NE(fault_error_of({"--base-backoff-ms=0"}).find("backoff"),
+            std::string::npos);
+  EXPECT_NE(fault_error_of({"--base-backoff-ms=-1"}).find("backoff"),
+            std::string::npos);
+  EXPECT_NE(fault_error_of({"--max-attempts=0"}).find("attempts"),
+            std::string::npos);
+  EXPECT_NE(fault_error_of({"--rebuild-mbps=0"}).find("--rebuild-mbps"),
+            std::string::npos);
+}
+
+TEST(FaultFlagsParsing, BuildScheduleHonoursTheFlagGroup) {
+  // Scripted events win over generation, and a domain event expands to
+  // its member nodes.
+  const FaultFlags f = parse_faults(
+      {"--topology=1:2:2", "--fault-script=rack:100,0;rack-recover:200,0"});
+  const sim::FaultSchedule schedule = f.build_schedule(4);
+  EXPECT_EQ(schedule.crash_count(), 2u);  // both nodes of rack 0
+  EXPECT_EQ(schedule.dead_nodes(150.0), (std::vector<int>{0, 1}));
+}
+
 }  // namespace
 }  // namespace cca::bench

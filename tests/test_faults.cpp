@@ -5,6 +5,7 @@
 // (same stats for --threads=1/2/8) are exactly what TSan should watch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -16,6 +17,7 @@
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
+#include "sim/pool_map.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -375,6 +377,220 @@ TEST(FaultReplay, HandComputedDegradedBytes) {
   EXPECT_NEAR(stats.availability, 1.0 / 3.0, 1e-12);
 }
 
+// ---------- retry policy edges & validation ----------
+
+TEST(RetryPolicy, BackoffSaturatesAtTheCap) {
+  RetryPolicy retry;
+  retry.jitter_fraction = 0.0;
+  retry.base_backoff_ms = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_ms = 8.0;
+  EXPECT_DOUBLE_EQ(retry.backoff_ms(4, 1), 8.0);
+  // Far past the cap: no overflow, still the cap.
+  EXPECT_DOUBLE_EQ(retry.backoff_ms(50, 1), 8.0);
+}
+
+TEST(RetryPolicy, SingleAttemptPolicyIsLegalAndBackoffFree) {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.jitter_fraction = 0.0;
+  retry.timeout_ms = 5.0;
+  EXPECT_NO_THROW(retry.validate());
+  // The one (failed) attempt pays its timeout and nothing else: there is
+  // no retry to back off for.
+  EXPECT_DOUBLE_EQ(retry.penalty_ms(1, 3), 5.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsDegenerateConfigs) {
+  const RetryPolicy good;
+  EXPECT_NO_THROW(good.validate());
+  RetryPolicy p = good;
+  p.base_backoff_ms = 0.0;
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.base_backoff_ms = -1.0;
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.timeout_ms = -0.5;
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.max_backoff_ms = good.base_backoff_ms / 2.0;  // cap below base
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.jitter_fraction = 1.0;
+  EXPECT_THROW(p.validate(), common::Error);
+  p = good;
+  p.backoff_multiplier = 0.5;
+  EXPECT_THROW(p.validate(), common::Error);
+}
+
+// ---------- domain faults over the pool map ----------
+
+TEST(DomainFaults, ParseFaultScriptKindsAndErrors) {
+  const std::vector<DomainFaultEvent> events =
+      parse_fault_script("crash:10,0;rack:20,1;row-recover:30,0");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].domain, FaultDomain::kNode);
+  EXPECT_EQ(events[0].kind, FaultEventKind::kCrash);
+  EXPECT_DOUBLE_EQ(events[0].time_ms, 10.0);
+  EXPECT_EQ(events[0].id, 0);
+  EXPECT_EQ(events[1].domain, FaultDomain::kRack);
+  EXPECT_EQ(events[1].kind, FaultEventKind::kCrash);
+  EXPECT_EQ(events[1].id, 1);
+  EXPECT_EQ(events[2].domain, FaultDomain::kRow);
+  EXPECT_EQ(events[2].kind, FaultEventKind::kRecover);
+  EXPECT_TRUE(parse_fault_script("").empty());
+  EXPECT_THROW(parse_fault_script("crsh:10,0"), common::Error);
+  EXPECT_THROW(parse_fault_script("crash:10"), common::Error);
+  EXPECT_THROW(parse_fault_script("crash:20,0;recover:10,0"),
+               common::Error);  // times must be nondecreasing
+}
+
+TEST(DomainFaults, RackCrashDownsEveryMemberHalfOpen) {
+  const PoolMap pool = PoolMap::build({0, 0, 0, 1, 1}, {0, 0});
+  const FaultSchedule s = FaultSchedule::from_domain_events(
+      pool, {{1000.0, FaultDomain::kRack, 0, FaultEventKind::kCrash},
+             {2000.0, FaultDomain::kRack, 0, FaultEventKind::kRecover}});
+  EXPECT_EQ(s.crash_count(), 3u);
+  for (const int n : {0, 1, 2}) {
+    EXPECT_TRUE(s.alive(n, 999.0));
+    EXPECT_FALSE(s.alive(n, 1000.0));  // dead at the crash instant
+    EXPECT_FALSE(s.alive(n, 1999.0));
+    EXPECT_TRUE(s.alive(n, 2000.0));  // alive at the recovery instant
+  }
+  for (const int n : {3, 4}) {
+    EXPECT_TRUE(s.alive(n, 1000.0));
+    EXPECT_TRUE(s.alive(n, 1500.0));
+  }
+  EXPECT_EQ(s.dead_nodes(1500.0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DomainFaults, DomainRecoveryRevivesIndividuallyCrashedMembers) {
+  const PoolMap pool = PoolMap::build({0, 0, 0, 1, 1}, {0, 0});
+  const FaultSchedule s = FaultSchedule::from_domain_events(
+      pool, {{500.0, FaultDomain::kNode, 1, FaultEventKind::kCrash},
+             {1000.0, FaultDomain::kRack, 0, FaultEventKind::kRecover}});
+  EXPECT_FALSE(s.alive(1, 750.0));
+  EXPECT_TRUE(s.alive(1, 1000.0));  // rack repair brings node 1 back
+  EXPECT_TRUE(s.alive(0, 750.0));   // never down
+}
+
+TEST(DomainFaults, RejectsNoOpsMisorderingAndBadIds) {
+  const PoolMap pool = PoolMap::build({0, 0, 0, 1, 1}, {0, 0});
+  // A node recovery with no preceding crash.
+  EXPECT_THROW(FaultSchedule::from_domain_events(
+                   pool, {{10.0, FaultDomain::kNode, 0,
+                           FaultEventKind::kRecover}}),
+               common::Error);
+  // Recovering an all-alive rack is a script bug.
+  EXPECT_THROW(FaultSchedule::from_domain_events(
+                   pool, {{10.0, FaultDomain::kRack, 0,
+                           FaultEventKind::kRecover}}),
+               common::Error);
+  // Crashing an already all-down rack is too.
+  EXPECT_THROW(
+      FaultSchedule::from_domain_events(
+          pool, {{10.0, FaultDomain::kRack, 0, FaultEventKind::kCrash},
+                 {20.0, FaultDomain::kRack, 0, FaultEventKind::kCrash}}),
+      common::Error);
+  // Domain id out of range.
+  EXPECT_THROW(FaultSchedule::from_domain_events(
+                   pool, {{10.0, FaultDomain::kRack, 7,
+                           FaultEventKind::kCrash}}),
+               common::Error);
+  EXPECT_THROW(FaultSchedule::from_domain_events(
+                   pool, {{10.0, FaultDomain::kRow, 1,
+                           FaultEventKind::kCrash}}),
+               common::Error);
+}
+
+TEST(DomainFaults, EventAtTheHorizonEdgeStaysOpenEnded) {
+  const PoolMap pool = PoolMap::flat(2);
+  // A crash with no recovery — e.g. scripted exactly at the horizon —
+  // downs the node for all later time.
+  const FaultSchedule s = FaultSchedule::from_domain_events(
+      pool, {{10000.0, FaultDomain::kRack, 0, FaultEventKind::kCrash}});
+  EXPECT_TRUE(s.alive(0, 9999.0));
+  EXPECT_FALSE(s.alive(0, 10000.0));
+  EXPECT_FALSE(s.alive(1, 1e12));
+  EXPECT_NEAR(s.downtime_fraction(0, 20000.0), 0.5, 1e-12);
+}
+
+TEST(DomainFaults, HierarchicalGenerationMatchesFlatWhenLevelsOff) {
+  FaultScheduleConfig cfg;
+  cfg.mttf_ms = 2000.0;
+  cfg.mttr_ms = 500.0;
+  cfg.horizon_ms = 30000.0;
+  cfg.seed = 42;
+  const PoolMap pool = PoolMap::grid(2, 2, 2);
+  const FaultSchedule flat = FaultSchedule::generate(8, cfg);
+  const FaultSchedule hier = FaultSchedule::generate_hierarchical(pool, cfg);
+  ASSERT_EQ(flat.events().size(), hier.events().size());
+  for (std::size_t i = 0; i < flat.events().size(); ++i) {
+    EXPECT_EQ(flat.events()[i].time_ms, hier.events()[i].time_ms);
+    EXPECT_EQ(flat.events()[i].node, hier.events()[i].node);
+    EXPECT_EQ(flat.events()[i].kind, hier.events()[i].kind);
+  }
+}
+
+TEST(DomainFaults, HierarchicalRackFaultsDownWholeRacks) {
+  FaultScheduleConfig cfg;
+  cfg.mttf_ms = 1e15;  // node level effectively off
+  cfg.rack_mttf_ms = 3000.0;
+  cfg.rack_mttr_ms = 1000.0;
+  cfg.horizon_ms = 30000.0;
+  cfg.seed = 7;
+  const PoolMap pool = PoolMap::grid(1, 2, 3);
+  const FaultSchedule s = FaultSchedule::generate_hierarchical(pool, cfg);
+  EXPECT_GT(s.crash_count(), 0u);
+  // Only whole-rack outages exist, so at every transition instant the
+  // dead set is a union of complete racks.
+  for (const FaultEvent& ev : s.events()) {
+    const std::vector<int> dead = s.dead_nodes(ev.time_ms);
+    for (int rack = 0; rack < pool.num_racks(); ++rack) {
+      int down = 0;
+      for (const int n : pool.rack_members(rack))
+        if (std::find(dead.begin(), dead.end(), n) != dead.end()) ++down;
+      EXPECT_TRUE(down == 0 || down == 3)
+          << "rack " << rack << " partially down (" << down
+          << "/3) at t=" << ev.time_ms;
+    }
+  }
+}
+
+TEST(DomainFaults, ReplayStatsBitIdenticalAcrossThreadCounts) {
+  FaultBed bed;
+  const PoolMap pool = PoolMap::build({0, 0, 0, 1, 1}, {0, 0});
+  const FaultSchedule schedule = FaultSchedule::from_domain_events(
+      pool, {{3000.0, FaultDomain::kRack, 0, FaultEventKind::kCrash},
+             {9000.0, FaultDomain::kRack, 0, FaultEventKind::kRecover}});
+
+  common::set_global_threads(1);
+  const FaultReplayStats t1 = bed.replay(&schedule, 1);
+  common::set_global_threads(2);
+  const FaultReplayStats t2 = bed.replay(&schedule, 1);
+  common::set_global_threads(8);
+  const FaultReplayStats t8 = bed.replay(&schedule, 1);
+  common::set_global_threads(2);
+
+  EXPECT_GT(t1.retries, 0u);  // the rack outage actually bites
+  for (const FaultReplayStats* other : {&t2, &t8}) {
+    EXPECT_EQ(t1.base.total_bytes, other->base.total_bytes);
+    EXPECT_EQ(t1.fully_served, other->fully_served);
+    EXPECT_EQ(t1.degraded, other->degraded);
+    EXPECT_EQ(t1.retries, other->retries);
+    EXPECT_EQ(t1.failovers, other->failovers);
+    EXPECT_EQ(t1.unserved_keywords, other->unserved_keywords);
+    EXPECT_EQ(t1.base.mean_latency_ms, other->base.mean_latency_ms);
+    EXPECT_EQ(t1.base.p99_latency_ms, other->base.p99_latency_ms);
+    EXPECT_EQ(t1.availability, other->availability);
+    EXPECT_EQ(t1.mean_coverage, other->mean_coverage);
+  }
+}
+
 }  // namespace
 }  // namespace cca::sim
 
@@ -524,6 +740,52 @@ TEST(RecoveryPlanner, DeterministicAcrossRuns) {
       RecoveryPlanner(cfg).replan(instance, current, {false, true, true});
   EXPECT_EQ(a.placement, b.placement);
   EXPECT_EQ(a.cost, b.cost);
+}
+
+// ---------- rebuild modes: successor funnel vs declustered ----------
+
+TEST(RecoveryPlanner, SuccessorModeFunnelsThroughOneSurvivor) {
+  // All four objects on dead node 0; the ring successor is node 1.
+  const CcaInstance instance = pair_instance(4);
+  const Placement current = {0, 0, 0, 0};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 1.0;
+  cfg.capacity_headroom = 2.0;
+  cfg.rebuild_mode = RebuildMode::kSuccessor;
+  const RecoveryResult r = RecoveryPlanner(cfg).replan(
+      instance, current, {false, true, true, true});
+  EXPECT_EQ(r.objects_recovered, 4u);
+  EXPECT_EQ(r.rebuild_destinations, 1);
+  for (const int node : r.placement) EXPECT_EQ(node, 1);
+  // 40 bytes through one 800 Mb/s destination (125 bytes per Mb-ms).
+  EXPECT_DOUBLE_EQ(r.rebuild_makespan_ms, 40.0 / (800.0 * 125.0));
+}
+
+TEST(RecoveryPlanner, DeclusteredRebuildSpreadsAndShrinksTheMakespan) {
+  const CcaInstance instance = pair_instance(4);
+  const Placement current = {0, 0, 0, 0};
+  RecoveryConfig cfg;
+  cfg.migration_budget_fraction = 1.0;
+  cfg.capacity_headroom = 2.0;
+  cfg.rebuild_mode = RebuildMode::kSuccessor;
+  const RecoveryResult funnel = RecoveryPlanner(cfg).replan(
+      instance, current, {false, true, true, true});
+  cfg.rebuild_mode = RebuildMode::kDeclustered;
+  const RecoveryResult spread = RecoveryPlanner(cfg).replan(
+      instance, current, {false, true, true, true});
+  EXPECT_EQ(spread.objects_recovered, 4u);
+  EXPECT_EQ(spread.rebuild_destinations, 3);  // every survivor helps
+  EXPECT_LT(spread.rebuild_makespan_ms, funnel.rebuild_makespan_ms);
+}
+
+TEST(RecoveryPlanner, RejectsNonPositiveRebuildBandwidth) {
+  const CcaInstance instance = pair_instance();
+  RecoveryConfig cfg;
+  cfg.rebuild_mbps = 0.0;
+  EXPECT_THROW(
+      RecoveryPlanner(cfg).replan(instance, {0, 0, 1, 1},
+                                  {false, true, true}),
+      common::Error);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // cost model, and tail rebalancing across cluster resizes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -301,6 +302,134 @@ TEST(PlacementMap, WithPlacementPublishesTheNextEpoch) {
   EXPECT_EQ(next.hash_tail(), HashTail::kJump);
   for (trace::KeywordId k = 0; k < 10; ++k) EXPECT_EQ(next.primary(k), 1);
   EXPECT_THROW(map.with_placement({0, 1}), common::Error);
+}
+
+// ---------- domain-aware replica spread ----------
+
+/// 2 racks x 3 nodes (rack-major: rack r holds [3r, 3r+3)), one row.
+PlacementMapConfig spread_config(ReplicaSpread spread, int degree) {
+  PlacementMapConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.degree = degree;
+  cfg.spread = spread;
+  cfg.node_rack = {0, 0, 0, 1, 1, 1};
+  cfg.rack_row = {0, 0};
+  cfg.pool_version = 3;
+  return cfg;
+}
+
+TEST(ReplicaSpread, ParseAndName) {
+  ReplicaSpread spread = ReplicaSpread::kFlat;
+  EXPECT_TRUE(parse_replica_spread("rack", &spread));
+  EXPECT_EQ(spread, ReplicaSpread::kRack);
+  EXPECT_TRUE(parse_replica_spread("row", &spread));
+  EXPECT_EQ(spread, ReplicaSpread::kRow);
+  EXPECT_TRUE(parse_replica_spread("flat", &spread));
+  EXPECT_EQ(spread, ReplicaSpread::kFlat);
+  EXPECT_FALSE(parse_replica_spread("ring", &spread));
+  EXPECT_STREQ(replica_spread_name(ReplicaSpread::kRack), "rack");
+}
+
+TEST(ReplicaSpread, RackSpreadCrossesTheRackBoundary) {
+  // Flat tails stay rack-local for small offsets; rack spread's first
+  // replica must leave the primary's rack.
+  const PlacementMap map = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 1));
+  const std::vector<int> rack = {0, 0, 0, 1, 1, 1};
+  for (trace::KeywordId k = 0; k < 6; ++k) {
+    const ReplicaSet set = map.resolve(k);
+    EXPECT_NE(rack[static_cast<std::size_t>(set.node(1))],
+              rack[static_cast<std::size_t>(set.primary)])
+        << "replica of keyword " << k << " shares the primary's rack";
+  }
+  EXPECT_EQ(map.spread(), ReplicaSpread::kRack);
+  EXPECT_EQ(map.pool_version(), 3u);
+  EXPECT_EQ(map.num_racks(), 2);
+}
+
+TEST(ReplicaSpread, DegradesGracefullyWhenRacksRunOut) {
+  // Degree 3 over 2 racks: slots 1-2 can use the other rack plus a
+  // second distinct node, slot 3 must reuse a rack — but never a node.
+  const PlacementMap map = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 3));
+  for (trace::KeywordId k = 0; k < 6; ++k) {
+    const ReplicaSet set = map.resolve(k);
+    std::vector<int> nodes;
+    for (int slot = 0; slot <= set.degree; ++slot)
+      nodes.push_back(set.node(slot));
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(std::unique(nodes.begin(), nodes.end()), nodes.end())
+        << "keyword " << k << " repeats a replica node";
+  }
+}
+
+TEST(ReplicaSpread, TailIsAFunctionOfThePrimaryOnly) {
+  // Co-placed keywords share the same replica tail, so failover keeps
+  // them co-located — the property the optimizer paid for.
+  const PlacementMap map = PlacementMap::build(
+      {2, 2, 5}, spread_config(ReplicaSpread::kRack, 2));
+  const ReplicaSet a = map.resolve(0);
+  const ReplicaSet b = map.resolve(1);
+  EXPECT_EQ(a.node(1), b.node(1));
+  EXPECT_EQ(a.node(2), b.node(2));
+}
+
+TEST(ReplicaSpread, TailsAreNestedAcrossDegrees) {
+  // The degree-1 tail is a prefix of the degree-2 tail: raising the
+  // degree only ever adds failover options (availability is monotone).
+  const PlacementMap lo = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 1));
+  const PlacementMap hi = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 2));
+  for (trace::KeywordId k = 0; k < 6; ++k)
+    EXPECT_EQ(lo.resolve(k).node(1), hi.resolve(k).node(1));
+}
+
+TEST(ReplicaSpread, FlatSpreadIsByteIdenticalToTheRing) {
+  PlacementMapConfig flat_cfg = spread_config(ReplicaSpread::kFlat, 2);
+  const PlacementMap spread_map =
+      PlacementMap::build({0, 1, 2, 3, 4, 5}, flat_cfg);
+  PlacementMapConfig ring_cfg;
+  ring_cfg.num_nodes = 6;
+  ring_cfg.degree = 2;
+  const PlacementMap ring_map =
+      PlacementMap::build({0, 1, 2, 3, 4, 5}, ring_cfg);
+  for (trace::KeywordId k = 0; k < 6; ++k)
+    for (int slot = 0; slot <= 2; ++slot)
+      EXPECT_EQ(spread_map.resolve(k).node(slot),
+                ring_map.resolve(k).node(slot));
+  EXPECT_EQ(spread_map.bytes(), ring_map.bytes());
+}
+
+TEST(ReplicaSpread, ConfigValidation) {
+  // Domain vectors sized to the cluster, spread without domains rejected.
+  PlacementMapConfig cfg = spread_config(ReplicaSpread::kRack, 1);
+  cfg.node_rack = {0, 0};  // wrong length
+  EXPECT_THROW(PlacementMap::build({0, 1, 2, 3, 4, 5}, cfg), common::Error);
+  cfg = spread_config(ReplicaSpread::kRack, 1);
+  cfg.node_rack.clear();
+  cfg.rack_row.clear();
+  EXPECT_THROW(PlacementMap::build({0, 1, 2, 3, 4, 5}, cfg), common::Error);
+}
+
+TEST(ReplicaSpread, SpreadMapsRefuseBareRebalance) {
+  // rebalanced(nodes) has no topology for the new cluster; a spread map
+  // must be rebuilt against a resized pool map instead.
+  const PlacementMap map = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 1));
+  EXPECT_THROW(map.rebalanced(8), common::Error);
+}
+
+TEST(ReplicaSpread, WithPlacementCarriesTheSpread) {
+  const PlacementMap map = PlacementMap::build(
+      {0, 1, 2, 3, 4, 5}, spread_config(ReplicaSpread::kRack, 1));
+  const PlacementMap next = map.with_placement({5, 4, 3, 2, 1, 0});
+  EXPECT_EQ(next.spread(), ReplicaSpread::kRack);
+  EXPECT_EQ(next.pool_version(), 3u);
+  const std::vector<int> rack = {0, 0, 0, 1, 1, 1};
+  const ReplicaSet set = next.resolve(0);
+  EXPECT_NE(rack[static_cast<std::size_t>(set.node(1))],
+            rack[static_cast<std::size_t>(set.primary)]);
 }
 
 }  // namespace

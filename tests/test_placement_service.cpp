@@ -11,6 +11,7 @@
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/placement_service.hpp"
+#include "sim/pool_map.hpp"
 #include "sim/replay.hpp"
 #include "trace/documents.hpp"
 #include "trace/workload.hpp"
@@ -87,6 +88,39 @@ TEST(PlacementService, PublishMustAdvanceTheEpoch) {
   EXPECT_THROW(service.publish(hashed_map(10, 4, 2)), common::Error);
   service.publish(hashed_map(10, 4, 4));
   EXPECT_EQ(service.epoch(), 4u);
+}
+
+TEST(PlacementService, PoolMapAndEpochsAreCoVersioned) {
+  // A spread placement built from pool version 2 must travel with that
+  // pool: installing a mismatched pool or publishing a stale-version
+  // epoch is refused.
+  const auto pool =
+      std::make_shared<const PoolMap>(PoolMap::grid(1, 2, 2, 2));
+  auto spread_map = [&](std::uint64_t epoch, std::uint64_t pool_version) {
+    core::PlacementMapConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.degree = 1;
+    cfg.epoch = epoch;
+    cfg.spread = core::ReplicaSpread::kRack;
+    cfg.node_rack = pool->node_rack();
+    cfg.rack_row = pool->rack_row();
+    cfg.pool_version = pool_version;
+    return std::make_shared<const core::PlacementMap>(
+        core::PlacementMap::hashed(10, cfg));
+  };
+
+  PlacementService service(spread_map(0, 2));
+  service.install_pool_map(pool);
+  EXPECT_EQ(service.pool_map()->version(), 2u);
+  // A pool whose version disagrees with the serving epoch is refused.
+  EXPECT_THROW(service.install_pool_map(std::make_shared<const PoolMap>(
+                   pool->with_version(5))),
+               common::Error);
+  // Publishing an epoch spread against a stale pool version is refused;
+  // the matching version goes through.
+  EXPECT_THROW(service.publish(spread_map(1, 1)), common::Error);
+  service.publish(spread_map(1, 2));
+  EXPECT_EQ(service.epoch(), 1u);
 }
 
 // ---------- churned replay ----------

@@ -1,0 +1,128 @@
+// PoolMap: the node -> rack -> row failure-domain tree. Construction
+// strictness (dense ids, non-empty domains, script validation),
+// accessor correctness, rack-major grid numbering, and the version
+// carried alongside placement epochs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "sim/pool_map.hpp"
+
+namespace cca::sim {
+namespace {
+
+TEST(PoolMap, FlatIsOneRackOneRow) {
+  const PoolMap pool = PoolMap::flat(5);
+  EXPECT_EQ(pool.num_nodes(), 5);
+  EXPECT_EQ(pool.num_racks(), 1);
+  EXPECT_EQ(pool.num_rows(), 1);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_EQ(pool.rack_of(n), 0);
+    EXPECT_EQ(pool.row_of(n), 0);
+  }
+  EXPECT_EQ(pool.rack_members(0), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PoolMap, GridIsRackMajor) {
+  // 2 rows x 2 racks/row x 3 nodes/rack: rack r holds [3r, 3r+3).
+  const PoolMap pool = PoolMap::grid(2, 2, 3);
+  EXPECT_EQ(pool.num_nodes(), 12);
+  EXPECT_EQ(pool.num_racks(), 4);
+  EXPECT_EQ(pool.num_rows(), 2);
+  EXPECT_EQ(pool.rack_of(0), 0);
+  EXPECT_EQ(pool.rack_of(2), 0);
+  EXPECT_EQ(pool.rack_of(3), 1);
+  EXPECT_EQ(pool.rack_of(11), 3);
+  // Racks 0,1 in row 0; racks 2,3 in row 1.
+  EXPECT_EQ(pool.row_of_rack(1), 0);
+  EXPECT_EQ(pool.row_of_rack(2), 1);
+  EXPECT_EQ(pool.row_of(5), 0);
+  EXPECT_EQ(pool.row_of(6), 1);
+  EXPECT_EQ(pool.rack_members(2), (std::vector<int>{6, 7, 8}));
+  EXPECT_EQ(pool.row_members(1), (std::vector<int>{6, 7, 8, 9, 10, 11}));
+}
+
+TEST(PoolMap, GridRejectsNonPositiveDimensions) {
+  EXPECT_THROW(PoolMap::grid(0, 2, 3), common::Error);
+  EXPECT_THROW(PoolMap::grid(2, -1, 3), common::Error);
+  EXPECT_THROW(PoolMap::grid(2, 2, 0), common::Error);
+}
+
+TEST(PoolMap, BuildValidatesDensityAndMembership) {
+  // Rack id out of range.
+  EXPECT_THROW(PoolMap::build({0, 5}, {0}), common::Error);
+  // Rack 1 declared but empty (no node maps to it).
+  EXPECT_THROW(PoolMap::build({0, 0}, {0, 0}), common::Error);
+  // Row ids with a gap: racks point at rows 0 and 2, row 1 empty.
+  EXPECT_THROW(PoolMap::build({0, 1}, {0, 2}), common::Error);
+  // No nodes at all.
+  EXPECT_THROW(PoolMap::build({}, {}), common::Error);
+  // A valid irregular tree: rack sizes 2 and 1.
+  const PoolMap pool = PoolMap::build({0, 0, 1}, {0, 0});
+  EXPECT_EQ(pool.num_nodes(), 3);
+  EXPECT_EQ(pool.num_racks(), 2);
+  EXPECT_EQ(pool.num_rows(), 1);
+  EXPECT_EQ(pool.rack_members(1), (std::vector<int>{2}));
+}
+
+TEST(PoolMap, ScriptRoundTripsAnyLineOrder) {
+  std::istringstream script(
+      "# cca-poolmap v1 nodes=4\n"
+      "# comment lines are skipped\n"
+      "3 1 0\n"
+      "0 0 0\n"
+      "2 1 0\n"
+      "1 0 0\n");
+  const PoolMap pool = PoolMap::from_script(script, "test", 7);
+  EXPECT_EQ(pool.num_nodes(), 4);
+  EXPECT_EQ(pool.num_racks(), 2);
+  EXPECT_EQ(pool.rack_of(2), 1);
+  EXPECT_EQ(pool.version(), 7u);
+}
+
+TEST(PoolMap, ScriptRejectsDuplicateAndMissingNodes) {
+  {
+    std::istringstream script(
+        "# cca-poolmap v1 nodes=2\n0 0 0\n0 0 0\n");
+    EXPECT_THROW(PoolMap::from_script(script, "dup"), common::Error);
+  }
+  {
+    std::istringstream script("# cca-poolmap v1 nodes=2\n0 0 0\n");
+    EXPECT_THROW(PoolMap::from_script(script, "missing"), common::Error);
+  }
+  {
+    std::istringstream script("not-a-header\n");
+    EXPECT_THROW(PoolMap::from_script(script, "hdr"), common::Error);
+  }
+  {
+    // Rack 0 claimed by rows 0 and 1: a rack lives in exactly one row.
+    std::istringstream script(
+        "# cca-poolmap v1 nodes=2\n0 0 0\n1 0 1\n");
+    EXPECT_THROW(PoolMap::from_script(script, "span"), common::Error);
+  }
+}
+
+TEST(PoolMap, ParseTopologyGridAndErrors) {
+  const PoolMap pool = parse_topology("2:2:3", 9);
+  EXPECT_EQ(pool.num_nodes(), 12);
+  EXPECT_EQ(pool.num_rows(), 2);
+  EXPECT_EQ(pool.version(), 9u);
+  EXPECT_THROW(parse_topology(""), common::Error);
+  EXPECT_THROW(parse_topology("2:3"), common::Error);
+  EXPECT_THROW(parse_topology("2:x:3"), common::Error);
+  EXPECT_THROW(parse_topology("0:2:3"), common::Error);
+  EXPECT_THROW(parse_topology("@/no/such/poolmap"), common::Error);
+}
+
+TEST(PoolMap, WithVersionKeepsTheTree) {
+  const PoolMap pool = PoolMap::grid(1, 2, 2, 3);
+  const PoolMap bumped = pool.with_version(4);
+  EXPECT_EQ(bumped.version(), 4u);
+  EXPECT_EQ(bumped.num_nodes(), pool.num_nodes());
+  EXPECT_EQ(bumped.node_rack(), pool.node_rack());
+  EXPECT_EQ(bumped.rack_row(), pool.rack_row());
+}
+
+}  // namespace
+}  // namespace cca::sim
