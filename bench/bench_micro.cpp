@@ -6,17 +6,24 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
 #include "core/component_solver.hpp"
 #include "core/lp_formulation.hpp"
+#include "core/placement_map.hpp"
 #include "core/rounding.hpp"
 #include "hash/md5.hpp"
 #include "lp/dense_simplex.hpp"
 #include "lp/presolve.hpp"
 #include "lp/revised_simplex.hpp"
 #include "lp/solver.hpp"
+#include "search/block_postings.hpp"
+#include "search/compression.hpp"
 #include "search/inverted_index.hpp"
+#include "search/query_engine.hpp"
+#include "trace/documents.hpp"
 #include "trace/pair_stats.hpp"
 #include "trace/workload.hpp"
 
@@ -57,6 +64,225 @@ void BM_PostingIntersection(benchmark::State& state) {
 BENCHMARK(BM_PostingIntersection)
     ->Args({1000, 1000})     // merge path
     ->Args({100, 100000});   // galloping path
+
+/// Strictly increasing posting IDs: dense (gaps 1-2, narrow block width)
+/// or sparse (gaps up to ~1M, wide block width) — the two decode regimes
+/// EXPERIMENTS.md Ablation O quotes.
+std::vector<std::uint64_t> synthetic_postings(std::size_t n, bool sparse) {
+  common::Rng rng(sparse ? 41 : 40);
+  std::vector<std::uint64_t> ids(n);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += sparse ? 1 + rng() % 1000000 : 1 + rng() % 2;
+    ids[i] = acc;
+  }
+  return ids;
+}
+
+void BM_VarintDecode(benchmark::State& state) {
+  // Scalar LEB128 gap decode (the --codec=varint ablation baseline).
+  // Bytes processed = decoded output (8 B/posting), so MB/s is directly
+  // comparable with BM_BlockDecode on the same profile.
+  const std::vector<std::uint64_t> ids = synthetic_postings(
+      static_cast<std::size_t>(state.range(0)), state.range(1) != 0);
+  const std::vector<std::uint8_t> encoded = search::compress_postings(ids);
+  std::vector<std::uint64_t> out;
+  out.reserve(ids.size());
+  for (auto _ : state) {
+    search::decompress_postings_into(encoded, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_VarintDecode)
+    ->Args({100000, 0})   // dense gaps
+    ->Args({100000, 1});  // sparse gaps
+
+void BM_BlockDecode(benchmark::State& state) {
+  // SWAR frame-of-reference decode (the serving default).
+  const std::vector<std::uint64_t> ids = synthetic_postings(
+      static_cast<std::size_t>(state.range(0)), state.range(1) != 0);
+  const search::BlockPostings blocks = search::BlockPostings::encode(ids);
+  std::vector<std::uint64_t> out;
+  out.reserve(ids.size());
+  for (auto _ : state) {
+    blocks.decode_all(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_BlockDecode)
+    ->Args({100000, 0})   // dense gaps
+    ->Args({100000, 1});  // sparse gaps
+
+/// The skewed 1:100 intersection cell shared by the three kernel benches
+/// below, so their ns/posting numbers are directly comparable.
+struct SkewedCell {
+  std::vector<std::uint64_t> small;
+  std::vector<std::uint64_t> large;
+
+  static SkewedCell build(std::size_t na, std::size_t nb) {
+    common::Rng rng(7);
+    SkewedCell cell;
+    cell.small.reserve(na);
+    cell.large.reserve(nb);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < nb; ++i) {
+      acc += 1 + rng() % 32;
+      cell.large.push_back(acc);
+      // ~na/nb of the large list also lands in the small list, so the
+      // intersection is non-trivial in every kernel.
+      if (rng() % (nb / na) == 0 && cell.small.size() < na)
+        cell.small.push_back(acc);
+    }
+    while (cell.small.size() < na) {
+      acc += 1 + rng() % 32;
+      cell.small.push_back(acc);
+    }
+    return cell;
+  }
+};
+
+void BM_IntersectMerge(benchmark::State& state) {
+  // Classic two-pointer sorted merge — the baseline the block-max kernel
+  // is measured against on the same 1:100 cell.
+  const SkewedCell cell =
+      SkewedCell::build(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+  std::vector<std::uint64_t> out;
+  out.reserve(cell.small.size());
+  for (auto _ : state) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < cell.small.size() && j < cell.large.size()) {
+      if (cell.small[i] < cell.large[j]) {
+        ++i;
+      } else if (cell.large[j] < cell.small[i]) {
+        ++j;
+      } else {
+        out.push_back(cell.small[i]);
+        ++i;
+        ++j;
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          (state.range(0) + state.range(1)));
+}
+BENCHMARK(BM_IntersectMerge)->Args({1000, 100000});
+
+void BM_IntersectGallop(benchmark::State& state) {
+  // Span kernel (small drives, lower_bound gallop into the large list).
+  const SkewedCell cell =
+      SkewedCell::build(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+  std::vector<std::uint64_t> out;
+  out.reserve(cell.small.size());
+  for (auto _ : state) {
+    search::intersect_into(cell.small.data(), cell.small.size(),
+                           cell.large.data(), cell.large.size(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          (state.range(0) + state.range(1)));
+}
+BENCHMARK(BM_IntersectGallop)->Args({1000, 100000});
+
+void BM_IntersectBlockMax(benchmark::State& state) {
+  // Block-max skipping over the compressed large list, warm decoded-block
+  // cache: the serving-path configuration.
+  const SkewedCell cell =
+      SkewedCell::build(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+  const search::BlockPostings blocks =
+      search::BlockPostings::encode(cell.large);
+  search::DecodedBlockCache cache;
+  cache.begin_epoch(1);
+  std::vector<std::uint64_t> out;
+  out.reserve(cell.small.size());
+  for (auto _ : state) {
+    search::intersect_with_blocks(cell.small.data(), cell.small.size(),
+                                  blocks, 0, &cache, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          (state.range(0) + state.range(1)));
+}
+BENCHMARK(BM_IntersectBlockMax)->Args({1000, 100000});
+
+void BM_ResolveBatch(benchmark::State& state) {
+  // Steady-state batched execution: one engine + scratch over a testbed
+  // trace against a hashed placement — the replay inner loop without the
+  // replay bookkeeping. Also the one-pass sizing regression gate: with
+  // metrics on, each keyword must be sized exactly once per execution
+  // (search.postings.sized == search.postings.fetched).
+  trace::CorpusConfig corpus_cfg;
+  corpus_cfg.num_documents = 3000;
+  corpus_cfg.vocabulary_size = 2000;
+  corpus_cfg.mean_distinct_words = 60.0;
+  corpus_cfg.seed = 5;
+  const search::InvertedIndex index =
+      search::InvertedIndex::build(trace::Corpus::generate(corpus_cfg));
+
+  trace::WorkloadConfig query_cfg;
+  query_cfg.vocabulary_size = 2000;
+  query_cfg.num_topics = 100;
+  query_cfg.seed = 5;
+  const trace::QueryTrace trace =
+      trace::WorkloadModel(query_cfg).generate(
+          static_cast<std::size_t>(state.range(0)), 5);
+
+  core::PlacementMapConfig map_cfg;
+  map_cfg.num_nodes = 16;
+  const core::PlacementMap map = core::PlacementMap::hashed(2000, map_cfg);
+  const auto placement = [&map](trace::KeywordId k) {
+    return map.resolve(k);
+  };
+
+  const search::QueryEngine engine(index);
+  std::size_t max_width = 0;
+  for (std::size_t q = 0; q < trace.size(); ++q)
+    max_width = std::max(max_width, trace[q].size());
+  search::QueryScratch scratch;
+  scratch.reserve(max_width, engine.max_postings());
+  scratch.begin_epoch(map.cache_token());
+
+  const auto run_batch = [&] {
+    std::uint64_t bytes = 0;
+    for (std::size_t q = 0; q < trace.size(); ++q)
+      bytes +=
+          engine.execute_intersection(trace[q], placement, {}, &scratch)
+              .bytes_transferred;
+    return bytes;
+  };
+
+  // One-pass regression assert (runs once, outside the timed loop): the
+  // metrics-on path must size each keyword exactly once per execution.
+  {
+    auto& reg = common::MetricsRegistry::global();
+    common::Counter& sized = reg.counter("search.postings.sized");
+    common::Counter& fetched = reg.counter("search.postings.fetched");
+    reg.set_enabled(true);
+    sized.reset();
+    fetched.reset();
+    run_batch();
+    CCA_CHECK_MSG(sized.total() == fetched.total(),
+                  "metrics-on path sized keywords "
+                      << sized.total() << " times for " << fetched.total()
+                      << " fetches — sizing must be one pass per query");
+    reg.set_enabled(false);
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ResolveBatch)->Arg(2000);
 
 void BM_PairCounting(benchmark::State& state) {
   trace::WorkloadConfig cfg;

@@ -35,6 +35,7 @@
 #include "core/partial_optimizer.hpp"
 #include "core/placement_map.hpp"
 #include "lp/solver.hpp"
+#include "search/block_postings.hpp"
 #include "search/inverted_index.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
@@ -121,6 +122,18 @@ struct TestbedConfig {
     const std::string tail = args.get_string("hash-tail", "");
     if (!tail.empty() && !core::parse_hash_tail(tail, &cfg.hash_tail))
       enum_error("hash-tail", tail, {"md5", "jump"});
+    // --codec={block,varint}: the posting codec every QueryEngine built
+    // from this process uses. Answer-invariant by construction (both
+    // codecs decode to the same ID sequence; the cost model is
+    // untouched) — it selects the serving data plane's speed, with
+    // varint kept as the ablation baseline.
+    const std::string codec = args.get_string("codec", "");
+    if (!codec.empty()) {
+      search::PostingCodec posting_codec;
+      if (!search::parse_posting_codec(codec, &posting_codec))
+        enum_error("codec", codec, {"block", "varint"});
+      search::set_default_posting_codec(posting_codec);
+    }
     cfg.churn = sim::parse_churn_script(args.get_string("churn", ""));
     const std::string pricing = args.get_string("lp-pricing", "");
     if (!pricing.empty()) {

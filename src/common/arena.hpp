@@ -1,0 +1,55 @@
+// Reusable scratch arenas for steady-state allocation-free hot loops.
+//
+// The replay data plane executes tens of thousands of queries per shard;
+// letting every query heap-allocate its intermediate buffers (decoded
+// postings, running intersections, execution orders) turns the hot loop
+// into an allocator benchmark. A ScratchArena is the alternative: a
+// buffer that grows monotonically to its high-water mark and is then
+// reused allocation-free. Callers reserve once (per shard, sized from
+// trace-wide maxima) and the steady-state loop performs zero heap
+// allocations — asserted by tests/test_zero_alloc.cpp through the
+// operator-new counting hook.
+//
+// Not thread-safe; the intended pattern is one arena per replay shard.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cca::common {
+
+/// A typed scratch buffer with vector semantics but an explicit contract:
+/// capacity only grows, clear() never frees, and acquire() hands out a
+/// writable prefix without value-initialization cost beyond first touch.
+template <typename T>
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  /// Grows capacity (never shrinks). The canonical warmup call.
+  void reserve(std::size_t n) { storage_.reserve(n); }
+
+  /// A writable buffer of exactly `n` elements (previous contents
+  /// unspecified). Grows capacity when needed; steady-state calls with
+  /// n <= capacity() allocate nothing.
+  T* acquire(std::size_t n) {
+    storage_.resize(n);
+    return storage_.data();
+  }
+
+  /// The underlying vector, for append-style producers (clear() +
+  /// push_back below capacity allocates nothing).
+  std::vector<T>& vec() { return storage_; }
+  const std::vector<T>& vec() const { return storage_; }
+
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  std::size_t size() const { return storage_.size(); }
+  std::size_t capacity() const { return storage_.capacity(); }
+  void clear() { storage_.clear(); }
+
+ private:
+  std::vector<T> storage_;
+};
+
+}  // namespace cca::common

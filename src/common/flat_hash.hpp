@@ -12,6 +12,7 @@
 // packs two distinct 32-bit IDs, so high word != low word).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -48,6 +49,14 @@ class FlatCounter64 {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Removes every entry while keeping the slot array (no allocation);
+  /// lets epoch-scoped consumers (search::DecodedBlockCache) reset
+  /// without paying the regrow on the next fill.
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    size_ = 0;
+  }
   /// Bytes held by the slot array (the table's whole footprint).
   std::size_t memory_bytes() const { return slots_.capacity() * sizeof(Slot); }
 

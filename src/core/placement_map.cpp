@@ -1,6 +1,7 @@
 #include "core/placement_map.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "hash/md5.hpp"
 
@@ -103,12 +104,20 @@ void check_config(const PlacementMapConfig& config) {
     CCA_CHECK_MSG(row >= 0, "rack row id " << row << " is negative");
 }
 
+/// Fresh cache_token() value; monotonic so no two maps in a process ever
+/// share one (see the accessor's contract).
+std::uint64_t next_cache_token() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 PlacementMap PlacementMap::build(const std::vector<int>& keyword_to_node,
                                  const PlacementMapConfig& config) {
   check_config(config);
   PlacementMap map;
+  map.cache_token_ = next_cache_token();
   map.primary_ = keyword_to_node;
   map.pinned_.assign(keyword_to_node.size(), 0);
   map.num_nodes_ = config.num_nodes;
@@ -137,6 +146,7 @@ PlacementMap PlacementMap::hashed(std::size_t vocabulary,
                                   const PlacementMapConfig& config) {
   check_config(config);
   PlacementMap map;
+  map.cache_token_ = next_cache_token();
   map.primary_.resize(vocabulary);
   map.pinned_.assign(vocabulary, 0);
   map.num_nodes_ = config.num_nodes;
@@ -233,6 +243,7 @@ PlacementMap PlacementMap::rebalanced(int new_num_nodes) const {
                     << "'-spread map to a bare node count — the new nodes "
                        "have no rack; rebuild from a resized pool map");
   PlacementMap next;
+  next.cache_token_ = next_cache_token();
   next.primary_.resize(primary_.size());
   next.pinned_.assign(primary_.size(), 0);
   next.num_nodes_ = new_num_nodes;

@@ -221,6 +221,16 @@ class PlacementMap {
   }
 
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Process-unique identity of this placement view, for epoch-scoped
+  /// caches (search::DecodedBlockCache::begin_epoch). Epoch numbers alone
+  /// can collide across unrelated maps (two independent builds both start
+  /// at epoch 0), so every factory — build/hashed/rebalanced/
+  /// with_placement — draws a fresh token from a global counter. Purely a
+  /// cache key: never serialized, never compared across runs, and it
+  /// affects wall-clock only, never results.
+  std::uint64_t cache_token() const { return cache_token_; }
+
   int num_nodes() const { return num_nodes_; }
   int degree() const { return degree_; }
   HashTail hash_tail() const { return hash_tail_; }
@@ -277,6 +287,7 @@ class PlacementMap {
   int degree_ = 0;
   HashTail hash_tail_ = HashTail::kMd5;
   std::uint64_t epoch_ = 0;
+  std::uint64_t cache_token_ = 0;
   ReplicaSpread spread_ = ReplicaSpread::kFlat;
   std::vector<int> node_rack_;  // empty when flat
   std::vector<int> rack_row_;   // empty when flat

@@ -60,19 +60,25 @@ std::vector<std::uint8_t> compress_postings(
 
 std::vector<std::uint64_t> decompress_postings(
     const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint64_t> ids;
+  decompress_postings_into(bytes, ids);
+  return ids;
+}
+
+void decompress_postings_into(const std::vector<std::uint8_t>& bytes,
+                              std::vector<std::uint64_t>& out) {
   const std::uint8_t* p = bytes.data();
   const std::uint8_t* end = bytes.data() + bytes.size();
   const std::uint64_t count = varint_decode(&p, end);
-  std::vector<std::uint64_t> ids;
-  ids.reserve(count);
+  out.clear();
+  out.reserve(count);
   std::uint64_t current = 0;
   for (std::uint64_t t = 0; t < count; ++t) {
     const std::uint64_t delta = varint_decode(&p, end);
     current = t == 0 ? delta : current + delta;
-    ids.push_back(current);
+    out.push_back(current);
   }
   CCA_CHECK_MSG(p == end, "trailing bytes after postings");
-  return ids;
 }
 
 std::vector<std::uint64_t> compressed_index_sizes(

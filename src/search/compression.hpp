@@ -36,6 +36,12 @@ std::vector<std::uint8_t> compress_postings(
 std::vector<std::uint64_t> decompress_postings(
     const std::vector<std::uint8_t>& bytes);
 
+/// decompress_postings into a caller-owned buffer: reuses `out`'s
+/// capacity, so steady-state decode loops (the --codec=varint serving
+/// lane) allocate nothing once the buffer reached its high-water mark.
+void decompress_postings_into(const std::vector<std::uint8_t>& bytes,
+                              std::vector<std::uint64_t>& out);
+
 /// Per-keyword compressed byte sizes for a whole index, computed after
 /// remapping the (MD5-random) document IDs to dense ordinals 0..D-1 — the
 /// remap is what makes gaps small, exactly as a production docid space

@@ -17,33 +17,64 @@ bool PostingList::contains(std::uint64_t id) const {
   return std::binary_search(doc_ids_.begin(), doc_ids_.end(), id);
 }
 
-PostingList intersect(const PostingList& a, const PostingList& b) {
-  const PostingList& small = a.size() <= b.size() ? a : b;
-  const PostingList& large = a.size() <= b.size() ? b : a;
-  std::vector<std::uint64_t> out;
-  out.reserve(small.size());
+void intersect_into(const std::uint64_t* a, std::size_t na,
+                    const std::uint64_t* b, std::size_t nb,
+                    std::vector<std::uint64_t>& out) {
+  out.clear();
+  const std::uint64_t* small = a;
+  std::size_t nsmall = na;
+  const std::uint64_t* large = b;
+  std::size_t nlarge = nb;
+  if (nsmall > nlarge) {
+    std::swap(small, large);
+    std::swap(nsmall, nlarge);
+  }
 
-  if (large.size() > small.size() * 16) {
-    // Galloping: binary-search each small element in the large list.
-    auto begin = large.ids().begin();
-    for (std::uint64_t id : small.ids()) {
-      begin = std::lower_bound(begin, large.ids().end(), id);
-      if (begin == large.ids().end()) break;
-      if (*begin == id) out.push_back(id);
+  if (nlarge > nsmall * 16) {
+    // Galloping: binary-search each small element in the large list,
+    // restarting from the previous hit position.
+    const std::uint64_t* begin = large;
+    const std::uint64_t* end = large + nlarge;
+    for (std::size_t i = 0; i < nsmall; ++i) {
+      begin = std::lower_bound(begin, end, small[i]);
+      if (begin == end) break;
+      if (*begin == small[i]) out.push_back(small[i]);
     }
   } else {
-    std::set_intersection(small.ids().begin(), small.ids().end(),
-                          large.ids().begin(), large.ids().end(),
-                          std::back_inserter(out));
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < nsmall && j < nlarge) {
+      if (small[i] < large[j]) {
+        ++i;
+      } else if (large[j] < small[i]) {
+        ++j;
+      } else {
+        out.push_back(small[i]);
+        ++i;
+        ++j;
+      }
+    }
   }
+}
+
+void unite_into(const std::uint64_t* a, std::size_t na,
+                const std::uint64_t* b, std::size_t nb,
+                std::vector<std::uint64_t>& out) {
+  out.clear();
+  std::set_union(a, a + na, b, b + nb, std::back_inserter(out));
+}
+
+PostingList intersect(const PostingList& a, const PostingList& b) {
+  std::vector<std::uint64_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  intersect_into(a.ids().data(), a.size(), b.ids().data(), b.size(), out);
   return PostingList(std::move(out));
 }
 
 PostingList unite(const PostingList& a, const PostingList& b) {
   std::vector<std::uint64_t> out;
   out.reserve(a.size() + b.size());
-  std::set_union(a.ids().begin(), a.ids().end(), b.ids().begin(),
-                 b.ids().end(), std::back_inserter(out));
+  unite_into(a.ids().data(), a.size(), b.ids().data(), b.size(), out);
   return PostingList(std::move(out));
 }
 

@@ -39,6 +39,18 @@ PostingList intersect(const PostingList& a, const PostingList& b);
 /// Union of two posting lists (for union-like aggregation operations).
 PostingList unite(const PostingList& a, const PostingList& b);
 
+/// Allocation-free span forms of the kernels above, for callers that own
+/// reusable scratch (search::QueryScratch): `out` is clear()ed and filled,
+/// growing only past its high-water mark. Inputs must be sorted and unique
+/// and must not alias `out`. intersect_into picks sorted-merge or
+/// galloping by the same 16x size-ratio rule as intersect().
+void intersect_into(const std::uint64_t* a, std::size_t na,
+                    const std::uint64_t* b, std::size_t nb,
+                    std::vector<std::uint64_t>& out);
+void unite_into(const std::uint64_t* a, std::size_t na,
+                const std::uint64_t* b, std::size_t nb,
+                std::vector<std::uint64_t>& out);
+
 /// Keyword -> posting-list map over a fixed vocabulary.
 class InvertedIndex {
  public:

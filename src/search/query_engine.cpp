@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "search/bloom.hpp"
+#include "search/compression.hpp"
 
 namespace cca::search {
 
@@ -15,6 +16,7 @@ namespace {
 struct SearchMetrics {
   common::Counter& postings_fetched;
   common::Counter& postings_bytes;
+  common::Counter& postings_sized;
   common::Counter& bloom_wins;
   common::Counter& bloom_classic;
   common::Counter& bloom_saved_bytes;
@@ -25,6 +27,7 @@ struct SearchMetrics {
       return new SearchMetrics{
           reg.counter("search.postings.fetched"),
           reg.counter("search.postings.bytes"),
+          reg.counter("search.postings.sized"),
           reg.counter("search.bloom.wins"),
           reg.counter("search.bloom.classic"),
           reg.counter("search.bloom.saved_bytes"),
@@ -44,82 +47,104 @@ inline void record_postings(const trace::Query& query,
   m.postings_bytes.add(static_cast<std::int64_t>(total_bytes));
 }
 
-/// Hot-path execution order: (bytes, keyword) pairs, ascending by size
-/// with ties by keyword ID — the paper's smallest-two-first scheme.
-/// Queries average ~2.5 keywords, so the order lives in a stack buffer
-/// (no per-call allocation) with sizes computed once, not re-derived
-/// inside the sort comparator.
-struct SizedKeyword {
-  std::uint64_t bytes = 0;
-  trace::KeywordId id = 0;
-};
-
-constexpr std::size_t kInlineKeywords = 16;
-
-class ExecutionOrder {
- public:
-  template <typename BytesOf>
-  ExecutionOrder(const std::vector<trace::KeywordId>& keywords,
-                 const BytesOf& bytes_of) {
-    size_ = keywords.size();
-    SizedKeyword* order = inline_buffer_;
-    if (size_ > kInlineKeywords) {
-      heap_buffer_.resize(size_);
-      order = heap_buffer_.data();
-    }
-    for (std::size_t i = 0; i < size_; ++i)
-      order[i] = SizedKeyword{bytes_of(keywords[i]), keywords[i]};
-    std::sort(order, order + size_,
-              [](const SizedKeyword& a, const SizedKeyword& b) {
-                return a.bytes != b.bytes ? a.bytes < b.bytes : a.id < b.id;
-              });
-    order_ = order;
-  }
-
-  const SizedKeyword& operator[](std::size_t i) const { return order_[i]; }
-  std::size_t size() const { return size_; }
-
- private:
-  SizedKeyword inline_buffer_[kInlineKeywords];
-  std::vector<SizedKeyword> heap_buffer_;
-  const SizedKeyword* order_ = nullptr;
-  std::size_t size_ = 0;
-};
-
 }  // namespace
+
+void QueryScratch::reserve(std::size_t max_query_keywords,
+                           std::size_t max_list_postings) {
+  order_.reserve(max_query_keywords);
+  run_a_.reserve(max_list_postings);
+  run_b_.reserve(max_list_postings);
+  list_a_.reserve(max_list_postings);
+  list_b_.reserve(max_list_postings);
+}
+
+QueryEngine::QueryEngine(const InvertedIndex& index)
+    : QueryEngine(index, default_posting_codec()) {}
+
+QueryEngine::QueryEngine(const InvertedIndex& index, PostingCodec codec)
+    : index_(&index), compressed_(index, codec) {}
 
 QueryEngine::QueryEngine(const InvertedIndex& index,
                          std::vector<std::uint64_t> keyword_bytes)
-    : index_(&index), keyword_bytes_(std::move(keyword_bytes)) {
+    : index_(&index),
+      keyword_bytes_(std::move(keyword_bytes)),
+      compressed_(index, default_posting_codec()) {
   CCA_CHECK_MSG(keyword_bytes_.size() == index.vocabulary_size(),
                 "keyword_bytes must cover the whole vocabulary");
 }
 
+std::uint64_t QueryEngine::bytes_of(trace::KeywordId k) const {
+  // `sized` counts sizing passes; the bench_micro one-pass regression
+  // assert checks it stays equal to `fetched` (each keyword of each query
+  // sized exactly once, never re-derived for metrics or ordering).
+  if (common::metrics_enabled()) SearchMetrics::get().postings_sized.add();
+  return keyword_bytes_.empty() ? index_->postings(k).size_bytes()
+                                : keyword_bytes_[k];
+}
+
+void QueryEngine::size_keywords(const trace::Query& query, QueryScratch& s,
+                                bool sorted) const {
+  s.order_.clear();
+  std::uint64_t total = 0;
+  for (trace::KeywordId k : query.keywords) {
+    const std::uint64_t bytes = bytes_of(k);
+    total += bytes;
+    s.order_.vec().push_back(SizedKeyword{bytes, k});
+  }
+  record_postings(query, total);
+  if (sorted)
+    std::sort(s.order_.vec().begin(), s.order_.vec().end(),
+              [](const SizedKeyword& a, const SizedKeyword& b) {
+                return a.bytes != b.bytes ? a.bytes < b.bytes : a.id < b.id;
+              });
+}
+
+void QueryEngine::decode_full(trace::KeywordId k,
+                              std::vector<std::uint64_t>& out) const {
+  compressed_.decode(k, out);
+}
+
+void QueryEngine::intersect_step(const std::uint64_t* a, std::size_t na,
+                                 trace::KeywordId k, QueryScratch& s,
+                                 std::vector<std::uint64_t>& out) const {
+  if (compressed_.codec() == PostingCodec::kBlock) {
+    intersect_with_blocks(a, na, compressed_.blocks(k), k, &s.cache_, out);
+  } else {
+    decompress_postings_into(compressed_.varint(k), s.list_b_.vec());
+    intersect_into(a, na, s.list_b_.data(), s.list_b_.size(), out);
+  }
+}
+
+void QueryEngine::first_intersection(trace::KeywordId a, trace::KeywordId b,
+                                     QueryScratch& s) const {
+  // Decode the shorter list, stream the longer one's blocks.
+  if (compressed_.postings_count(a) > compressed_.postings_count(b))
+    std::swap(a, b);
+  decode_full(a, s.list_a_.vec());
+  intersect_step(s.list_a_.data(), s.list_a_.size(), b, s, s.run_a_.vec());
+}
+
 QueryCost QueryEngine::execute_intersection(const trace::Query& query,
                                             PlacementRef placement,
-                                            TransferObserverRef observer) const {
+                                            TransferObserverRef observer,
+                                            QueryScratch* scratch) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
-  if (common::metrics_enabled()) {
-    std::uint64_t total = 0;
-    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
-    record_postings(query, total);
-  }
-
   if (query.keywords.size() == 1) {
-    cost.result_size = index_->postings(query.keywords[0]).size();
+    const trace::KeywordId k = query.keywords[0];
+    if (common::metrics_enabled()) record_postings(query, bytes_of(k));
+    cost.result_size = compressed_.postings_count(k);
     return cost;
   }
 
-  const ExecutionOrder order(query.keywords, [this](trace::KeywordId k) {
-    return bytes_of(k);
-  });
+  QueryScratch local;  // allocation-free to construct
+  QueryScratch& s = scratch ? *scratch : local;
+  size_keywords(query, s, /*sorted=*/true);
+  const std::vector<SizedKeyword>& order = s.order_.vec();
 
   // Step 1: the two smallest lists. The smaller ships to the larger's
   // primary — unless some replica of one already lives at the other's
   // primary (full-degree sets live everywhere), which makes the step free.
-  const PostingList& first = index_->postings(order[0].id);
-  const PostingList& second = index_->postings(order[1].id);
   const core::ReplicaSet set0 = placement(order[0].id);
   const core::ReplicaSet set1 = placement(order[1].id);
   int current_node;
@@ -137,52 +162,56 @@ QueryCost QueryEngine::execute_intersection(const trace::Query& query,
     cost.local = false;
     if (observer) observer(set0.primary, current_node, shipped);
   }
-  PostingList running = intersect(first, second);
+  first_intersection(order[0].id, order[1].id, s);
 
-  // Step 2: fold in the remaining keywords; the running intersection (which
-  // only shrinks) travels to each keyword's primary when no replica is
-  // already co-located with it.
+  // Step 2: fold in the remaining keywords; the running intersection
+  // (which only shrinks) travels to each keyword's primary when no
+  // replica is already co-located with it.
+  std::vector<std::uint64_t>* run = &s.run_a_.vec();
+  std::vector<std::uint64_t>* other = &s.run_b_.vec();
   for (std::size_t t = 2; t < order.size(); ++t) {
     const core::ReplicaSet set = placement(order[t].id);
+    const std::uint64_t running_bytes = 8 * run->size();
     if (!set.contains(current_node)) {
-      cost.bytes_transferred += running.size_bytes();
+      cost.bytes_transferred += running_bytes;
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(current_node, set.primary, running.size_bytes());
+      if (observer) observer(current_node, set.primary, running_bytes);
       current_node = set.primary;
     }
-    running = intersect(running, index_->postings(order[t].id));
+    intersect_step(run->data(), run->size(), order[t].id, s, *other);
+    std::swap(run, other);
   }
 
-  cost.result_size = running.size();
+  cost.result_size = run->size();
   return cost;
 }
 
 QueryCost QueryEngine::execute_intersection_bloom(
     const trace::Query& query, PlacementRef placement, double bits_per_key,
-    TransferObserverRef observer) const {
+    TransferObserverRef observer, QueryScratch* scratch) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
-  if (common::metrics_enabled()) {
-    std::uint64_t total = 0;
-    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
-    record_postings(query, total);
-  }
-
   if (query.keywords.size() == 1) {
-    cost.result_size = index_->postings(query.keywords[0]).size();
+    const trace::KeywordId k = query.keywords[0];
+    if (common::metrics_enabled()) record_postings(query, bytes_of(k));
+    cost.result_size = compressed_.postings_count(k);
     return cost;
   }
 
-  const ExecutionOrder order(query.keywords, [this](trace::KeywordId k) {
-    return bytes_of(k);
-  });
+  QueryScratch local;
+  QueryScratch& s = scratch ? *scratch : local;
+  size_keywords(query, s, /*sorted=*/true);
+  const std::vector<SizedKeyword>& order = s.order_.vec();
 
-  const PostingList& small = index_->postings(order[0].id);
-  const PostingList& large = index_->postings(order[1].id);
+  // Both lists materialize here: the Bloom option needs the small list's
+  // IDs for the filter and the large list's for the exact survivor count.
+  decode_full(order[0].id, s.list_a_.vec());  // small (by wire bytes)
+  decode_full(order[1].id, s.list_b_.vec());  // large
+  intersect_into(s.list_a_.data(), s.list_a_.size(), s.list_b_.data(),
+                 s.list_b_.size(), s.run_a_.vec());
   const core::ReplicaSet small_set = placement(order[0].id);
   const core::ReplicaSet large_set = placement(order[1].id);
-  PostingList running = intersect(small, large);
   int current_node;
   bool apart = false;
   if (large_set.everywhere()) {
@@ -203,9 +232,9 @@ QueryCost QueryEngine::execute_intersection_bloom(
     // Option B (Bloom): filter over the small list travels out; the large
     // list's survivors travel back (8 B each). Exact survivor count from
     // the actual filter, not the textbook estimate.
-    const BloomFilter filter = BloomFilter::build(small.ids(), bits_per_key);
+    const BloomFilter filter = BloomFilter::build(s.list_a_.vec(), bits_per_key);
     std::uint64_t candidates = 0;
-    for (std::uint64_t id : large.ids())
+    for (std::uint64_t id : s.list_b_.vec())
       if (filter.maybe_contains(id)) ++candidates;
     const std::uint64_t bloom_bytes = filter.size_bytes() + 8 * candidates;
 
@@ -234,60 +263,69 @@ QueryCost QueryEngine::execute_intersection_bloom(
   // Remaining keywords: the running intersection is already small, so the
   // classic ship-the-running-result step is used (a Bloom round trip
   // cannot beat shipping a list that is at most the filter's size).
+  std::vector<std::uint64_t>* run = &s.run_a_.vec();
+  std::vector<std::uint64_t>* other = &s.run_b_.vec();
   for (std::size_t t = 2; t < order.size(); ++t) {
     const core::ReplicaSet set = placement(order[t].id);
+    const std::uint64_t running_bytes = 8 * run->size();
     if (!set.contains(current_node)) {
-      cost.bytes_transferred += running.size_bytes();
+      cost.bytes_transferred += running_bytes;
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(current_node, set.primary, running.size_bytes());
+      if (observer) observer(current_node, set.primary, running_bytes);
       current_node = set.primary;
     }
-    running = intersect(running, index_->postings(order[t].id));
+    intersect_step(run->data(), run->size(), order[t].id, s, *other);
+    std::swap(run, other);
   }
 
-  cost.result_size = running.size();
+  cost.result_size = run->size();
   return cost;
 }
 
 QueryCost QueryEngine::execute_union(const trace::Query& query,
                                      PlacementRef placement,
-                                     TransferObserverRef observer) const {
+                                     TransferObserverRef observer,
+                                     QueryScratch* scratch) const {
   CCA_CHECK(!query.keywords.empty());
   QueryCost cost;
-  if (common::metrics_enabled()) {
-    std::uint64_t total = 0;
-    for (trace::KeywordId k : query.keywords) total += bytes_of(k);
-    record_postings(query, total);
-  }
+
+  QueryScratch local;
+  QueryScratch& s = scratch ? *scratch : local;
+  size_keywords(query, s, /*sorted=*/false);  // union keeps query order
 
   // Destination: the primary of the largest NOT-fully-replicated object
   // (Sec. 3.2); full-degree keywords are present everywhere and never
   // determine or pay for transfers.
   int dest = -1;
   std::uint64_t largest_bytes = 0;
-  for (trace::KeywordId k : query.keywords) {
-    const core::ReplicaSet set = placement(k);
+  for (const SizedKeyword& sk : s.order_.vec()) {
+    const core::ReplicaSet set = placement(sk.id);
     if (set.everywhere()) continue;
-    if (dest < 0 || bytes_of(k) > largest_bytes) {
+    if (dest < 0 || sk.bytes > largest_bytes) {
       dest = set.primary;
-      largest_bytes = bytes_of(k);
+      largest_bytes = sk.bytes;
     }
   }
   if (dest < 0) dest = 0;  // everything replicated: free union
 
-  PostingList running;
-  for (trace::KeywordId k : query.keywords) {
-    const core::ReplicaSet set = placement(k);
+  s.run_a_.clear();
+  std::vector<std::uint64_t>* run = &s.run_a_.vec();
+  std::vector<std::uint64_t>* other = &s.run_b_.vec();
+  for (const SizedKeyword& sk : s.order_.vec()) {
+    const core::ReplicaSet set = placement(sk.id);
     if (!set.contains(dest)) {
-      cost.bytes_transferred += bytes_of(k);
+      cost.bytes_transferred += sk.bytes;
       ++cost.messages;
       cost.local = false;
-      if (observer) observer(set.primary, dest, bytes_of(k));
+      if (observer) observer(set.primary, dest, sk.bytes);
     }
-    running = unite(running, index_->postings(k));
+    decode_full(sk.id, s.list_a_.vec());
+    unite_into(run->data(), run->size(), s.list_a_.data(), s.list_a_.size(),
+               *other);
+    std::swap(run, other);
   }
-  cost.result_size = running.size();
+  cost.result_size = run->size();
   return cost;
 }
 

@@ -16,8 +16,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/function_ref.hpp"
 #include "core/placement_map.hpp"
+#include "search/block_postings.hpp"
 #include "search/inverted_index.hpp"
 #include "trace/trace.hpp"
 
@@ -52,9 +54,52 @@ struct QueryCost {
   bool local = true;
 };
 
+/// One keyword with its on-the-wire size — the execution-order unit.
+struct SizedKeyword {
+  std::uint64_t bytes = 0;
+  trace::KeywordId id = 0;
+};
+
+/// Reusable per-shard execution state: the intersection ping-pong
+/// buffers, full-decode scratch, execution order, and the decoded-block
+/// cache. One instance per replay shard (not thread-safe); reserve() once
+/// from batch-wide maxima and the steady-state query loop performs zero
+/// heap allocations (asserted by tests/test_zero_alloc.cpp). Callers that
+/// pass no scratch get a per-call local one — same results, per-query
+/// allocation cost.
+class QueryScratch {
+ public:
+  QueryScratch() = default;
+
+  /// Pre-sizes every buffer: the widest query and the longest posting
+  /// list the batch will touch (QueryEngine::max_postings()).
+  void reserve(std::size_t max_query_keywords,
+               std::size_t max_list_postings);
+
+  /// Binds the decoded-block cache to a placement epoch
+  /// (core::PlacementMap::cache_token()); a token change invalidates it.
+  /// Results are byte-identical warm or cold — only wall-clock differs.
+  void begin_epoch(std::uint64_t cache_token) {
+    cache_.begin_epoch(cache_token);
+  }
+
+  DecodedBlockCache& cache() { return cache_; }
+
+ private:
+  friend class QueryEngine;
+  common::ScratchArena<SizedKeyword> order_;  // (bytes, id) execution order
+  common::ScratchArena<std::uint64_t> run_a_;  // running-result ping-pong pair
+  common::ScratchArena<std::uint64_t> run_b_;
+  common::ScratchArena<std::uint64_t> list_a_;  // full-decode scratch
+  common::ScratchArena<std::uint64_t> list_b_;
+  DecodedBlockCache cache_;
+};
+
 class QueryEngine {
  public:
-  explicit QueryEngine(const InvertedIndex& index) : index_(&index) {}
+  /// Uses the process-wide default codec (block unless --codec=varint).
+  explicit QueryEngine(const InvertedIndex& index);
+  QueryEngine(const InvertedIndex& index, PostingCodec codec);
 
   /// `keyword_bytes[k]` overrides the on-the-wire size of keyword k's
   /// posting list (e.g. compressed sizes from search/compression.hpp);
@@ -67,12 +112,14 @@ class QueryEngine {
   /// Intersection-like execution (multi-keyword AND search).
   QueryCost execute_intersection(const trace::Query& query,
                                  PlacementRef placement,
-                                 TransferObserverRef observer = {}) const;
+                                 TransferObserverRef observer = {},
+                                 QueryScratch* scratch = nullptr) const;
 
   /// Union-like execution (result aggregation across datasets): all lists
   /// move to the largest object's node.
   QueryCost execute_union(const trace::Query& query, PlacementRef placement,
-                          TransferObserverRef observer = {}) const;
+                          TransferObserverRef observer = {},
+                          QueryScratch* scratch = nullptr) const;
 
   /// Intersection with Bloom-assisted remote steps (cf. the paper's
   /// companion work [13]): when the two smallest lists are apart, the
@@ -82,18 +129,44 @@ class QueryEngine {
   /// the whole list. Per step the engine picks whichever is cheaper, so
   /// this never costs more than execute_intersection. Results are exact —
   /// false positives are eliminated in the final local intersection.
+  /// (The Bloom filter itself is built per remote step, so this path is
+  /// not allocation-free.)
   QueryCost execute_intersection_bloom(
       const trace::Query& query, PlacementRef placement,
-      double bits_per_key = 8.0, TransferObserverRef observer = {}) const;
+      double bits_per_key = 8.0, TransferObserverRef observer = {},
+      QueryScratch* scratch = nullptr) const;
+
+  /// The execution-side compressed index (built at construction).
+  const CompressedIndex& compressed() const { return compressed_; }
+  /// Longest posting list — what QueryScratch::reserve needs.
+  std::size_t max_postings() const { return compressed_.max_postings(); }
 
  private:
-  std::uint64_t bytes_of(trace::KeywordId k) const {
-    return keyword_bytes_.empty() ? index_->postings(k).size_bytes()
-                                  : keyword_bytes_[k];
-  }
+  std::uint64_t bytes_of(trace::KeywordId k) const;
+
+  /// Fills s.order_ with (bytes, id) per keyword — the single sizing
+  /// pass per query — and records the postings metrics. Sorted ascending
+  /// (bytes, id) when `sorted`; query order otherwise (union path).
+  void size_keywords(const trace::Query& query, QueryScratch& s,
+                     bool sorted) const;
+
+  /// Decodes keyword k's full list into `out` under the active codec.
+  void decode_full(trace::KeywordId k, std::vector<std::uint64_t>& out) const;
+
+  /// out = {a} ∩ postings(k): streams k's blocks (block-max skip or
+  /// per-block merge by size ratio, through s's cache) under the block
+  /// codec; decodes then merges/gallops under varint. Clobbers s.list_b_.
+  void intersect_step(const std::uint64_t* a, std::size_t na,
+                      trace::KeywordId k, QueryScratch& s,
+                      std::vector<std::uint64_t>& out) const;
+
+  /// s.run_a_ = postings(a) ∩ postings(b), decoding only the shorter list.
+  void first_intersection(trace::KeywordId a, trace::KeywordId b,
+                          QueryScratch& s) const;
 
   const InvertedIndex* index_;
   std::vector<std::uint64_t> keyword_bytes_;  // empty = raw 8 B/posting
+  CompressedIndex compressed_;
 };
 
 }  // namespace cca::search

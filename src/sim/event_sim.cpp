@@ -19,10 +19,33 @@ struct Transfer {
   std::uint64_t bytes = 0;
 };
 
-/// One in-flight query: its arrival time and remaining transfer chain.
+/// Transfer chains stored as one flat arena plus per-chain [begin, end)
+/// spans — one allocation amortized across every chain, instead of a
+/// vector per query.
+struct ChainStore {
+  std::vector<Transfer> transfers;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+
+  std::uint32_t open() {
+    spans.push_back({static_cast<std::uint32_t>(transfers.size()),
+                     static_cast<std::uint32_t>(transfers.size())});
+    return static_cast<std::uint32_t>(spans.size() - 1);
+  }
+  void close() {
+    spans.back().second = static_cast<std::uint32_t>(transfers.size());
+  }
+  std::uint32_t length(std::uint32_t chain) const {
+    return spans[chain].second - spans[chain].first;
+  }
+  const Transfer& step(std::uint32_t chain, std::uint32_t s) const {
+    return transfers[spans[chain].first + s];
+  }
+};
+
+/// One in-flight query: its arrival time and its chain in the store.
 struct PendingQuery {
   double arrival_ms = 0.0;
-  const std::vector<Transfer>* chain = nullptr;
+  std::uint32_t chain = 0;
 };
 
 /// Event: a query step becomes ready to transmit.
@@ -62,15 +85,26 @@ EventSimStats simulate_load(const Cluster& cluster,
   const auto placement = [&map](trace::KeywordId k) {
     return map.resolve(k);
   };
-  std::vector<std::vector<Transfer>> chains(faulty ? 0 : trace.size());
+  std::size_t max_width = 0;
+  for (std::size_t q = 0; q < trace.size(); ++q)
+    max_width = std::max(max_width, trace[q].size());
+  search::QueryScratch scratch;
+  scratch.reserve(max_width, engine.max_postings());
+  scratch.begin_epoch(map.cache_token());
+  const auto record_chain = [](ChainStore& store) {
+    return [&store](int from, int to, std::uint64_t bytes) {
+      (void)to;
+      store.transfers.push_back({from, bytes});
+    };
+  };
+  ChainStore chains;
   if (!faulty) {
+    chains.spans.reserve(trace.size());
     for (std::size_t q = 0; q < trace.size(); ++q) {
-      engine.execute_intersection(
-          trace[q], placement,
-          [&](int from, int to, std::uint64_t bytes) {
-            (void)to;
-            chains[q].push_back({from, bytes});
-          });
+      chains.open();
+      engine.execute_intersection(trace[q], placement, record_chain(chains),
+                                  &scratch);
+      chains.close();
     }
   }
 
@@ -82,18 +116,19 @@ EventSimStats simulate_load(const Cluster& cluster,
   for (std::size_t q = 0; q < config.num_queries; ++q) {
     clock += -std::log(1.0 - rng.next_double()) * mean_gap_ms;
     queries[q].arrival_ms = clock;
-    if (!faulty) queries[q].chain = &chains[q % trace.size()];
+    if (!faulty)
+      queries[q].chain = static_cast<std::uint32_t>(q % trace.size());
   }
 
   // --- Fault path: resolve each arrival's chain against the liveness
   // snapshot at its arrival instant. Retry penalties delay the query's
   // start (client-side time, no NIC occupancy). ---
   EventSimStats stats;
-  std::vector<std::vector<Transfer>> fault_chains;
+  ChainStore fault_chains;
   std::vector<double> penalties;
   double coverage_sum = 0.0;
   if (faulty) {
-    fault_chains.resize(config.num_queries);
+    fault_chains.spans.reserve(config.num_queries);
     penalties.assign(config.num_queries, 0.0);
     const int num_nodes = cluster.num_nodes();
     const int degree = map.degree();
@@ -101,6 +136,8 @@ EventSimStats simulate_load(const Cluster& cluster,
     std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
     trace::Query sub;
     std::vector<core::ReplicaSet> resolved;
+    sub.keywords.reserve(max_width);
+    resolved.reserve(max_width);
     const auto sub_placement = [&](trace::KeywordId k) {
       for (std::size_t i = 0; i < sub.keywords.size(); ++i)
         if (sub.keywords[i] == k) return resolved[i];
@@ -145,12 +182,11 @@ EventSimStats simulate_load(const Cluster& cluster,
           resolved.push_back(core::ReplicaSet::single(node));
         }
       }
+      const std::uint32_t chain = fault_chains.open();
       if (!sub.keywords.empty())
-        engine.execute_intersection(
-            sub, sub_placement, [&](int from, int to, std::uint64_t bytes) {
-              (void)to;
-              fault_chains[q].push_back({from, bytes});
-            });
+        engine.execute_intersection(sub, sub_placement,
+                                    record_chain(fault_chains), &scratch);
+      fault_chains.close();
       const double coverage =
           query.size() == 0
               ? 1.0
@@ -163,9 +199,10 @@ EventSimStats simulate_load(const Cluster& cluster,
         ++stats.degraded;
       else
         ++stats.failed;
-      queries[q].chain = &fault_chains[q];
+      queries[q].chain = chain;
     }
   }
+  const ChainStore& store = faulty ? fault_chains : chains;
 
   // --- Event loop: non-preemptive FIFO per sender NIC. ---
   const double bytes_per_ms = config.nic_mbps * 1000.0 / 8.0;
@@ -181,7 +218,7 @@ EventSimStats simulate_load(const Cluster& cluster,
 
   for (std::size_t q = 0; q < config.num_queries; ++q) {
     const double penalty = faulty ? penalties[q] : 0.0;
-    if (queries[q].chain->empty()) {
+    if (store.length(queries[q].chain) == 0) {
       // Fully local (or fully unserved): no network time, only whatever
       // retry penalty the query burned discovering dead replicas.
       latencies.push_back(penalty);
@@ -200,7 +237,7 @@ EventSimStats simulate_load(const Cluster& cluster,
     const ReadyEvent ev = events.top();
     events.pop();
     const PendingQuery& query = queries[ev.query];
-    const Transfer& transfer = (*query.chain)[ev.step];
+    const Transfer& transfer = store.step(query.chain, ev.step);
 
     const double start = std::max(ev.ready_ms, nic_free[transfer.from]);
     const double tx =
@@ -209,7 +246,7 @@ EventSimStats simulate_load(const Cluster& cluster,
     nic_busy[transfer.from] += tx;
     const double delivered = start + tx + config.per_message_ms;
 
-    if (ev.step + 1 < query.chain->size()) {
+    if (ev.step + 1 < store.length(query.chain)) {
       events.push({delivered, ev.query, ev.step + 1});
     } else {
       latencies.push_back(delivered - query.arrival_ms);

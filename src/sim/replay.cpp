@@ -21,6 +21,15 @@ namespace {
 /// load-balance a 40k-query default trace across a pool.
 constexpr std::size_t kShardGrain = 1024;
 
+/// Widest query in the trace — the up-front reserve for per-shard scratch
+/// (execution order, fault sub-query buffers), so the shard loops never
+/// grow a buffer mid-query.
+std::size_t max_query_width(const std::vector<trace::Query>& queries) {
+  std::size_t width = 0;
+  for (const trace::Query& q : queries) width = std::max(width, q.size());
+  return width;
+}
+
 struct Shard {
   ClusterDelta delta;
   ReplayStats partial;  // counter fields only; aggregates filled later
@@ -40,6 +49,7 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
           : search::QueryEngine(index, std::move(keyword_bytes));
   const std::vector<trace::Query>& queries = trace.queries();
   const bool parallel_fanout = kind == OperationKind::kUnion;
+  const std::size_t max_width = max_query_width(queries);
 
   // The trace is sharded across the pool. Each shard replays its query
   // range with a private ClusterDelta and private per-query vectors; the
@@ -60,6 +70,12 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
     const auto placement = [&map](trace::KeywordId k) {
       return map.resolve(k);
     };
+    // Shard-owned execution scratch: decoded-block cache bound to this
+    // placement epoch plus reusable intersection buffers, so the query
+    // loop below is allocation-free once warm.
+    search::QueryScratch scratch;
+    scratch.reserve(max_width, engine.max_postings());
+    scratch.begin_epoch(map.cache_token());
     // Per-query latency accumulates through the observer: transfers
     // arrive in plan order, summed for sequential intersection steps and
     // maxed for the union fan-out.
@@ -77,15 +93,16 @@ ReplayStats replay_trace(Cluster& cluster, const search::InvertedIndex& index,
       search::QueryCost cost;
       switch (kind) {
         case OperationKind::kIntersection:
-          cost = engine.execute_intersection(query, placement, observer);
+          cost = engine.execute_intersection(query, placement, observer,
+                                             &scratch);
           break;
         case OperationKind::kIntersectionBloom:
           cost = engine.execute_intersection_bloom(query, placement,
                                                    /*bits_per_key=*/8.0,
-                                                   observer);
+                                                   observer, &scratch);
           break;
         case OperationKind::kUnion:
-          cost = engine.execute_union(query, placement, observer);
+          cost = engine.execute_union(query, placement, observer, &scratch);
           break;
       }
       ++shard.partial.queries;
@@ -212,6 +229,7 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
   const search::QueryEngine engine(index);
   const core::PlacementMap& map = cluster.map();
   const std::vector<trace::Query>& queries = trace.queries();
+  const std::size_t max_width = max_query_width(queries);
   const int num_nodes = cluster.num_nodes();
   const int degree = map.degree();
   const bool fully_replicated = degree == num_nodes - 1;
@@ -241,9 +259,15 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
     std::vector<char> alive(static_cast<std::size_t>(num_nodes), 1);
     // Scratch per query: the served sub-query and its resolved sets — the
     // full (everywhere) set for fully replicated keywords, else the
-    // singleton of whichever replica answered.
+    // singleton of whichever replica answered. Reserved to the trace's
+    // widest query so the loop never grows them.
     trace::Query sub;
     std::vector<core::ReplicaSet> resolved;  // parallel to sub.keywords
+    sub.keywords.reserve(max_width);
+    resolved.reserve(max_width);
+    search::QueryScratch scratch;
+    scratch.reserve(max_width, engine.max_postings());
+    scratch.begin_epoch(map.cache_token());
 
     double query_latency = 0.0;
     const bool parallel_fanout = config.kind == OperationKind::kUnion;
@@ -313,14 +337,15 @@ FaultReplayStats replay_trace_with_faults(Cluster& cluster,
       if (!sub.keywords.empty()) {
         switch (config.kind) {
           case OperationKind::kIntersection:
-            cost = engine.execute_intersection(sub, placement, observer);
+            cost = engine.execute_intersection(sub, placement, observer,
+                                               &scratch);
             break;
           case OperationKind::kIntersectionBloom:
             cost = engine.execute_intersection_bloom(
-                sub, placement, /*bits_per_key=*/8.0, observer);
+                sub, placement, /*bits_per_key=*/8.0, observer, &scratch);
             break;
           case OperationKind::kUnion:
-            cost = engine.execute_union(sub, placement, observer);
+            cost = engine.execute_union(sub, placement, observer, &scratch);
             break;
         }
       }

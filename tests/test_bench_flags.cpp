@@ -12,6 +12,7 @@
 #include "common/cli.hpp"
 #include "lp/solution.hpp"
 #include "lp/solver.hpp"
+#include "search/block_postings.hpp"
 
 namespace cca::bench {
 namespace {
@@ -27,6 +28,7 @@ class BenchFlags : public ::testing::Test {
     dual_lane_ = lp::default_dual_lane();
     presolve_ = lp::default_presolve();
     kind_ = lp::default_solver_kind();
+    codec_ = search::default_posting_codec();
   }
   void TearDown() override {
     lp::set_default_pricing(pricing_);
@@ -35,6 +37,7 @@ class BenchFlags : public ::testing::Test {
     lp::set_default_dual_lane(dual_lane_);
     lp::set_default_presolve(presolve_);
     lp::set_default_solver_kind(kind_);
+    search::set_default_posting_codec(codec_);
   }
 
   static TestbedConfig parse(std::initializer_list<const char*> flags) {
@@ -61,6 +64,7 @@ class BenchFlags : public ::testing::Test {
   bool dual_lane_ = false;
   bool presolve_ = false;
   lp::SolverKind kind_{};
+  search::PostingCodec codec_{};
 };
 
 TEST_F(BenchFlags, LpBackendAcceptsAllFiveValues) {
@@ -129,6 +133,24 @@ TEST_F(BenchFlags, LpWarmStartBadValueSuggests) {
   const std::string message = error_of({"--lp-warm-start=offf"});
   EXPECT_NE(message.find("--lp-warm-start"), std::string::npos) << message;
   EXPECT_NE(message.find("did you mean 'off'?"), std::string::npos)
+      << message;
+}
+
+TEST_F(BenchFlags, CodecAcceptsBothValuesAndDefaultsToBlock) {
+  parse({});
+  EXPECT_EQ(search::default_posting_codec(), search::PostingCodec::kBlock);
+  parse({"--codec=varint"});
+  EXPECT_EQ(search::default_posting_codec(), search::PostingCodec::kVarint);
+  parse({"--codec=block"});
+  EXPECT_EQ(search::default_posting_codec(), search::PostingCodec::kBlock);
+}
+
+TEST_F(BenchFlags, CodecBadValueNamesFlagAndSuggests) {
+  const std::string message = error_of({"--codec=blok"});
+  EXPECT_NE(message.find("--codec"), std::string::npos) << message;
+  EXPECT_NE(message.find("'blok'"), std::string::npos) << message;
+  EXPECT_NE(message.find("'varint'"), std::string::npos) << message;
+  EXPECT_NE(message.find("did you mean 'block'?"), std::string::npos)
       << message;
 }
 
