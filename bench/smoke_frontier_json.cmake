@@ -1,0 +1,24 @@
+# Smoke contract: bench_strategy_frontier's --json dump is valid JSON
+# with the per-cell schema, covers the full (qlen x strategy) grid, and
+# shows the hypergraph headline — on long-query workloads (mean >= 4)
+# the hypergraph partitioner strictly beats multilevel and greedy on the
+# rate-weighted lambda-1 objective at comparable capacity feasibility.
+# Driven by ctest as
+#   cmake -DBENCH=... -DTB_ARGS=... -DPYTHON=... -DCHECKER=...
+#         -DOUT_DIR=... -P <this>
+set(grid_file ${OUT_DIR}/smoke_frontier_grid.json)
+
+execute_process(
+  COMMAND ${BENCH} ${TB_ARGS} --json=${grid_file}
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_strategy_frontier failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${grid_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "frontier grid contract failed: ${out}${err}")
+endif()
+message(STATUS "${out}")

@@ -4,6 +4,18 @@
 
 namespace cca::common {
 
+std::uint64_t named_stream_seed(std::uint64_t seed, std::string_view label) {
+  // FNV-1a over the label bytes: a stable 64-bit name for the stream.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  // One SplitMix64 step over seed ^ name scrambles the combination so
+  // nearby seeds under different labels share no low-bit structure.
+  return SplitMix64(seed ^ h)();
+}
+
 std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) {
   CCA_CHECK(bound > 0);
   // Lemire's multiply-shift rejection method: unbiased and branch-light.

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace cca::common {
 
@@ -91,5 +92,18 @@ class Xoshiro256StarStar {
 
 /// The library-wide default generator alias.
 using Rng = Xoshiro256StarStar;
+
+/// Derives the seed of a named component stream from one user-facing seed.
+/// `label` is absorbed byte-by-byte (FNV-1a) and the result finalized
+/// through the SplitMix64 mixer, so
+///   * distinct labels give statistically independent streams even when
+///     components share the same `seed`, and
+///   * a component's stream depends only on its own label — registering a
+///     new named stream never shifts an existing one.
+/// Components that seed themselves from a user seed should route through
+/// this instead of ad-hoc XOR constants (which risk colliding when two
+/// components run in one process):
+///   common::Rng rng(common::named_stream_seed(seed, "core.multilevel"));
+std::uint64_t named_stream_seed(std::uint64_t seed, std::string_view label);
 
 }  // namespace cca::common

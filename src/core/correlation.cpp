@@ -1,6 +1,7 @@
 #include "core/correlation.hpp"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -79,6 +80,26 @@ std::vector<KeywordPairWeight> mine_pair_weights(
   trace::StreamMiner stream(miner.sketch);
   stream.observe_trace(trace, pair_mode_of(model), &index_sizes);
   return build_pair_weights(stream, index_sizes);
+}
+
+std::vector<KeywordHyperedge> build_hyperedges(
+    const trace::QueryTrace& trace) {
+  // Queries arrive with sorted distinct keywords (QueryTrace::add_query
+  // canonicalizes), so the keyword vector itself is the aggregation key.
+  // std::map keeps the output deterministically sorted by pin set.
+  std::map<std::vector<trace::KeywordId>, std::size_t> counts;
+  for (const trace::Query& q : trace.queries()) {
+    if (q.size() < 2) continue;
+    ++counts[q.keywords];
+  }
+  std::vector<KeywordHyperedge> out;
+  out.reserve(counts.size());
+  const double rate_unit =
+      trace.empty() ? 0.0 : 1.0 / static_cast<double>(trace.size());
+  for (auto& [pins, count] : counts)
+    out.push_back(
+        KeywordHyperedge{pins, static_cast<double>(count) * rate_unit});
+  return out;
 }
 
 std::vector<trace::KeywordId> importance_ranking(

@@ -82,6 +82,21 @@ std::vector<KeywordPairWeight> mine_pair_weights(
     const std::vector<std::uint64_t>& index_sizes, OperationModel model,
     const MinerOptions& miner);
 
+/// A multi-keyword operation kept whole: the distinct keywords of one
+/// observed query shape and the rate at which it was asked. This is the
+/// information the pairwise collapse throws away — the input of the
+/// hypergraph strategy (core/hypergraph.hpp).
+struct KeywordHyperedge {
+  std::vector<trace::KeywordId> pins;  // distinct, sorted ascending
+  double weight = 0.0;                 // empirical rate (queries / trace)
+};
+
+/// Aggregates the trace's multi-keyword queries into weighted hyperedges:
+/// one edge per distinct keyword set, weight = (occurrences / trace
+/// size). Single-keyword queries are dropped (they never communicate).
+/// Deterministic: edges are sorted by pin set.
+std::vector<KeywordHyperedge> build_hyperedges(const trace::QueryTrace& trace);
+
 /// Sec. 4.2 keyword importance ranking (most important first). Covers the
 /// whole vocabulary.
 std::vector<trace::KeywordId> importance_ranking(

@@ -1,0 +1,83 @@
+// Multilevel hypergraph partitioning — whole queries, not just pairs.
+//
+// The paper collapses every k-keyword query to pairwise correlations via
+// the two-smallest-objects adjustment (core/correlation.hpp), so every
+// pairwise strategy — the LP included — optimizes an approximation that
+// degrades as mean query length grows past the trace's ~2.54. A query is
+// really a *hyperedge*: the set of objects one operation touches. This
+// module partitions that hypergraph directly, following the
+// partitioning-for-placement line of Golab et al. (Distributed Data
+// Placement via Graph Partitioning) and the METIS/hMETIS multilevel
+// scheme:
+//
+//   1. COARSEN: heavy-edge matching on pin co-membership (score of a
+//      candidate pair = sum over shared nets of weight / (|net| - 1)),
+//      contracting matched vertices and then contracting/deduplicating
+//      nets per level (pins remapped, single-pin nets dropped, identical
+//      pin sets merged with weights summed);
+//   2. PLACE: greedy capacity-respecting placement of the coarsest
+//      hypergraph, big vertices first, each to the node already holding
+//      the most incident net weight among nodes with room;
+//   3. UNCOARSEN + REFINE: project each level back and improve with
+//      FM-style single-vertex moves under capacity, maximizing the drop
+//      in the rate-weighted connectivity-minus-one objective
+//
+//          sum_e weight(e) * (lambda(e) - 1),
+//
+//      lambda(e) = number of distinct nodes hosting e's pins, with ties
+//      broken by clique-expansion affinity (zero-gain moves still drift
+//      pins toward co-members, letting a later sweep collapse the net).
+//      For 2-pin nets lambda - 1 is the cut indicator, so on a pairwise
+//      instance this degenerates to a weighted graph partitioner.
+//
+// Pins and per-node capacities are honoured exactly like
+// multilevel_placement; when a node cannot be drained below capacity the
+// overflow spills deterministically and is surfaced through the
+// core.hypergraph.capacity_violations metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "trace/trace.hpp"
+
+namespace cca::core {
+
+struct HypergraphOptions {
+  /// Stop coarsening once this few vertices remain (or matching stalls).
+  int coarsen_to = 64;
+  /// Refinement sweeps per uncoarsening level. Plateau (zero-lambda-gain)
+  /// moves drift pins toward co-members, so later sweeps can collapse
+  /// nets the first sweep could not.
+  int refinement_passes = 6;
+  /// Independent V-cycles per run; the one with the best exact
+  /// lambda-minus-one cost (feasible first) wins. Heavy-edge matching is
+  /// greedy and seed-sensitive, so best-of-N is markedly more robust
+  /// than a single cycle.
+  int restarts = 4;
+  /// Seed for matching and tie-breaking order (routed through the
+  /// "core.hypergraph" named stream — see common/rng.hpp).
+  std::uint64_t seed = 1;
+};
+
+/// Partitions `instance`'s objects over its nodes, minimizing the
+/// rate-weighted lambda-minus-one objective over
+/// `instance.hyperedges()`. When the instance carries no hyperedges the
+/// pairwise view is lifted instead (each pair becomes a 2-pin net of
+/// weight r*w), making the result a multilevel graph partitioner on the
+/// paper's objective. Honours pins; strives for capacity feasibility and
+/// always returns a complete placement.
+Placement hypergraph_placement(const CcaInstance& instance,
+                               const HypergraphOptions& options = {});
+
+/// Rate-weighted lambda-minus-one cost of a full-vocabulary placement
+/// against a query trace: mean over queries of (distinct nodes touched
+/// by the query's keywords - 1). The end-to-end quality metric of the
+/// strategy frontier bench — computable for ANY strategy's plan, so
+/// pairwise and hypergraph placements are comparable on the true
+/// whole-query objective.
+double trace_lambda_cost(const trace::QueryTrace& trace,
+                         const std::vector<NodeId>& keyword_to_node);
+
+}  // namespace cca::core

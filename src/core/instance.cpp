@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "common/check.hpp"
 
@@ -56,6 +57,49 @@ void CcaInstance::add_resource(Resource resource) {
     CCA_CHECK_MSG(c >= 0.0 && std::isfinite(c),
                   "bad capacity in resource '" << resource.name << "'");
   resources_.push_back(std::move(resource));
+}
+
+void CcaInstance::set_hyperedges(std::vector<Hyperedge> edges) {
+  // Canonicalize: sorted distinct pins, >= 2 of them, merged duplicates.
+  std::map<std::vector<ObjectId>, double> merged;
+  for (Hyperedge& e : edges) {
+    CCA_CHECK_MSG(e.weight >= 0.0 && std::isfinite(e.weight),
+                  "bad hyperedge weight " << e.weight);
+    std::sort(e.pins.begin(), e.pins.end());
+    e.pins.erase(std::unique(e.pins.begin(), e.pins.end()), e.pins.end());
+    for (ObjectId pin : e.pins)
+      CCA_CHECK_MSG(pin >= 0 && pin < num_objects(),
+                    "hyperedge pin " << pin << " outside [0, "
+                                     << num_objects() << ")");
+    if (e.pins.size() < 2 || e.weight <= 0.0) continue;
+    merged[std::move(e.pins)] += e.weight;
+  }
+  hyperedges_.clear();
+  hyperedges_.reserve(merged.size());
+  for (auto& [pins, weight] : merged)
+    hyperedges_.push_back(Hyperedge{pins, weight});
+}
+
+double CcaInstance::connectivity_cost(const Placement& placement) const {
+  CCA_CHECK(static_cast<int>(placement.size()) == num_objects());
+  double cost = 0.0;
+  std::vector<NodeId> nodes;
+  for (const Hyperedge& e : hyperedges_) {
+    nodes.clear();
+    for (ObjectId pin : e.pins) nodes.push_back(placement[pin]);
+    std::sort(nodes.begin(), nodes.end());
+    const auto lambda =
+        std::unique(nodes.begin(), nodes.end()) - nodes.begin();
+    cost += e.weight * static_cast<double>(lambda - 1);
+  }
+  return cost;
+}
+
+double CcaInstance::total_connectivity_cost() const {
+  double cost = 0.0;
+  for (const Hyperedge& e : hyperedges_)
+    cost += e.weight * static_cast<double>(e.degree() - 1);
+  return cost;
 }
 
 std::vector<double> CcaInstance::resource_loads(const Placement& placement,

@@ -38,6 +38,21 @@ struct PairWeight {
 /// A complete (integral) placement: object index -> node index.
 using Placement = std::vector<NodeId>;
 
+/// One multi-object operation as a *hyperedge*: the distinct objects it
+/// touches (pins, sorted ascending) and its rate weight (how often the
+/// operation runs). Under a placement the edge costs
+/// weight * (lambda - 1), where lambda is the number of distinct nodes
+/// its pins land on — the connectivity-minus-one objective of multilevel
+/// hypergraph partitioning. Pairwise correlations are the 2-pin special
+/// case; keeping the full pin set avoids the two-smallest-objects
+/// approximation that degrades as operations grow past ~2 objects.
+struct Hyperedge {
+  std::vector<ObjectId> pins;
+  double weight = 0.0;
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
 /// An additional per-node capacity dimension (Sec. 3.3): e.g. network
 /// bandwidth or CPU. Each object demands `demands[i]` of the resource;
 /// each node offers `capacities[k]`. Handled exactly like storage: one
@@ -74,6 +89,24 @@ class CcaInstance {
   void add_resource(Resource resource);
   const std::vector<Resource>& resources() const { return resources_; }
 
+  /// Installs the whole-operation view of the workload: one weighted
+  /// hyperedge per distinct multi-object operation. Pins are validated,
+  /// deduplicated, and sorted; edges left with fewer than two pins are
+  /// dropped (a single-object operation never communicates); identical
+  /// pin sets merge, weights summed. Pairwise `pairs()` stay untouched —
+  /// strategies choose which view they optimize.
+  void set_hyperedges(std::vector<Hyperedge> edges);
+  const std::vector<Hyperedge>& hyperedges() const { return hyperedges_; }
+  bool has_hyperedges() const { return !hyperedges_.empty(); }
+
+  /// Rate-weighted connectivity-minus-one objective of `placement` over
+  /// the installed hyperedges: sum_e weight(e) * (lambda(e) - 1).
+  double connectivity_cost(const Placement& placement) const;
+
+  /// Upper bound on connectivity_cost: every pin on its own node
+  /// (sum of weight * (degree - 1)). Normalization denominator.
+  double total_connectivity_cost() const;
+
   /// Per-node demand totals of resource `r` under `placement`.
   std::vector<double> resource_loads(const Placement& placement,
                                      std::size_t r) const;
@@ -99,6 +132,7 @@ class CcaInstance {
   std::vector<double> sizes_;
   std::vector<double> capacities_;
   std::vector<PairWeight> pairs_;
+  std::vector<Hyperedge> hyperedges_;
   std::vector<std::optional<NodeId>> pins_;
   std::vector<Resource> resources_;
   double total_size_ = 0.0;

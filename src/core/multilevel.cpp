@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 
 namespace cca::core {
@@ -210,10 +211,19 @@ void refine(const Graph& g, const std::vector<double>& capacities,
 
   // Rebalance pass: gain moves never evict from an overloaded node on
   // their own (overload is invisible to the cut objective), so explicitly
-  // drain nodes above capacity, cheapest evictions first.
+  // drain nodes above capacity, cheapest evictions first. When no
+  // capacity-respecting destination exists the overflow must still
+  // surface — silently returning an over-capacity node poisons every
+  // downstream feasibility check — so the smallest unpinned object spills
+  // to the least-loaded node (deterministic tie-break: lowest index) and
+  // the event is counted in core.multilevel.capacity_violations.
+  static common::Counter& capacity_violations =
+      common::MetricsRegistry::global().counter(
+          "core.multilevel.capacity_violations");
   for (int k = 0; k < N; ++k) {
-    int guard = g.n;
-    while (load[k] > capacities[k] && guard-- > 0) {
+    // Terminates without a guard: every iteration moves one object off
+    // node k or proves none is movable.
+    while (load[k] > capacities[k]) {
       int victim = -1;
       NodeId victim_dest = -1;
       double victim_loss = 0.0;
@@ -231,10 +241,29 @@ void refine(const Graph& g, const std::vector<double>& capacities,
           }
         }
       }
-      if (victim < 0) break;  // nothing movable: give up on this node
-      load[k] -= g.vweight[victim];
-      load[victim_dest] += g.vweight[victim];
-      part[victim] = victim_dest;
+      if (victim < 0) {
+        // No destination has room. Spill the smallest unpinned object to
+        // the least-loaded other node so the overflow is spread (and
+        // visible there) rather than silently parked on k.
+        int spill = -1;
+        for (int v = 0; v < g.n; ++v) {
+          if (part[v] != k || g.pin[v]) continue;
+          if (spill < 0 || g.vweight[v] < g.vweight[spill]) spill = v;
+        }
+        capacity_violations.add();
+        // Everything on k pinned, or nowhere else to spill: unavoidable.
+        if (spill < 0 || N < 2) break;
+        NodeId dest = k == 0 ? 1 : 0;
+        for (int t = 0; t < N; ++t)
+          if (t != k && load[t] < load[dest]) dest = t;
+        load[k] -= g.vweight[spill];
+        load[dest] += g.vweight[spill];
+        part[spill] = dest;
+      } else {
+        load[k] -= g.vweight[victim];
+        load[victim_dest] += g.vweight[victim];
+        part[victim] = victim_dest;
+      }
     }
   }
 }
@@ -244,7 +273,9 @@ void refine(const Graph& g, const std::vector<double>& capacities,
 Placement multilevel_placement(const CcaInstance& instance,
                                const MultilevelOptions& options) {
   CCA_CHECK(options.coarsen_to >= 2);
-  common::Rng rng(options.seed ^ 0x4D554C5449ULL);
+  // Named stream: running multilevel and hypergraph in one process under
+  // one user seed must never replay the same random sequence.
+  common::Rng rng(common::named_stream_seed(options.seed, "core.multilevel"));
 
   // --- Coarsening phase. ---
   std::vector<Graph> levels;

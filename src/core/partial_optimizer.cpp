@@ -68,6 +68,21 @@ PartialOptimizer::PartialOptimizer(
   }
   instance_ = std::make_unique<CcaInstance>(
       std::move(sizes), std::move(capacities), std::move(scoped_pairs));
+
+  // Whole-query view for the hypergraph strategy: each multi-keyword query
+  // shape becomes a hyperedge over its in-scope keywords. Out-of-scope
+  // pins are dropped (the hashed tail places them identically for every
+  // strategy); edges left with < 2 pins vanish inside set_hyperedges.
+  std::vector<Hyperedge> scoped_edges;
+  for (const KeywordHyperedge& e : build_hyperedges(trace)) {
+    Hyperedge scoped;
+    scoped.weight = e.weight;
+    for (const trace::KeywordId k : e.pins)
+      if (object_of_keyword_[k] >= 0)
+        scoped.pins.push_back(object_of_keyword_[k]);
+    if (scoped.pins.size() >= 2) scoped_edges.push_back(std::move(scoped));
+  }
+  instance_->set_hyperedges(std::move(scoped_edges));
 }
 
 PlacementPlan PartialOptimizer::run(std::string_view strategy) const {

@@ -14,6 +14,8 @@
 //                   paper's contribution),
 //   "greedy"      — the correlation-aware greedy heuristic,
 //   "multilevel"  — the multilevel partitioner,
+//   "hypergraph"  — multilevel hypergraph partitioner on whole queries
+//                   (lambda - 1 objective; see core/hypergraph.hpp),
 //   "random-hash" — hash placement for every keyword (scope ignored).
 #pragma once
 
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "core/correlation.hpp"
+#include "core/hypergraph.hpp"
 #include "core/instance.hpp"
 #include "core/multilevel.hpp"
 #include "core/placement_map.hpp"
@@ -53,6 +56,7 @@ struct PartialOptimizerConfig {
   GreedyOptions greedy;          // greedy only
   MultilevelOptions multilevel;  // multilevel only (seed is overridden
                                  // by `seed` below for determinism)
+  HypergraphOptions hypergraph;  // hypergraph only (seed overridden too)
   std::uint64_t seed = 1;        // LP vertex choice + rounding stream
   /// LPRR: components larger than this fraction of the smallest node
   /// capacity are pre-split so the rounded placement can respect realized

@@ -5,9 +5,13 @@
 #include <sstream>
 #include <utility>
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/component_solver.hpp"
+#include "core/hypergraph.hpp"
 #include "core/lp_formulation.hpp"
 #include "core/multilevel.hpp"
 #include "core/partial_optimizer.hpp"
@@ -57,6 +61,11 @@ StrategyRegistry::StrategyRegistry() {
     MultilevelOptions options = opt.config().multilevel;
     options.seed = opt.config().seed;
     return multilevel_placement(opt.scoped_instance(), options);
+  });
+  add("hypergraph", [](const PartialOptimizer& opt) {
+    HypergraphOptions options = opt.config().hypergraph;
+    options.seed = opt.config().seed;
+    return hypergraph_placement(opt.scoped_instance(), options);
   });
   add("lprr", lprr_placement);
 }
@@ -115,6 +124,7 @@ std::vector<std::string> StrategyRegistry::names() const {
 
 std::vector<std::string> parse_strategy_list(std::string_view csv) {
   const StrategyRegistry& registry = StrategyRegistry::global();
+  const std::vector<std::string> known = registry.names();
   std::vector<std::string> out;
   std::size_t start = 0;
   while (start <= csv.size()) {
@@ -123,7 +133,22 @@ std::vector<std::string> parse_strategy_list(std::string_view csv) {
         csv.substr(start, comma == std::string_view::npos ? std::string_view::npos
                                                           : comma - start);
     if (!name.empty()) {
-      registry.at(name);  // throws with the registered-name listing
+      if (!registry.contains(name)) {
+        // Same did-you-mean shape a bad enum-valued bench flag gets, so a
+        // typo'd --strategies value fails like every other flag value.
+        std::ostringstream message;
+        message << "unknown strategy '" << name
+                << "' (registered: " << common::quote_candidates(known)
+                << ")";
+        const std::string hint =
+            common::suggest_value(std::string(name), known);
+        if (!hint.empty()) message << " (did you mean '" << hint << "'?)";
+        CCA_CHECK_MSG(false, message.str());
+      }
+      CCA_CHECK_MSG(std::find(out.begin(), out.end(), name) == out.end(),
+                    "duplicate strategy '"
+                        << name << "' in list '" << csv
+                        << "' — each strategy may appear once");
       out.emplace_back(name);
     }
     if (comma == std::string_view::npos) break;

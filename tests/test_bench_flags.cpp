@@ -10,6 +10,7 @@
 #include "bench/testbed.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
+#include "core/strategy.hpp"
 #include "lp/solution.hpp"
 #include "lp/solver.hpp"
 #include "search/block_postings.hpp"
@@ -196,6 +197,24 @@ TEST_F(BenchFlags, ChurnMalformedEventNamesTheShape) {
 TEST_F(BenchFlags, ChurnNonmonotoneTimesAreRejected) {
   const std::string message = error_of({"--churn=add:2000,10;add:1000,11"});
   EXPECT_NE(message.find("nondecreasing"), std::string::npos) << message;
+}
+
+TEST_F(BenchFlags, StrategiesValueGetsTheSameStrictContract) {
+  // Every bench funnels --strategies through core::parse_strategy_list;
+  // bad values must fail like any other enum-valued flag: name the
+  // offender, list the registry, suggest the near miss — and reject
+  // duplicate columns.
+  EXPECT_EQ(core::parse_strategy_list("random-hash,hypergraph").size(), 2u);
+  try {
+    core::parse_strategy_list("random-hash,hypergrap");
+    ADD_FAILURE() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'hypergrap'"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'hypergraph'?"), std::string::npos)
+        << what;
+  }
+  EXPECT_THROW(core::parse_strategy_list("lprr,lprr"), common::Error);
 }
 
 // ---------- hierarchical fault flags ----------

@@ -2,6 +2,7 @@
 // capacity handling, pins, and quality vs brute force / greedy.
 #include <gtest/gtest.h>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/multilevel.hpp"
 #include "core/placements.hpp"
@@ -131,6 +132,83 @@ TEST(Multilevel, BeatsGreedyOnFragmentedClusters) {
   const double ml = inst.communication_cost(multilevel_placement(inst));
   const double greedy = inst.communication_cost(greedy_placement(inst));
   EXPECT_LE(ml, greedy + 1e-9);
+}
+
+TEST(Multilevel, RepairDrainsDeepOverloadsCompletely) {
+  // Regression: the rebalance pass used to bail after a fixed number of
+  // evictions, silently returning a node above capacity when the initial
+  // partition parked many objects on it. Capacity slack 1.0 with strong
+  // all-to-all attraction forces a long drain; the result must still be
+  // feasible and must not count any violation.
+  common::MetricsRegistry& reg = common::MetricsRegistry::global();
+  common::Counter& violations =
+      reg.counter("core.multilevel.capacity_violations");
+  reg.set_enabled(true);
+  violations.reset();
+
+  common::Rng rng(3);
+  const int n = 48;
+  std::vector<double> sizes(n, 1.0);
+  std::vector<PairWeight> pairs;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.next_double() < 0.4)
+        pairs.push_back({i, j, 0.5 + 0.5 * rng.next_double(), 4.0});
+  // Exact fit: 48 unit objects over 4 nodes of capacity 12 — zero slack.
+  const CcaInstance inst(sizes, std::vector<double>(4, 12.0), pairs);
+  const Placement p = multilevel_placement(inst);
+  reg.set_enabled(false);
+  EXPECT_TRUE(inst.is_feasible(p));
+  EXPECT_EQ(violations.total(), 0);
+}
+
+TEST(Multilevel, UnavoidablePinOverloadIsCountedNotLooped) {
+  // Pins overload node 0 beyond repair: the drain must terminate, place
+  // every object, and surface the violation through the metric instead of
+  // spinning or silently succeeding.
+  common::MetricsRegistry& reg = common::MetricsRegistry::global();
+  common::Counter& violations =
+      reg.counter("core.multilevel.capacity_violations");
+  reg.set_enabled(true);
+  violations.reset();
+
+  CcaInstance inst({3, 3, 1, 1}, {4.0, 4.0},
+                   {{0, 2, 0.9, 2.0}, {1, 3, 0.9, 2.0}});
+  inst.pin(0, 0);
+  inst.pin(1, 0);  // pinned load 6 > capacity 4
+  const Placement p = multilevel_placement(inst);
+  reg.set_enabled(false);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 0);
+  for (NodeId k : p) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 2);
+  }
+  EXPECT_GE(violations.total(), 1);
+}
+
+TEST(Multilevel, OversubscribedInstanceTerminatesWithSpills) {
+  // Total size exceeds total capacity: feasibility is impossible, but the
+  // partitioner must terminate with a complete placement and count spills.
+  common::MetricsRegistry& reg = common::MetricsRegistry::global();
+  common::Counter& violations =
+      reg.counter("core.multilevel.capacity_violations");
+  reg.set_enabled(true);
+  violations.reset();
+
+  std::vector<PairWeight> pairs;
+  for (int i = 0; i < 10; ++i)
+    for (int j = i + 1; j < 10; ++j) pairs.push_back({i, j, 0.9, 1.0});
+  const CcaInstance inst(std::vector<double>(10, 1.0), {2.0, 2.0}, pairs);
+  const Placement p = multilevel_placement(inst);
+  reg.set_enabled(false);
+  ASSERT_EQ(p.size(), 10u);
+  for (NodeId k : p) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 2);
+  }
+  EXPECT_GE(violations.total(), 1);
 }
 
 TEST(Multilevel, CoarseningStopsGracefullyOnEdgelessGraphs) {

@@ -17,13 +17,14 @@ namespace {
 
 TEST(StrategyRegistry, BuiltInsAreRegistered) {
   const StrategyRegistry& reg = StrategyRegistry::global();
-  for (const char* name : {"random-hash", "greedy", "multilevel", "lprr"}) {
+  for (const char* name :
+       {"random-hash", "greedy", "multilevel", "hypergraph", "lprr"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
     EXPECT_NE(reg.at(name), nullptr) << name;
   }
   const std::vector<std::string> names = reg.names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_GE(names.size(), 4u);
+  EXPECT_GE(names.size(), 5u);
 }
 
 TEST(StrategyRegistry, UnknownNameThrowsWithListing) {
@@ -60,6 +61,36 @@ TEST(StrategyRegistry, ParseStrategyListValidatesNames) {
   EXPECT_THROW(parse_strategy_list("greedy,bogus"), common::Error);
   EXPECT_THROW(parse_strategy_list(""), common::Error);
   EXPECT_THROW(parse_strategy_list(",,"), common::Error);
+}
+
+TEST(StrategyRegistry, ParseStrategyListRejectsDuplicates) {
+  // A repeated name means a doubled bench column with identical numbers —
+  // always a typo in the flag value, so it must fail loudly.
+  try {
+    parse_strategy_list("greedy,lprr,greedy");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate strategy 'greedy'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("greedy,lprr,greedy"), std::string::npos) << what;
+  }
+}
+
+TEST(StrategyRegistry, ParseStrategyListSuggestsOnTypo) {
+  // Unknown names get the same did-you-mean shape as bad enum flag
+  // values: name the offender, list what exists, suggest the near miss.
+  try {
+    parse_strategy_list("random-hash,multilevl");
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown strategy 'multilevl'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("'hypergraph'"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean 'multilevel'?"), std::string::npos)
+        << what;
+  }
 }
 
 TEST(StrategyRegistry, CustomStrategyRunsThroughOptimizer) {
